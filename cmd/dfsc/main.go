@@ -1,0 +1,125 @@
+// Command dfsc runs a DFS client — the Requester role of the ECNP model —
+// against a live deployment (mmd + rmd daemons). It issues popularity-drawn
+// file accesses through the full three-phase flow (MM query, CFP fan-out
+// and bid selection, QoS-assured open), optionally streams the file bytes
+// from the serving RM, and prints per-request outcomes plus a summary.
+//
+//	dfsc -mm 127.0.0.1:7000 -policy "(1,0,0)" -scenario firm -n 20 -read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/cluster"
+	"dfsqos/internal/dfsc"
+	"dfsqos/internal/live"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+)
+
+func main() {
+	var (
+		mmAddr   = flag.String("mm", "127.0.0.1:7000", "metadata manager address")
+		policy   = flag.String("policy", "(1,0,0)", "resource selection policy (α,β,γ)")
+		scenario = flag.String("scenario", "firm", "allocation scenario: soft or firm")
+		n        = flag.Int("n", 10, "number of file accesses to issue")
+		read     = flag.Bool("read", false, "stream each admitted file's bytes from the serving RM")
+		seed     = flag.Uint64("seed", 1, "deployment master seed (must match rmd)")
+		numRMs   = flag.Int("num-rms", 16, "total RMs in the deployment")
+		degree   = flag.Int("degree", 3, "static replica degree")
+		files    = flag.Int("files", 1000, "catalog size")
+		gapMS    = flag.Int("gap", 200, "milliseconds between requests")
+		scale    = flag.Float64("scale", 1, "virtual seconds per wall second")
+	)
+	flag.Parse()
+
+	pol, err := selection.ParsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	scen, err := qos.Parse(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	catCfg := catalog.DefaultConfig()
+	catCfg.NumFiles = *files
+	cat, _, err := cluster.SeededCorpus(*seed, catCfg, *numRMs, *degree)
+	if err != nil {
+		fail(err)
+	}
+
+	mapper, err := live.DialMM(*mmAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer mapper.Close()
+	dir := live.NewDirectory(mapper)
+	defer dir.Close()
+	sched := live.NewWallScheduler(*scale)
+	defer sched.Stop()
+
+	client, err := dfsc.New(dfsc.Options{
+		ID:        1,
+		Mapper:    mapper,
+		Directory: dir,
+		Scheduler: sched,
+		Catalog:   cat,
+		Policy:    pol,
+		Scenario:  scen,
+		Rand:      rng.New(*seed).Split("dfsc-cli"),
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	picker := rng.New(uint64(time.Now().UnixNano()) | 1)
+	var ok, failed int
+	for i := 0; i < *n; i++ {
+		file := cat.SamplePopular(picker)
+		meta := cat.File(file)
+		out := client.Access(file)
+		if !out.OK {
+			failed++
+			log.Printf("dfsc: %s (%v, %.1fs) FAILED: %s", meta.Name, meta.Bitrate, meta.DurationSec, out.Reason)
+		} else {
+			ok++
+			log.Printf("dfsc: %s (%v, %.1fs) -> %v", meta.Name, meta.Bitrate, meta.DurationSec, out.RM)
+			if *read {
+				if rmCli, found := dir.RMClient(out.RM); found {
+					start := time.Now()
+					nBytes, err := rmCli.ReadFile(file, io.Discard)
+					if err != nil {
+						log.Printf("dfsc:   read: %v", err)
+					} else {
+						secs := time.Since(start).Seconds()
+						log.Printf("dfsc:   read %d bytes in %.2fs (%.2f MB/s, checksum ok)",
+							nBytes, secs, float64(nBytes)/secs/1e6)
+					}
+				}
+			}
+		}
+		time.Sleep(time.Duration(*gapMS) * time.Millisecond)
+	}
+	st := client.Stats()
+	fmt.Printf("dfsc: %d requests, %d admitted, %d failed (%s %.3f%%)\n",
+		st.Requests, ok, failed, scen.Criterion(), 100*float64(st.Failed)/float64(max(1, st.Requests)))
+}
+
+func max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dfsc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command mmd runs the Metadata Manager daemon — the Mapper role of the
+// ECNP model. It maintains the global resource list and the file → replica
+// map; RMs register with it and DFS clients query it.
+//
+// Per the paper's initialization order (Fig. 2) the MM starts first, then
+// the RMs register, and the DFSCs launch last:
+//
+//	mmd -addr 127.0.0.1:7000
+//	rmd -id 1 -mm 127.0.0.1:7000 -capacity 128Mbps ...
+//	dfsc -mm 127.0.0.1:7000 -policy "(1,0,0)" ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/live"
+	"dfsqos/internal/mm"
+	"dfsqos/internal/monitor"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
+		shards  = flag.Int("shards", 1, "DHT shards for the replica map (1 = the paper's single MM)")
+		monAddr = flag.String("monitor", "", "HTTP stats address; empty disables")
+		verbose = flag.Bool("v", false, "log every connection error")
+	)
+	flag.Parse()
+
+	var mapper ecnp.Mapper = mm.New()
+	if *shards > 1 {
+		mapper = mm.NewSharded(*shards)
+	}
+	srv, err := live.NewMMServer(mapper, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		srv.SetLogger(log.Printf)
+	}
+	log.Printf("mmd: metadata manager listening on %s (%d shard(s))", srv.Addr(), *shards)
+	if *monAddr != "" {
+		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewMMHandler(mapper))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+			os.Exit(1)
+		}
+		defer monSrv.Close()
+		log.Printf("mmd: stats at http://%s/stats", bound)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("mmd: shutting down")
+	srv.Close()
+}

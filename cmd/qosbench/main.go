@@ -1,0 +1,121 @@
+// Command qosbench regenerates the paper's evaluation tables and figures
+// on the simulated cluster.
+//
+// Usage:
+//
+//	qosbench -exp table1            # one experiment
+//	qosbench -exp all               # every table and figure
+//	qosbench -exp table4 -quick     # reduced scale for a fast look
+//	qosbench -list                  # list experiment ids
+//
+// Every run is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"dfsqos/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1..table7, fig4..fig7, ablation-*, 'all' or 'ablations')")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		quick    = flag.Bool("quick", false, "run at reduced scale (shorter horizon, fewer sweeps)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir   = flag.String("csv", "", "also write <id>.cells.csv / <id>.series.csv into this directory")
+		repeats  = flag.Int("repeats", 1, "average each table cell over this many seeds")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments run concurrently for 'all'/'ablations'")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		for _, id := range experiments.AblationIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = *seed
+	opts.Repeats = *repeats
+
+	export := func(res *experiments.Result) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		if len(res.Cells) > 0 {
+			f, err := os.Create(filepath.Join(*csvDir, res.ID+".cells.csv"))
+			if err != nil {
+				return err
+			}
+			if err := res.WriteCellsCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		if len(res.Series) > 0 {
+			f, err := os.Create(filepath.Join(*csvDir, res.ID+".series.csv"))
+			if err != nil {
+				return err
+			}
+			if err := res.WriteSeriesCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		return nil
+	}
+	show := func(res *experiments.Result, secs float64) error {
+		fmt.Printf("== %s — %s (%.1fs)\n%s\n", strings.ToUpper(res.ID), res.Title, secs, res.Text)
+		return export(res)
+	}
+
+	groups := map[string][]string{
+		"all":       experiments.IDs(),
+		"ablations": experiments.AblationIDs(),
+	}
+	if group, ok := groups[*exp]; ok {
+		start := time.Now()
+		results, err := experiments.RunMany(group, opts, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qosbench: %v\n", err)
+			os.Exit(1)
+		}
+		secs := time.Since(start).Seconds()
+		for _, res := range results {
+			if err := show(res, secs/float64(len(results))); err != nil {
+				fmt.Fprintf(os.Stderr, "qosbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	start := time.Now()
+	res, err := experiments.Run(*exp, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := show(res, time.Since(start).Seconds()); err != nil {
+		fmt.Fprintf(os.Stderr, "qosbench: %v\n", err)
+		os.Exit(1)
+	}
+}

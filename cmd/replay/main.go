@@ -1,0 +1,155 @@
+// Command replay is the paper's request scheduler (§VI-A): it reads an
+// access-pattern trace (cmd/workloadgen) and "send[s] the request according
+// to the request arrival timestamp recorded in the generated access pattern
+// to the corresponding DFSC" — here, one in-process DFSC per trace client,
+// all speaking the live ECNP protocol to a running mmd/rmd deployment.
+//
+//	workloadgen -users 64 -horizon 600 -seed 1 -o trace.json
+//	replay -mm 127.0.0.1:7000 -trace trace.json -scale 10 -scenario firm
+//
+// -scale compresses time: 10 replays a 600 s trace in 60 wall seconds
+// (reservation durations shrink by the same factor, so the bandwidth
+// dynamics are preserved).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/cluster"
+	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/live"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/workload"
+)
+
+func main() {
+	var (
+		mmAddr   = flag.String("mm", "127.0.0.1:7000", "metadata manager address")
+		trace    = flag.String("trace", "", "access-pattern JSON from workloadgen (required)")
+		policy   = flag.String("policy", "(1,0,0)", "resource selection policy")
+		scenario = flag.String("scenario", "firm", "allocation scenario: soft or firm")
+		seed     = flag.Uint64("seed", 1, "deployment master seed (must match rmd)")
+		numRMs   = flag.Int("num-rms", 16, "total RMs in the deployment")
+		degree   = flag.Int("degree", 3, "static replica degree")
+		files    = flag.Int("files", 1000, "catalog size")
+		scale    = flag.Float64("scale", 1, "virtual seconds per wall second")
+	)
+	flag.Parse()
+	if *trace == "" {
+		fail(fmt.Errorf("-trace is required"))
+	}
+
+	f, err := os.Open(*trace)
+	if err != nil {
+		fail(err)
+	}
+	pattern, err := workload.Load(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	pol, err := selection.ParsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	scen, err := qos.Parse(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	catCfg := catalog.DefaultConfig()
+	catCfg.NumFiles = *files
+	cat, _, err := cluster.SeededCorpus(*seed, catCfg, *numRMs, *degree)
+	if err != nil {
+		fail(err)
+	}
+
+	sched := live.NewWallScheduler(*scale)
+	defer sched.Stop()
+
+	// One DFSC per trace client, each with its own MM channel and
+	// directory, mirroring the paper's 8 independent clients.
+	clients := make(map[ids.DFSCID]*dfsc.Client)
+	var cleanups []func()
+	defer func() {
+		for _, c := range cleanups {
+			c()
+		}
+	}()
+	for _, r := range pattern.Requests {
+		if _, ok := clients[r.DFSC]; ok {
+			continue
+		}
+		mapper, err := live.DialMM(*mmAddr)
+		if err != nil {
+			fail(err)
+		}
+		dir := live.NewDirectory(mapper)
+		cleanups = append(cleanups, func() { dir.Close(); mapper.Close() })
+		c, err := dfsc.New(dfsc.Options{
+			ID:        r.DFSC,
+			Mapper:    mapper,
+			Directory: dir,
+			Scheduler: sched,
+			Catalog:   cat,
+			Policy:    pol,
+			Scenario:  scen,
+			Rand:      rng.New(*seed).Split(fmt.Sprintf("replay/%d", r.DFSC)),
+		})
+		if err != nil {
+			fail(err)
+		}
+		clients[r.DFSC] = c
+	}
+
+	fmt.Fprintf(os.Stderr, "replay: %d requests over %.0f virtual s (%.0f wall s) across %d DFSCs\n",
+		pattern.Len(), pattern.Config.HorizonSec, pattern.Config.HorizonSec / *scale, len(clients))
+
+	start := time.Now()
+	for i, r := range pattern.Requests {
+		wallAt := time.Duration(r.AtSec / *scale * float64(time.Second))
+		if d := time.Until(start.Add(wallAt)); d > 0 {
+			time.Sleep(d)
+		}
+		out := clients[r.DFSC].Access(r.File)
+		status := out.RM.String()
+		if !out.OK {
+			status = "FAIL: " + out.Reason
+		}
+		fmt.Printf("t=%8.1fs %v %v %v -> %s\n", r.AtSec, r.User, r.DFSC, r.File, status)
+		_ = i
+	}
+
+	// Summarize per the scenario's criterion.
+	var total, failed int64
+	idsSorted := make([]ids.DFSCID, 0, len(clients))
+	for id := range clients {
+		idsSorted = append(idsSorted, id)
+	}
+	sort.Slice(idsSorted, func(i, j int) bool { return idsSorted[i] < idsSorted[j] })
+	for _, id := range idsSorted {
+		st := clients[id].Stats()
+		total += st.Requests
+		failed += st.Failed
+		fmt.Fprintf(os.Stderr, "replay: %v issued %d, failed %d\n", id, st.Requests, st.Failed)
+	}
+	rate := 0.0
+	if total > 0 {
+		rate = float64(failed) / float64(total)
+	}
+	fmt.Fprintf(os.Stderr, "replay: done in %.1fs — %d requests, %s %.3f%%\n",
+		time.Since(start).Seconds(), total, scen.Criterion(), 100*rate)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+	os.Exit(1)
+}

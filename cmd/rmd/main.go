@@ -1,0 +1,164 @@
+// Command rmd runs one Resource Manager daemon — the Storage Provider role
+// of the ECNP model. It registers its resources with the Metadata Manager,
+// answers Call-For-Proposals with bids, admits QoS-assured data accesses
+// against a blkio-throttled virtual disk, and runs the dynamic-replication
+// source and destination endpoints.
+//
+// The file corpus is derived deterministically from -seed (see
+// cluster.SeededCorpus), so every rmd of one deployment provisions exactly
+// the replicas the shared placement assigns it:
+//
+//	rmd -id 1 -mm 127.0.0.1:7000 -capacity 128Mbps -seed 1 -num-rms 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dfsqos/internal/blkio"
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/cluster"
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/history"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/live"
+	"dfsqos/internal/monitor"
+	"dfsqos/internal/replication"
+	"dfsqos/internal/rm"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/units"
+	"dfsqos/internal/vdisk"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 1, "RM identifier (1-based)")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		mmAddr  = flag.String("mm", "127.0.0.1:7000", "metadata manager address")
+		capStr  = flag.String("capacity", "18Mbps", "disk bandwidth (e.g. 128Mbps)")
+		storStr = flag.String("storage", "16GB", "disk size")
+		seed    = flag.Uint64("seed", 1, "deployment master seed (shared by all components)")
+		numRMs  = flag.Int("num-rms", 16, "total RMs in the deployment")
+		degree  = flag.Int("degree", 3, "static replica degree")
+		files   = flag.Int("files", 1000, "catalog size")
+		repStr  = flag.String("rep", "static", `replication strategy: "static", "baseline" or "Rep(n,m)"`)
+		destStr = flag.String("dest", "random", "destination selection: random, lbf, weighted")
+		scale   = flag.Float64("scale", 1, "virtual seconds per wall second")
+		monAddr = flag.String("monitor", "", "HTTP stats address (e.g. 127.0.0.1:0); empty disables")
+		verbose = flag.Bool("v", false, "log connection errors")
+	)
+	flag.Parse()
+
+	capacity, err := units.ParseRate(*capStr)
+	if err != nil {
+		fail(err)
+	}
+	storage, err := units.ParseSize(*storStr)
+	if err != nil {
+		fail(err)
+	}
+	strat, err := replication.ParseStrategy(*repStr)
+	if err != nil {
+		fail(err)
+	}
+	dest, err := replication.ParseDestStrategy(*destStr)
+	if err != nil {
+		fail(err)
+	}
+	repCfg := replication.DefaultConfig(strat)
+	repCfg.Dest = dest
+
+	catCfg := catalog.DefaultConfig()
+	catCfg.NumFiles = *files
+	cat, placement, err := cluster.SeededCorpus(*seed, catCfg, *numRMs, *degree)
+	if err != nil {
+		fail(err)
+	}
+	rmID := ids.RMID(*id)
+
+	// Build the throttled virtual disk and provision this RM's replicas:
+	// the blkio group caps both read and write at the RM's capacity, as
+	// the paper's loop-device/cgroup binding does.
+	ctrl := blkio.NewController()
+	disk, err := vdisk.New(storage, ctrl, fmt.Sprintf("vm%d", rmID), capacity, capacity)
+	if err != nil {
+		fail(err)
+	}
+	fileMetas := make(map[ids.FileID]rm.FileMeta)
+	for _, f := range placement.FilesOn(rmID) {
+		meta := cat.File(f)
+		fileMetas[f] = rm.FileMeta{Bitrate: meta.Bitrate, Size: meta.Size, DurationSec: meta.DurationSec}
+		if err := disk.Provision(live.FileName(f), meta.Size); err != nil {
+			fail(fmt.Errorf("provisioning %v: %w", f, err))
+		}
+	}
+
+	mapper, err := live.DialMM(*mmAddr)
+	if err != nil {
+		fail(err)
+	}
+	sched := live.NewWallScheduler(*scale)
+	peers := live.NewDirectory(mapper)
+	node, err := rm.New(rm.Options{
+		Info:        ecnp.RMInfo{ID: rmID, Capacity: capacity, StorageBytes: storage},
+		Scheduler:   sched,
+		Mapper:      mapper,
+		History:     history.DefaultConfig(),
+		Replication: repCfg,
+		Rand:        rng.New(*seed).Split(fmt.Sprintf("rmd/%d", rmID)),
+		Files:       fileMetas,
+		// Replication moves real bytes between daemons, paced at the
+		// replication rate scaled to wall time.
+		Copier: live.NewCopier(disk, peers, *scale),
+	})
+	if err != nil {
+		fail(err)
+	}
+	srv, err := live.NewRMServer(node, disk, *addr)
+	if err != nil {
+		fail(err)
+	}
+	if *verbose {
+		srv.SetLogger(log.Printf)
+	}
+
+	// Register with the dialable address, then wire the peer directory
+	// for replication.
+	info := node.Info()
+	info.Addr = srv.Addr()
+	fileIDs := make([]ids.FileID, 0, len(fileMetas))
+	for f := range fileMetas {
+		fileIDs = append(fileIDs, f)
+	}
+	if err := mapper.RegisterRM(info, fileIDs); err != nil {
+		fail(err)
+	}
+	node.SetDirectory(peers)
+	log.Printf("rmd: %v (%v, %d files, %v) listening on %s, registered at %s",
+		rmID, capacity, len(fileMetas), strat, srv.Addr(), *mmAddr)
+	if *monAddr != "" {
+		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewRMHandler(node, disk, sched))
+		if err != nil {
+			fail(err)
+		}
+		defer monSrv.Close()
+		log.Printf("rmd: %v stats at http://%s/stats", rmID, bound)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("rmd: %v shutting down", rmID)
+	srv.Close()
+	sched.Stop()
+	mapper.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rmd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package dfsqos
+
+import (
+	"testing"
+
+	"dfsqos/internal/replication"
+)
+
+// facadeConfig is a fast configuration for facade-level tests.
+func facadeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workload.NumUsers = 96
+	cfg.Workload.HorizonSec = 900
+	cfg.Catalog.NumFiles = 200
+	return cfg
+}
+
+func TestRunThroughFacade(t *testing.T) {
+	res, err := Run(facadeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRequests == 0 {
+		t.Fatal("no requests ran")
+	}
+	if len(res.PerRM) != 16 {
+		t.Fatalf("%d RMs, want the paper topology's 16", len(res.PerRM))
+	}
+}
+
+func TestBuildThenRun(t *testing.T) {
+	cl, err := Build(facadeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Catalog().Len() != 200 {
+		t.Fatalf("catalog size %d", cl.Catalog().Len())
+	}
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperTopologyThroughFacade(t *testing.T) {
+	caps := PaperTopology()
+	if len(caps) != 16 || caps[0] != Mbps(128) || caps[8] != Mbps(128) {
+		t.Fatalf("topology = %v", caps)
+	}
+}
+
+func TestPolicyHelpers(t *testing.T) {
+	p, err := ParsePolicy("(1,0,0)")
+	if err != nil || p != PolicyRemOnly {
+		t.Fatalf("ParsePolicy = (%v, %v)", p, err)
+	}
+	if !PolicyRandom.IsRandom() {
+		t.Fatal("PolicyRandom not random")
+	}
+	for _, p := range []Policy{PolicyRemOcc, PolicyRemTrend, PolicyFull} {
+		if p.IsRandom() {
+			t.Fatalf("%v claims to be random", p)
+		}
+	}
+}
+
+func TestStrategyHelpers(t *testing.T) {
+	if StaticReplication().Enabled {
+		t.Fatal("static strategy enabled")
+	}
+	if got := BaselineReplication(); got != replication.Rep(3, 8) {
+		t.Fatalf("baseline = %v", got)
+	}
+	rc := ReplicationDefaults(Rep(1, 3))
+	if rc.TriggerFrac != 0.20 || rc.Speed != Mbps(1.8) {
+		t.Fatalf("defaults = %+v", rc)
+	}
+}
+
+func TestRunExperimentThroughFacade(t *testing.T) {
+	opts := QuickScale()
+	opts.Users = []int{64}
+	opts.StandardUsers = 64
+	opts.HorizonSec = 600
+	res, err := RunExperiment("table1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table1" || len(res.Cells) == 0 {
+		t.Fatalf("experiment result %+v", res)
+	}
+	if _, err := RunExperiment("nope", opts); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) != 11 {
+		t.Fatalf("ExperimentIDs = %v", ExperimentIDs())
+	}
+}
+
+func TestScenarioConstants(t *testing.T) {
+	if Soft.IsFirm() || !Firm.IsFirm() {
+		t.Fatal("scenario constants wrong")
+	}
+	if Soft.Criterion() == Firm.Criterion() {
+		t.Fatal("criteria indistinct")
+	}
+}
+
+func TestPaperScaleDefaults(t *testing.T) {
+	o := PaperScale()
+	if o.HorizonSec != 7200 || o.StandardUsers != 256 || len(o.Users) != 4 {
+		t.Fatalf("paper scale = %+v", o)
+	}
+	q := QuickScale()
+	if q.HorizonSec >= o.HorizonSec {
+		t.Fatal("quick scale not smaller than paper scale")
+	}
+}

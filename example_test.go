@@ -1,0 +1,64 @@
+package dfsqos_test
+
+import (
+	"fmt"
+
+	"dfsqos"
+)
+
+// ExampleRun builds the paper's standard cluster at a reduced scale and
+// reports both storage-QoS criteria. Runs are deterministic for a fixed
+// Config.Seed.
+func ExampleRun() {
+	cfg := dfsqos.DefaultConfig()
+	cfg.Workload.NumUsers = 64
+	cfg.Workload.HorizonSec = 600
+	cfg.Catalog.NumFiles = 100
+	cfg.Policy = dfsqos.PolicyRemOnly
+
+	cfg.Scenario = dfsqos.Soft
+	soft, err := dfsqos.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Scenario = dfsqos.Firm
+	firm, err := dfsqos.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("requests: %d\n", soft.TotalRequests)
+	fmt.Printf("over-allocate: %.3f%%\n", 100*soft.OverAllocate)
+	fmt.Printf("fail rate: %.3f%%\n", 100*firm.FailRate)
+	// Output:
+	// requests: 121
+	// over-allocate: 0.000%
+	// fail rate: 0.000%
+}
+
+// ExampleParsePolicy shows the paper's policy notation.
+func ExampleParsePolicy() {
+	p, err := dfsqos.ParsePolicy("(1,0,0)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p, p.IsRandom())
+	fmt.Println(dfsqos.PolicyRandom, dfsqos.PolicyRandom.IsRandom())
+	// Output:
+	// (1,0,0) false
+	// (0,0,0) true
+}
+
+// ExampleRep shows the replication strategy notation and the paper's
+// copy-count rule at the replica bound (migration).
+func ExampleRep() {
+	rep13 := dfsqos.Rep(1, 3)
+	copies, migrate := rep13.Plan(3)
+	fmt.Printf("%v at 3 replicas: copy %d, migrate %v\n", rep13, copies, migrate)
+
+	baseline := dfsqos.BaselineReplication()
+	copies, migrate = baseline.Plan(3)
+	fmt.Printf("%v at 3 replicas: copy %d, migrate %v\n", baseline, copies, migrate)
+	// Output:
+	// Rep(1,3) at 3 replicas: copy 1, migrate true
+	// Rep(3,8) at 3 replicas: copy 3, migrate false
+}

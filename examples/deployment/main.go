@@ -1,0 +1,63 @@
+// Deployment: plan the paper's physical testbed — 5 machines, 25 Xen VMs —
+// validate the disk-bandwidth dispatch, print the cgroups-blkio throttle
+// plan each host would program, and then run the standard workload on the
+// resulting RM topology to confirm the plan carries the paper's QoS
+// behaviour.
+//
+//	go run ./examples/deployment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfsqos"
+	"dfsqos/internal/host"
+)
+
+func main() {
+	layout := host.PaperLayout()
+	if err := layout.Validate(); err != nil {
+		log.Fatalf("layout invalid: %v", err)
+	}
+
+	fmt.Println("Physical layout (paper §VI-A: 5 machines, 128 Mbit/s disk each):")
+	for _, h := range layout.Hosts {
+		fmt.Printf("  host%d  disk %v  dispatched %v\n", h.ID, h.DiskBandwidth, h.Dispatched())
+		for _, vm := range h.VMs {
+			share := "-"
+			if vm.DiskShare > 0 {
+				share = vm.DiskShare.String()
+			}
+			fmt.Printf("    %-6s %-5s share %s\n", vm.Name(), vm.Kind, share)
+		}
+	}
+
+	fmt.Println("\nblkio.throttle plan (what each host programs per RM VM):")
+	for _, p := range layout.ThrottlePlans() {
+		fmt.Printf("  host%d %-8s read_bps=%-10.0f write_bps=%.0f\n",
+			p.Host, p.Group, float64(p.ReadBps), float64(p.WriteBps))
+	}
+
+	// Drive the simulation directly from the physical plan.
+	caps, err := layout.RMCapacities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dfsqos.DefaultConfig()
+	cfg.RMCapacities = caps
+	cfg.Workload.NumUsers = 192
+	cfg.Workload.HorizonSec = 1800
+	cfg.Scenario = dfsqos.Firm
+	cfg.Replication = dfsqos.ReplicationDefaults(dfsqos.Rep(1, 3))
+	res, err := dfsqos.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworkload on this plan: %d requests, fail rate %.3f%%, %d replications\n",
+		res.TotalRequests, 100*res.FailRate, res.Replications)
+	for _, rm := range res.PerRM {
+		fmt.Printf("  %-4v host%d  assigned %8.1f MB\n",
+			rm.ID, layout.HostOf(rm.ID), rm.Snap.AssignedBytes/1e6)
+	}
+}

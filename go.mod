@@ -1,0 +1,3 @@
+module dfsqos
+
+go 1.22

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/simtime"
+)
+
+// auditor validates system-wide invariants while a run executes: the QoS
+// contract (firm allocations never exceed capacity), replica-map sanity
+// (every file reachable, counts within the strategy bound), and storage
+// accounting (no RM above its disk size). It runs on a sampling ticker so
+// violations are caught near the event that caused them, not at the end.
+type auditor struct {
+	c          *Cluster
+	maxDegree  int
+	violations []string
+}
+
+// newAuditor derives the invariant bounds from the configuration.
+func newAuditor(c *Cluster) *auditor {
+	maxDegree := c.cfg.ReplicaDegree
+	if c.cfg.Replication.Strategy.Enabled && c.cfg.Replication.Strategy.NMaxR > maxDegree {
+		maxDegree = c.cfg.Replication.Strategy.NMaxR
+	}
+	// One transient extra copy is legal while a bound-exceeding migration
+	// is in flight (copy lands before the source deletes its own).
+	maxDegree++
+	return &auditor{c: c, maxDegree: maxDegree}
+}
+
+func (a *auditor) violate(now simtime.Time, format string, args ...any) {
+	if len(a.violations) >= 32 {
+		return // cap the report; the run is already known-broken
+	}
+	a.violations = append(a.violations, fmt.Sprintf("t=%v: %s", now, fmt.Sprintf(format, args...)))
+}
+
+// check runs one audit pass.
+func (a *auditor) check(now simtime.Time) {
+	firm := a.c.cfg.Scenario.IsFirm()
+	for _, node := range a.c.rms {
+		info := node.Info()
+		alloc := node.Allocated()
+		if firm {
+			// In firm real-time the admission test must keep every RM at
+			// or below capacity (replication traffic rides the reserve).
+			limit := float64(info.Capacity) * 1.000001
+			if a.c.cfg.Replication.ChargeTransfers {
+				// Charged transfers may legally push past capacity.
+				limit = float64(info.Capacity) * 10
+			}
+			if float64(alloc) > limit {
+				a.violate(now, "%v allocated %v above capacity %v in firm mode", info.ID, alloc, info.Capacity)
+			}
+		}
+		if info.StorageBytes > 0 && node.StorageUsed() > info.StorageBytes {
+			a.violate(now, "%v storage %v exceeds disk %v", info.ID, node.StorageUsed(), info.StorageBytes)
+		}
+	}
+	if err := a.c.mapper.Validate(); err != nil {
+		a.violate(now, "replica map: %v", err)
+	}
+	for f := 0; f < a.c.cat.Len(); f++ {
+		n := a.c.mapper.ReplicaCount(ids.FileID(f))
+		if n < 1 {
+			a.violate(now, "file%d unreachable (0 replicas)", f)
+		}
+		if n > a.maxDegree {
+			a.violate(now, "file%d has %d replicas, bound %d", f, n, a.maxDegree)
+		}
+	}
+}
+
+// Err folds the collected violations into one error, or nil.
+func (a *auditor) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster: %d invariant violations, first: %s", len(a.violations), a.violations[0])
+}

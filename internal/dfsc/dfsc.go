@@ -1,0 +1,369 @@
+// Package dfsc implements the Distributed File System Client — the
+// Requester role of the ECNP model. On each user request the client runs
+// the paper's three-phase resource-management flow: it queries the Metadata
+// Manager for the eligible RMs (resource exploration), fans a
+// Call-For-Proposal out to all of them and scores the returned bids with
+// the configured resource-selection policy (resource negotiation), and then
+// opens the data access on the winner (data communication), holding the
+// bandwidth reservation for the file's playback duration.
+//
+// In the paper the client sits behind FUSE: the MM query is issued from the
+// readdir callback, CFP fan-out and selection from open, and the transfer
+// from read/write. Package fsapi binds those callbacks to this client.
+package dfsc
+
+import (
+	"fmt"
+	"sync"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/simtime"
+)
+
+// Stats counts request outcomes and protocol traffic at one client.
+type Stats struct {
+	// Requests is the number of accesses attempted.
+	Requests int64
+	// Failed is the number of firm-scenario requests refused by every
+	// eligible RM ("fail rate" numerator).
+	Failed int64
+	// NoReplica counts requests for files with no registered replica.
+	NoReplica int64
+	// Completed counts accesses whose reservation has been released.
+	Completed int64
+	// Messages counts control-plane messages this client exchanged:
+	// matchmaker queries and replies, CFPs and bids, opens and their
+	// results. It is the quantity behind the paper\'s claim that the ECNP
+	// matchmaker "avoid[s] excessive redundant messages" versus plain CNP
+	// broadcast (compare with Options.BroadcastCNP).
+	Messages int64
+}
+
+// Outcome describes one access attempt.
+type Outcome struct {
+	Request ids.RequestID
+	File    ids.FileID
+	// RM is the serving RM, or ids.NoneRM on failure.
+	RM ids.RMID
+	// OK reports whether the access was admitted.
+	OK bool
+	// Reason is a short diagnostic when OK is false.
+	Reason string
+}
+
+// Client is one DFSC.
+type Client struct {
+	mu sync.Mutex
+
+	id        ids.DFSCID
+	mapper    ecnp.Mapper
+	dir       ecnp.Directory
+	sched     ecnp.Scheduler
+	cat       *catalog.Catalog
+	policy    selection.Policy
+	scen      qos.Scenario
+	src       *rng.Source
+	broadcast bool
+
+	reqSeq int64
+	stats  Stats
+}
+
+// Options configures a new client.
+type Options struct {
+	ID        ids.DFSCID
+	Mapper    ecnp.Mapper
+	Directory ecnp.Directory
+	Scheduler ecnp.Scheduler
+	Catalog   *catalog.Catalog
+	Policy    selection.Policy
+	Scenario  qos.Scenario
+	Rand      *rng.Source
+	// BroadcastCNP disables the ECNP matchmaker shortcut: instead of
+	// querying the MM for the replica holders, the client broadcasts the
+	// CFP to every registered RM (the original CNP model) and filters the
+	// bids by HasReplica. QoS outcomes are identical; the message count
+	// is not — which is the point of the comparison.
+	BroadcastCNP bool
+}
+
+// New constructs a client.
+func New(opt Options) (*Client, error) {
+	if opt.Mapper == nil || opt.Directory == nil || opt.Scheduler == nil || opt.Catalog == nil || opt.Rand == nil {
+		return nil, fmt.Errorf("dfsc: DFSC%d: Mapper, Directory, Scheduler, Catalog and Rand are required", opt.ID)
+	}
+	return &Client{
+		id:        opt.ID,
+		mapper:    opt.Mapper,
+		dir:       opt.Directory,
+		sched:     opt.Scheduler,
+		cat:       opt.Catalog,
+		policy:    opt.Policy,
+		scen:      opt.Scenario,
+		src:       opt.Rand,
+		broadcast: opt.BroadcastCNP,
+	}, nil
+}
+
+// ID returns the client's identifier.
+func (c *Client) ID() ids.DFSCID { return c.id }
+
+// Stats returns a copy of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Access runs the full three-phase flow for one file request and, when
+// admitted, schedules the release of the reservation after the file's
+// playback duration. It returns the outcome of the open.
+func (c *Client) Access(file ids.FileID) Outcome {
+	out, p := c.negotiate(file)
+	if out.OK {
+		c.scheduleClose(p, out.Request, c.cat.File(file).DurationSec)
+	}
+	return out
+}
+
+// AccessHeld runs the same negotiation but leaves the reservation open
+// until the returned release function is called — the shape the FUSE
+// open/release callback pair needs (package fsapi). release is idempotent
+// and non-nil even on failure.
+func (c *Client) AccessHeld(file ids.FileID) (Outcome, func()) {
+	out, p := c.negotiate(file)
+	if !out.OK {
+		return out, func() {}
+	}
+	released := false
+	var mu sync.Mutex
+	return out, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		p.Close(out.Request)
+		c.mu.Lock()
+		c.stats.Completed++
+		c.mu.Unlock()
+	}
+}
+
+// Store runs the write half of the data communication phase: "data can be
+// stored into the selected storage resource". Every registered RM (not
+// just replica holders — a new file has none) answers the CFP; the
+// best-scoring RM that admits the reservation and the store receives the
+// file, and the MM records the new replica. The write occupies the RM's
+// bandwidth for the file's duration, like a streaming ingest.
+func (c *Client) Store(file ids.FileID) Outcome {
+	req := c.nextRequestID()
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	f := c.cat.File(file)
+	cfp := ecnp.CFP{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec}
+
+	var bids []selection.Bid
+	providers := make(map[ids.RMID]ecnp.Provider)
+	for _, info := range c.mapper.RMs() {
+		p, ok := c.dir.Provider(info.ID)
+		if !ok {
+			continue
+		}
+		providers[info.ID] = p
+		bids = append(bids, p.HandleCFP(cfp))
+	}
+	if len(bids) == 0 {
+		c.mu.Lock()
+		c.stats.Failed++
+		c.mu.Unlock()
+		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}
+	}
+
+	var order []ids.RMID
+	c.mu.Lock()
+	if c.policy.IsRandom() {
+		order = make([]ids.RMID, len(bids))
+		for i, b := range bids {
+			order[i] = b.RM
+		}
+		c.src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	} else {
+		order = selection.Rank(c.policy, bids)
+	}
+	firm := c.scen.IsFirm()
+	c.mu.Unlock()
+
+	store := ecnp.StoreRequest{File: file, Bitrate: f.Bitrate, SizeBytes: f.Size, DurationSec: f.DurationSec}
+	open := ecnp.OpenRequest{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec, Firm: firm}
+	for _, rmID := range order {
+		p := providers[rmID]
+		// An RM already holding the file cannot store it again.
+		if err := p.StoreFile(store); err != nil {
+			continue
+		}
+		res := p.Open(open)
+		if !res.OK {
+			// Keep the stored replica only if the MM accepts it even
+			// without an ingest reservation? No: an un-ingested store is
+			// dead weight — undo by leaving it unregistered and move on.
+			continue
+		}
+		if err := c.mapper.AddReplica(file, rmID); err != nil {
+			p.Close(req)
+			continue
+		}
+		c.scheduleClose(p, req, f.DurationSec)
+		return Outcome{Request: req, File: file, RM: rmID, OK: true}
+	}
+
+	c.mu.Lock()
+	c.stats.Failed++
+	c.mu.Unlock()
+	return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no RM could store the file"}
+}
+
+// negotiate performs phases 1-3 and returns the outcome plus the serving
+// provider (nil on failure).
+func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
+	req := c.nextRequestID()
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	f := c.cat.File(file)
+
+	// Phase 1 — resource exploration. Under ECNP the MM answers the list
+	// of eligible RMs (those holding a replica; issued from readdir in
+	// the paper): 1 query + 1 reply. Under plain-CNP broadcast there is
+	// no matchmaker: the CFP goes to every registered RM.
+	var holders []ids.RMID
+	if c.broadcast {
+		for _, info := range c.mapper.RMs() {
+			holders = append(holders, info.ID)
+		}
+		c.addMessages(2) // resource-list fetch + reply
+	} else {
+		holders = c.mapper.Lookup(file)
+		c.addMessages(2) // query + reply
+	}
+	if len(holders) == 0 {
+		c.mu.Lock()
+		c.stats.NoReplica++
+		c.stats.Failed++
+		c.mu.Unlock()
+		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}, nil
+	}
+
+	// Phase 2 — resource negotiation: CFP fan-out and bid collection.
+	cfp := ecnp.CFP{
+		Request:     req,
+		File:        file,
+		Bitrate:     f.Bitrate,
+		DurationSec: f.DurationSec,
+	}
+	bids := make([]selection.Bid, 0, len(holders))
+	providers := make(map[ids.RMID]ecnp.Provider, len(holders))
+	for _, h := range holders {
+		p, ok := c.dir.Provider(h)
+		if !ok {
+			continue
+		}
+		providers[h] = p
+		bid := p.HandleCFP(cfp)
+		c.addMessages(2) // CFP + bid
+		if c.broadcast && !bid.HasReplica {
+			// A CNP provider without the file refuses; its CFP and
+			// refusal are the redundant traffic ECNP eliminates.
+			continue
+		}
+		bids = append(bids, bid)
+	}
+	if len(bids) == 0 {
+		c.mu.Lock()
+		c.stats.Failed++
+		c.mu.Unlock()
+		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}, nil
+	}
+
+	// Rank the bidders: policy order, or a uniform shuffle for (0,0,0).
+	var order []ids.RMID
+	c.mu.Lock()
+	if c.policy.IsRandom() {
+		order = make([]ids.RMID, len(bids))
+		for i, b := range bids {
+			order[i] = b.RM
+		}
+		c.src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	} else {
+		order = selection.Rank(c.policy, bids)
+	}
+	firm := c.scen.IsFirm()
+	c.mu.Unlock()
+
+	// Phase 3 — data communication: open on the winner. In the firm
+	// scenario a refused open falls through to the next-ranked bidder;
+	// the request fails only "when none of the RMs can provide sufficient
+	// bandwidth" (paper §VI-A1). Soft requests are always admitted by the
+	// first-ranked RM.
+	open := ecnp.OpenRequest{
+		Request:     req,
+		File:        file,
+		Bitrate:     f.Bitrate,
+		DurationSec: f.DurationSec,
+		Firm:        firm,
+	}
+	for _, rmID := range order {
+		p := providers[rmID]
+		res := p.Open(open)
+		c.addMessages(2) // open + result
+		if !res.OK {
+			if firm {
+				continue
+			}
+			// A soft open can only fail on a duplicate request id, which
+			// indicates a bug upstream.
+			c.mu.Lock()
+			c.stats.Failed++
+			c.mu.Unlock()
+			return Outcome{Request: req, File: file, RM: rmID, OK: false, Reason: res.Reason}, nil
+		}
+		return Outcome{Request: req, File: file, RM: rmID, OK: true}, p
+	}
+
+	c.mu.Lock()
+	c.stats.Failed++
+	c.mu.Unlock()
+	return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}, nil
+}
+
+// scheduleClose releases the reservation when the playback ends.
+func (c *Client) scheduleClose(p ecnp.Provider, req ids.RequestID, durationSec float64) {
+	c.sched.After(simtime.Duration(durationSec), func(simtime.Time) {
+		p.Close(req)
+		c.mu.Lock()
+		c.stats.Completed++
+		c.mu.Unlock()
+	})
+}
+
+func (c *Client) addMessages(n int64) {
+	c.mu.Lock()
+	c.stats.Messages += n
+	c.mu.Unlock()
+}
+
+func (c *Client) nextRequestID() ids.RequestID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqSeq++
+	return ids.RequestID(int64(c.id)<<40 | c.reqSeq)
+}

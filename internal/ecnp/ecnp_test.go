@@ -1,0 +1,84 @@
+package ecnp
+
+import (
+	"testing"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/simtime"
+	"dfsqos/internal/units"
+)
+
+func TestRMInfoValidate(t *testing.T) {
+	good := RMInfo{ID: 1, Capacity: units.Mbps(18), StorageBytes: units.GB}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RMInfo{
+		{ID: -1, Capacity: units.Mbps(18)},
+		{ID: 1, Capacity: 0},
+		{ID: 1, Capacity: units.Mbps(18), StorageBytes: -1},
+	}
+	for i, info := range bad {
+		if err := info.Validate(); err == nil {
+			t.Errorf("case %d: invalid RMInfo accepted", i)
+		}
+	}
+}
+
+func TestSimSchedulerAdapter(t *testing.T) {
+	s := simtime.NewScheduler()
+	a := SimScheduler{S: s}
+	if a.Now() != 0 {
+		t.Fatalf("Now = %v", a.Now())
+	}
+	fired := false
+	cancel := a.After(5, func(now simtime.Time) {
+		if now != 5 {
+			t.Errorf("fired at %v, want 5", now)
+		}
+		fired = true
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if cancel() {
+		t.Fatal("cancel of fired event returned true")
+	}
+	// Cancel before firing prevents execution.
+	fired2 := false
+	cancel2 := a.After(5, func(simtime.Time) { fired2 = true })
+	if !cancel2() {
+		t.Fatal("cancel returned false for pending event")
+	}
+	s.Run()
+	if fired2 {
+		t.Fatal("canceled event fired")
+	}
+}
+
+// stubProvider implements Provider for directory tests.
+type stubProvider struct{ id ids.RMID }
+
+func (s *stubProvider) Info() RMInfo                          { return RMInfo{ID: s.id, Capacity: units.Mbps(1)} }
+func (s *stubProvider) HandleCFP(CFP) selection.Bid           { return selection.Bid{RM: s.id} }
+func (s *stubProvider) Open(OpenRequest) OpenResult           { return OpenResult{OK: true} }
+func (s *stubProvider) Close(ids.RequestID)                   {}
+func (s *stubProvider) OfferReplica(ReplicaOffer) bool        { return false }
+func (s *stubProvider) FinishReplica(ids.ReplicationID, bool) {}
+func (s *stubProvider) StoreFile(StoreRequest) error          { return nil }
+
+func TestStaticDirectory(t *testing.T) {
+	dir := StaticDirectory{
+		1: &stubProvider{id: 1},
+		2: &stubProvider{id: 2},
+	}
+	p, ok := dir.Provider(1)
+	if !ok || p.Info().ID != 1 {
+		t.Fatalf("Provider(1) = (%v, %v)", p, ok)
+	}
+	if _, ok := dir.Provider(9); ok {
+		t.Fatal("Provider(9) should be absent")
+	}
+}

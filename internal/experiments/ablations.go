@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dfsqos/internal/cluster"
+	"dfsqos/internal/metrics"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/replication"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/units"
+	"dfsqos/internal/workload"
+)
+
+// Ablations sweep the design parameters the paper fixes by fiat (§VI-C)
+// and the ones DESIGN.md §6 flags, quantifying how sensitive the headline
+// metrics are to each. They all run the Rep(1,3) firm real-time
+// configuration — the paper's recommended practical operating point — and
+// report the fail rate, replication count and utilization balance per
+// setting.
+
+// ablationBase is the shared configuration.
+func (o Options) ablationBase() cluster.Config {
+	cfg := o.baseConfig()
+	cfg.Policy = selection.RemOnly
+	cfg.Scenario = qos.Firm
+	cfg.Replication = replication.DefaultConfig(replication.Rep(1, 3))
+	return cfg
+}
+
+// ablationRow runs one setting and records it.
+func ablationRow(res *Result, tab *metrics.Table, label string, cfg cluster.Config) error {
+	return ablationRowAvg(res, tab, label, cfg, Options{})
+}
+
+// ablationRowAvg is ablationRow with multi-seed averaging.
+func ablationRowAvg(res *Result, tab *metrics.Table, label string, cfg cluster.Config, o Options) error {
+	r, err := avgRun(cfg, o)
+	if err != nil {
+		return err
+	}
+	shares := metrics.UtilizationShares(r.PerRM, r.HorizonSec)
+	fairness := metrics.JainFairness(shares)
+	res.Cells["failRate/"+label] = r.FailRate
+	res.Cells["replications/"+label] = float64(r.Replications)
+	res.Cells["fairness/"+label] = fairness
+	tab.AddRow(label,
+		metrics.Pct(r.FailRate),
+		fmt.Sprintf("%d", r.Replications),
+		fmt.Sprintf("%d", r.Migrations),
+		fmt.Sprintf("%.3f", fairness),
+	)
+	return nil
+}
+
+func newAblationTable() *metrics.Table {
+	return metrics.NewTable("setting", "fail rate", "replications", "migrations", "Jain fairness")
+}
+
+// AblationBTH sweeps the replication trigger threshold B_TH. Too low and
+// hotspots linger; too high and the system replicates constantly (the
+// paper's §III-B concern).
+func AblationBTH(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-bth", "Replication trigger threshold B_TH sweep (Rep(1,3), firm, (1,0,0))")
+	tab := newAblationTable()
+	for _, bth := range []float64{0.05, 0.10, 0.20, 0.35, 0.50} {
+		cfg := o.ablationBase()
+		cfg.Replication.TriggerFrac = bth
+		if err := ablationRow(res, tab, fmt.Sprintf("B_TH=%.0f%%", bth*100), cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationCooldown sweeps the 60 s replication cooldown.
+func AblationCooldown(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-cooldown", "Replication cooldown sweep (paper: 60 s)")
+	tab := newAblationTable()
+	for _, cd := range []float64{5, 30, 60, 180, 600} {
+		cfg := o.ablationBase()
+		cfg.Replication.CooldownSec = cd
+		if err := ablationRow(res, tab, fmt.Sprintf("cooldown=%.0fs", cd), cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationSpeed sweeps the replication transfer rate (paper: 1.8 Mbit/s).
+func AblationSpeed(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-speed", "Replication transfer speed sweep (paper: 1.8 Mbit/s)")
+	tab := newAblationTable()
+	for _, mbps := range []float64{0.45, 0.9, 1.8, 3.6, 7.2} {
+		cfg := o.ablationBase()
+		cfg.Replication.Speed = units.Mbps(mbps)
+		if err := ablationRow(res, tab, fmt.Sprintf("speed=%.2fMbps", mbps), cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationCharge compares the paper's B_REV reserve semantics (replication
+// traffic outside the QoS pool) with charging transfers against the
+// ledgers.
+func AblationCharge(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-charge", "Replication traffic accounting: B_REV reserve vs charged to the QoS pool")
+	tab := newAblationTable()
+	for _, charge := range []bool{false, true} {
+		cfg := o.ablationBase()
+		cfg.Replication.ChargeTransfers = charge
+		label := "B_REV reserve"
+		if charge {
+			label = "charged"
+		}
+		if err := ablationRow(res, tab, label, cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationSkew sweeps the popularity skew, moving the hotspot pressure the
+// replication mechanism has to absorb.
+func AblationSkew(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-skew", "Catalog popularity skew sweep")
+	tab := newAblationTable()
+	for _, skew := range []float64{0.6, 0.8, 0.95, 1.1, 1.3} {
+		cfg := o.ablationBase()
+		cfg.Catalog.ZipfSkew = skew
+		if err := ablationRow(res, tab, fmt.Sprintf("zipf=%.2f", skew), cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationGC exercises the replica garbage collector: Rep(1,8) grows the
+// replica population against tight disks, with and without deletion.
+func AblationGC(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-gc", "Replica deletion (GC) under Rep(1,8) with tight disks")
+	tab := metrics.NewTable("setting", "fail rate", "replications", "GC evictions", "offers rejected")
+	for _, on := range []bool{false, true} {
+		cfg := o.ablationBase()
+		cfg.Replication = replication.DefaultConfig(replication.Rep(1, 8))
+		// The static load (~190 replicas × mean size ≈ 11-14 GB) sits just
+		// under the 16 GB disks, so Rep(1,8) growth presses against the
+		// 85% watermark quickly: with GC off, full disks reject offers;
+		// with GC on, cold replicas make room.
+		gc := replication.DefaultGCConfig()
+		gc.Enabled = on
+		cfg.GC = gc
+		label := "GC off"
+		if on {
+			label = "GC on (85%/70%)"
+		}
+		r, err := cluster.RunConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var rejected int64
+		for _, st := range r.RMStats {
+			rejected += st.OffersRejected
+		}
+		res.Cells["failRate/"+label] = r.FailRate
+		res.Cells["evictions/"+label] = float64(r.GCEvictions)
+		tab.AddRow(label, metrics.Pct(r.FailRate),
+			fmt.Sprintf("%d", r.Replications),
+			fmt.Sprintf("%d", r.GCEvictions),
+			fmt.Sprintf("%d", rejected))
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationFlashCrowd injects the paper's feared "burst of resource
+// requirements" — a flash crowd converging on one previously unpopular
+// file halfway through the run — and compares how the replication
+// strategies absorb it.
+func AblationFlashCrowd(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-flashcrowd", "Flash crowd at t=horizon/2 (40% of requests to one cold file)")
+	tab := newAblationTable()
+	for _, strat := range strategies() {
+		cfg := o.ablationBase()
+		cfg.Replication = replication.DefaultConfig(strat)
+		cfg.FlashCrowd = &workload.FlashCrowd{
+			AtSec:    o.HorizonSec / 2,
+			Fraction: 0.4,
+		}
+		if err := ablationRow(res, tab, strat.String(), cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationECNP quantifies the reason the paper adopts ECNP over plain CNP
+// (§I: the matchmaker "avoid[s] excessive redundant messages"): the same
+// workload negotiated through the MM versus broadcast to all 16 RMs. QoS
+// outcomes match; the control-plane message volume does not.
+func AblationECNP(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-ecnp", "ECNP matchmaking vs plain-CNP broadcast: message traffic")
+	tab := metrics.NewTable("model", "fail rate", "messages", "msgs/request")
+	for _, broadcast := range []bool{false, true} {
+		cfg := o.ablationBase()
+		cfg.BroadcastCNP = broadcast
+		label := "ECNP (matchmaker)"
+		if broadcast {
+			label = "CNP (broadcast)"
+		}
+		r, err := cluster.RunConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		perReq := float64(r.Messages) / float64(r.TotalRequests)
+		res.Cells["failRate/"+label] = r.FailRate
+		res.Cells["messages/"+label] = float64(r.Messages)
+		res.Cells["perRequest/"+label] = perReq
+		tab.AddRow(label, metrics.Pct(r.FailRate),
+			fmt.Sprintf("%d", r.Messages), fmt.Sprintf("%.1f", perReq))
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationWeights explores "the optimized collocation" of the environment
+// parameters (α, β, γ) the paper leaves to practical experiments (§IV):
+// a grid over β and γ at α = 1, reporting both criteria under static
+// replication where the policy does all the work.
+func AblationWeights(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-weights", "Selection weight collocation: α=1, β×γ grid (static replication)")
+	tab := metrics.NewTable("(a,b,g)", "over-allocate (soft)", "fail rate (firm)")
+	for _, beta := range []float64{0, 0.5, 1} {
+		for _, gamma := range []float64{0, 0.5, 1} {
+			pol := selection.Policy{Alpha: 1, Beta: beta, Gamma: gamma}
+			soft := o.baseConfig()
+			soft.Policy = pol
+			soft.Scenario = qos.Soft
+			rs, err := avgRun(soft, o)
+			if err != nil {
+				return nil, err
+			}
+			firm := o.baseConfig()
+			firm.Policy = pol
+			firm.Scenario = qos.Firm
+			rf, err := avgRun(firm, o)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells["overAllocate/"+pol.String()] = rs.OverAllocate
+			res.Cells["failRate/"+pol.String()] = rf.FailRate
+			tab.AddRow(pol.String(), metrics.Pct(rs.OverAllocate), metrics.Pct(rf.FailRate))
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}
+
+// AblationMMShards verifies the DHT-sharded Metadata Manager is
+// metric-neutral: partitioning metadata must not change QoS outcomes.
+func AblationMMShards(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ablation-mmshards", "Metadata Manager sharding (paper's DHT note): metric neutrality")
+	tab := newAblationTable()
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := o.ablationBase()
+		cfg.MMShards = shards
+		if err := ablationRow(res, tab, fmt.Sprintf("shards=%d", shards), cfg); err != nil {
+			return nil, err
+		}
+	}
+	res.Text = tab.String()
+	return res, nil
+}

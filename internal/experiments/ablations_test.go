@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationIDsDispatch(t *testing.T) {
+	if len(AblationIDs()) != 10 {
+		t.Fatalf("AblationIDs = %v", AblationIDs())
+	}
+	// Every listed id dispatches (run one cheap setting set via tiny opts).
+	for _, id := range AblationIDs() {
+		if id == "ablation-gc" || id == "ablation-skew" || id == "ablation-flashcrowd" {
+			continue // covered by dedicated tests below (slower sweeps)
+		}
+		if id == "ablation-ecnp" || id == "ablation-weights" {
+			continue // covered by dedicated tests below (slower sweeps)
+		}
+		res, err := Run(id, tinyOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Cells) == 0 || res.Text == "" {
+			t.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+func TestAblationMMShardsNeutral(t *testing.T) {
+	res, err := AblationMMShards(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Cells["failRate/shards=1"]
+	for _, label := range []string{"shards=2", "shards=4", "shards=8"} {
+		if got := res.Cells["failRate/"+label]; got != base {
+			t.Fatalf("%s fail rate %v differs from single-MM %v", label, got, base)
+		}
+	}
+}
+
+func TestAblationChargeShowsCost(t *testing.T) {
+	res, err := AblationCharge(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserve := res.Cells["failRate/B_REV reserve"]
+	charged := res.Cells["failRate/charged"]
+	// Charging replication traffic against the QoS pool can only hurt.
+	if charged < reserve {
+		t.Fatalf("charged fail rate %v better than reserve %v", charged, reserve)
+	}
+}
+
+func TestAblationGC(t *testing.T) {
+	res, err := AblationGC(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells["evictions/GC off"] != 0 {
+		t.Fatal("GC off evicted replicas")
+	}
+	if res.Cells["evictions/GC on (85%/70%)"] <= 0 {
+		t.Fatal("GC on evicted nothing under tight disks")
+	}
+}
+
+func TestAblationSkew(t *testing.T) {
+	res, err := AblationSkew(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) < 10 {
+		t.Fatalf("skew sweep produced %d cells", len(res.Cells))
+	}
+}
+
+func TestAblationFlashCrowd(t *testing.T) {
+	res, err := AblationFlashCrowd(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four strategies produce a fail-rate cell.
+	for _, strat := range []string{"static", "Rep(3,8)", "Rep(1,8)", "Rep(1,3)"} {
+		if _, ok := res.Cells["failRate/"+strat]; !ok {
+			t.Fatalf("missing cell for %s", strat)
+		}
+	}
+	// Unbounded replication absorbs a flash crowd better than static
+	// replicas (the paper's burst concern, quantified).
+	if res.Cells["failRate/Rep(1,8)"] >= res.Cells["failRate/static"] {
+		t.Fatalf("Rep(1,8) (%v) did not beat static (%v) under a flash crowd",
+			res.Cells["failRate/Rep(1,8)"], res.Cells["failRate/static"])
+	}
+}
+
+func TestAblationECNP(t *testing.T) {
+	res, err := AblationECNP(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecnpMsgs := res.Cells["perRequest/ECNP (matchmaker)"]
+	cnpMsgs := res.Cells["perRequest/CNP (broadcast)"]
+	if ecnpMsgs <= 0 || cnpMsgs <= ecnpMsgs {
+		t.Fatalf("message accounting wrong: ECNP %.1f vs CNP %.1f per request", ecnpMsgs, cnpMsgs)
+	}
+	// The broadcast fans every CFP to all 16 RMs, so CNP must cost at
+	// least twice the matchmaker path on the paper topology (3 holders).
+	if cnpMsgs < 2*ecnpMsgs {
+		t.Fatalf("broadcast advantage implausibly small: %.1f vs %.1f", cnpMsgs, ecnpMsgs)
+	}
+}
+
+func TestAblationWeights(t *testing.T) {
+	res, err := AblationWeights(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3×3 grid × 2 criteria.
+	if len(res.Cells) != 18 {
+		t.Fatalf("%d cells, want 18", len(res.Cells))
+	}
+	for k, v := range res.Cells {
+		if v < 0 || v > 1 {
+			t.Fatalf("cell %q = %v", k, v)
+		}
+	}
+}

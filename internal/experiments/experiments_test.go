@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions runs experiments at a scale suited to unit tests while still
+// exercising every sweep dimension.
+func tinyOptions() Options {
+	return Options{
+		Seed:           1,
+		Users:          []int{64, 224},
+		StandardUsers:  224,
+		HorizonSec:     900,
+		SampleEverySec: 60,
+	}
+}
+
+func TestIDsAndDispatch(t *testing.T) {
+	if len(IDs()) != 11 {
+		t.Fatalf("IDs() has %d entries, want 11 (7 tables + 4 figures)", len(IDs()))
+	}
+	if _, err := Run("table99", tinyOptions()); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestTable1ShapeAndCells(t *testing.T) {
+	res, err := Table1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table1" {
+		t.Fatalf("id %q", res.ID)
+	}
+	// 5 policies × 2 user counts.
+	if len(res.Cells) != 10 {
+		t.Fatalf("%d cells, want 10", len(res.Cells))
+	}
+	// The paper's headline: (0,0,0) worse than (1,0,0) at high load.
+	random := res.Cells["(0,0,0)/224"]
+	rem := res.Cells["(1,0,0)/224"]
+	if rem >= random {
+		t.Fatalf("(1,0,0)=%v not better than (0,0,0)=%v", rem, random)
+	}
+	// Over-allocation grows with load for the random policy.
+	if res.Cells["(0,0,0)/64"] > random {
+		t.Fatalf("over-allocation decreased with more users")
+	}
+	if !strings.Contains(res.Text, "(1,0,0)") {
+		t.Fatalf("rendered table missing policy row:\n%s", res.Text)
+	}
+}
+
+func TestTable3FirmOrdering(t *testing.T) {
+	res, err := Table3(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := res.Cells["(0,0,0)/224"]
+	rem := res.Cells["(1,0,0)/224"]
+	if rem >= random {
+		t.Fatalf("firm: (1,0,0)=%v not better than (0,0,0)=%v", rem, random)
+	}
+}
+
+func TestTable2PerRM(t *testing.T) {
+	res, err := Table2(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 policies × 16 RMs.
+	if len(res.Cells) != 80 {
+		t.Fatalf("%d cells, want 80", len(res.Cells))
+	}
+	for key, v := range res.Cells {
+		if v < 0 || v > 1 {
+			t.Fatalf("cell %s = %v out of [0,1]", key, v)
+		}
+	}
+}
+
+func TestTable4DynamicBeatsStatic(t *testing.T) {
+	res, err := Table4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := res.Cells["static/(1,0,0)"]
+	for _, strat := range []string{"Rep(3,8)", "Rep(1,8)", "Rep(1,3)"} {
+		dyn := res.Cells[strat+"/(1,0,0)"]
+		if dyn > static+0.02 {
+			t.Fatalf("%s (%v) much worse than static (%v) under (1,0,0)", strat, dyn, static)
+		}
+	}
+}
+
+func TestTable5DynamicBeatsStatic(t *testing.T) {
+	res, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 8 {
+		t.Fatalf("%d cells, want 8 (4 strategies × 2 policies)", len(res.Cells))
+	}
+	static := res.Cells["static/(1,0,0)"]
+	best := static
+	for _, strat := range []string{"Rep(3,8)", "Rep(1,8)", "Rep(1,3)"} {
+		if v := res.Cells[strat+"/(1,0,0)"]; v < best {
+			best = v
+		}
+	}
+	if best >= static && static > 0 {
+		t.Fatalf("no dynamic strategy improved the fail rate (static %v)", static)
+	}
+}
+
+func TestTables6And7(t *testing.T) {
+	for _, run := range []func(Options) (*Result, error){Table6, Table7} {
+		res, err := run(tinyOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != 6 {
+			t.Fatalf("%s: %d cells, want 6 (3 destinations × 2 policies)", res.ID, len(res.Cells))
+		}
+		for key, v := range res.Cells {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s cell %s = %v", res.ID, key, v)
+			}
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	res, err := Fig4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series["allocated"]
+	if s == nil || s.Len() == 0 {
+		t.Fatal("fig4 has no series")
+	}
+	if res.Cells["capacity"] <= 0 {
+		t.Fatal("fig4 missing capacity")
+	}
+	if !strings.Contains(res.Text, "MB/s") {
+		t.Fatalf("fig4 text missing units:\n%s", res.Text)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	res, err := Fig5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"large/(0,0,0)", "large/(1,0,0)", "small/(0,0,0)", "small/(1,0,0)"} {
+		if res.Series[name] == nil {
+			t.Fatalf("fig5 missing series %q", name)
+		}
+	}
+	// The paper's point: (1,0,0) squeezes more bandwidth out of the two
+	// extra-large RMs than (0,0,0).
+	if res.Cells["largeMean/(1,0,0)"] <= res.Cells["largeMean/(0,0,0)"] {
+		t.Fatalf("(1,0,0) does not use the large RMs more: %v vs %v",
+			res.Cells["largeMean/(1,0,0)"], res.Cells["largeMean/(0,0,0)"])
+	}
+}
+
+func TestFig6(t *testing.T) {
+	res, err := Fig6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 RMs × 4 strategies.
+	if len(res.Series) != 8 {
+		t.Fatalf("fig6 has %d series, want 8", len(res.Series))
+	}
+}
+
+func TestFig7(t *testing.T) {
+	res, err := Fig7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 RMs × 2 strategies.
+	if len(res.Cells) != 32 {
+		t.Fatalf("fig7 has %d cells, want 32", len(res.Cells))
+	}
+}
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	o := Options{}.normalize()
+	d := Defaults()
+	if o.Seed != d.Seed || o.StandardUsers != d.StandardUsers || o.HorizonSec != d.HorizonSec {
+		t.Fatalf("normalize: %+v", o)
+	}
+	if len(o.Users) != len(d.Users) {
+		t.Fatalf("normalize users: %v", o.Users)
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	a, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Cells {
+		if b.Cells[k] != v {
+			t.Fatalf("cell %s differs across identical runs: %v vs %v", k, v, b.Cells[k])
+		}
+	}
+}

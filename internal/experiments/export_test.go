@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCellsCSV(t *testing.T) {
+	res, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCellsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Cells)+1 {
+		t.Fatalf("%d CSV rows for %d cells", len(rows), len(res.Cells))
+	}
+	if rows[0][0] != "key" || rows[0][1] != "value" {
+		t.Fatalf("header %v", rows[0])
+	}
+	// Rows are sorted and values round-trip.
+	prev := ""
+	for _, row := range rows[1:] {
+		if row[0] < prev {
+			t.Fatalf("rows unsorted at %q", row[0])
+		}
+		prev = row[0]
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Cells[row[0]]; got != v {
+			t.Fatalf("cell %q: csv %v, want %v", row[0], v, got)
+		}
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	res, err := Fig4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	want := 1 // header
+	for _, s := range res.Series {
+		want += s.Len()
+	}
+	if lines != want {
+		t.Fatalf("%d CSV lines, want %d", lines, want)
+	}
+	if !strings.HasPrefix(buf.String(), "series,t_seconds,value\n") {
+		t.Fatalf("bad header: %q", buf.String()[:40])
+	}
+}
+
+func TestRunManyMatchesSerial(t *testing.T) {
+	ids := []string{"table5", "table7"}
+	serialA, err := Run("table5", tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialB, err := Run("table7", tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunMany(ids, tinyOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != 2 {
+		t.Fatalf("%d results", len(parallel))
+	}
+	for k, v := range serialA.Cells {
+		if parallel[0].Cells[k] != v {
+			t.Fatalf("table5 cell %q differs under parallel run", k)
+		}
+	}
+	for k, v := range serialB.Cells {
+		if parallel[1].Cells[k] != v {
+			t.Fatalf("table7 cell %q differs under parallel run", k)
+		}
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	if _, err := RunMany([]string{"table5", "bogus"}, tinyOptions(), 2); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dfsqos/internal/cluster"
+)
+
+// avgRun executes cfg Options.Repeats times under derived seeds and
+// returns a Results whose scalar criteria and per-RM accounting are the
+// arithmetic means across runs. With Repeats ≤ 1 it is a plain run.
+// Utilization series, when sampled, come from the first seed (averaging
+// time series across seeds would blur exactly the transients the figures
+// exist to show).
+func avgRun(cfg cluster.Config, o Options) (*cluster.Results, error) {
+	n := o.Repeats
+	if n <= 1 {
+		return cluster.RunConfig(cfg)
+	}
+	var agg *cluster.Results
+	for i := 0; i < n; i++ {
+		run := cfg
+		// Derive per-repeat seeds deterministically from the base seed.
+		run.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		res, err := cluster.RunConfig(run)
+		if err != nil {
+			return nil, fmt.Errorf("repeat %d: %w", i, err)
+		}
+		if agg == nil {
+			agg = res
+			continue
+		}
+		if len(res.PerRM) != len(agg.PerRM) {
+			return nil, fmt.Errorf("repeat %d: RM count changed", i)
+		}
+		agg.TotalRequests += res.TotalRequests
+		agg.FailedRequests += res.FailedRequests
+		agg.FailRate += res.FailRate
+		agg.OverAllocate += res.OverAllocate
+		agg.Replications += res.Replications
+		agg.Migrations += res.Migrations
+		agg.GCEvictions += res.GCEvictions
+		for j := range agg.PerRM {
+			agg.PerRM[j].Snap.OverBytes += res.PerRM[j].Snap.OverBytes
+			agg.PerRM[j].Snap.AssignedBytes += res.PerRM[j].Snap.AssignedBytes
+			agg.PerRM[j].Snap.AllocByteSecs += res.PerRM[j].Snap.AllocByteSecs
+			agg.PerRM[j].Snap.BusySecs += res.PerRM[j].Snap.BusySecs
+		}
+	}
+	f := float64(n)
+	agg.FailRate /= f
+	agg.OverAllocate /= f
+	// Per-RM sums stay as sums: the ratios derived from them (S_OA/S_TA,
+	// mean utilization over n×horizon) are then byte-weighted means, the
+	// same aggregation rule the paper's run-level ratio uses.
+	return agg, nil
+}
+
+// MeanStderr returns the mean and the standard error of the mean of the
+// values (0 stderr for fewer than two samples). Exposed for callers that
+// want per-seed dispersion next to the averaged tables.
+func MeanStderr(values []float64) (mean, stderr float64) {
+	n := len(values)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}

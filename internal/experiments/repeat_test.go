@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStderr(t *testing.T) {
+	mean, se := MeanStderr([]float64{2, 4, 6})
+	if mean != 4 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// sample stddev = 2, stderr = 2/sqrt(3).
+	if math.Abs(se-2/math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("stderr = %v", se)
+	}
+	if m, s := MeanStderr(nil); m != 0 || s != 0 {
+		t.Fatal("empty input")
+	}
+	if m, s := MeanStderr([]float64{7}); m != 7 || s != 0 {
+		t.Fatal("single sample")
+	}
+}
+
+func TestRepeatsAverageTables(t *testing.T) {
+	single := tinyOptions()
+	res1, err := Table5(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := tinyOptions()
+	multi.Repeats = 3
+	res3, err := Table5(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Cells) != len(res1.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(res3.Cells), len(res1.Cells))
+	}
+	// Averaged cells stay in [0,1] and are not bitwise-copied from the
+	// single-seed run for every cell (at least one differs).
+	differs := false
+	for k, v := range res3.Cells {
+		if v < 0 || v > 1 {
+			t.Fatalf("cell %q = %v", k, v)
+		}
+		if v != res1.Cells[k] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("3-seed average identical to single seed in every cell")
+	}
+	// And averaging is deterministic.
+	res3b, err := Table5(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res3.Cells {
+		if res3b.Cells[k] != v {
+			t.Fatalf("cell %q differs across identical averaged runs", k)
+		}
+	}
+}

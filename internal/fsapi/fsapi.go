@@ -1,0 +1,292 @@
+// Package fsapi reproduces the paper's FUSE integration surface (§III-A1)
+// as a Go interface. The paper mounts the DFSC through FUSE and implements
+// every file operation as a callback: "the query operation for a resource
+// list from the DFSC to the MM is implemented in the readdir operation and
+// the CFP sending and resource selection algorithms are implemented in open
+// operation. In addition, read and write operations will launch the data
+// access with the RM determined in open operation."
+//
+// Kernel modules cannot be loaded in this environment, so the callback
+// contract is preserved verbatim behind a Go interface and an in-process
+// "mount" binds it to a dfsc.Client: Readdir queries the MM, Open runs the
+// CFP/bid/selection negotiation and reserves bandwidth, Read pulls data
+// from the serving RM through a pluggable data plane, and Release returns
+// the reservation. This substitution is documented in DESIGN.md §2.
+package fsapi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+// FileInfo is the getattr result.
+type FileInfo struct {
+	Name    string
+	Size    units.Size
+	Bitrate units.BytesPerSec
+	// DurationSec is the playback duration (occupation time).
+	DurationSec float64
+	// Replicas is the current replica count known to the MM.
+	Replicas int
+}
+
+// Handle identifies an open file.
+type Handle uint64
+
+// FileSystem is the FUSE-callback surface of the paper's DFSC.
+type FileSystem interface {
+	// Getattr returns a file's metadata.
+	Getattr(name string) (FileInfo, error)
+	// Readdir lists the volume and refreshes the MM resource list —
+	// the paper wires the MM query into this callback.
+	Readdir() ([]string, error)
+	// Open negotiates a QoS-assured data access: CFP fan-out, bid
+	// scoring, and bandwidth reservation on the winner.
+	Open(name string) (Handle, error)
+	// Read transfers file data from the serving RM.
+	Read(h Handle, p []byte, off int64) (int, error)
+	// Release ends the access and returns the reserved bandwidth.
+	Release(h Handle) error
+	// Destroy tears the mount down, releasing every open handle.
+	Destroy()
+}
+
+// DataPlane supplies file bytes from a specific RM. The simulation uses
+// Synthetic (deterministic content, no transport); live deployments plug
+// an adapter that streams from the serving RM over TCP.
+type DataPlane interface {
+	ReadAt(rm ids.RMID, file ids.FileID, p []byte, off int64) (int, error)
+}
+
+// Mount binds the callback surface to a DFSC.
+type Mount struct {
+	client *dfsc.Client
+	cat    *catalog.Catalog
+	data   DataPlane
+	lookup func(ids.FileID) int // replica count probe (may be nil)
+
+	mu      sync.Mutex
+	nextH   Handle
+	open    map[Handle]*openFile
+	byName  map[string]ids.FileID
+	destroy bool
+}
+
+type openFile struct {
+	file    ids.FileID
+	rm      ids.RMID
+	size    int64
+	release func()
+}
+
+// Options configures a mount.
+type Options struct {
+	Client  *dfsc.Client
+	Catalog *catalog.Catalog
+	Data    DataPlane
+	// ReplicaCount optionally reports the live replica count for
+	// Getattr; nil leaves FileInfo.Replicas at zero.
+	ReplicaCount func(ids.FileID) int
+}
+
+// NewMount builds the mount.
+func NewMount(opt Options) (*Mount, error) {
+	if opt.Client == nil || opt.Catalog == nil || opt.Data == nil {
+		return nil, fmt.Errorf("fsapi: Client, Catalog and Data are required")
+	}
+	m := &Mount{
+		client: opt.Client,
+		cat:    opt.Catalog,
+		data:   opt.Data,
+		lookup: opt.ReplicaCount,
+		open:   make(map[Handle]*openFile),
+		byName: make(map[string]ids.FileID, opt.Catalog.Len()),
+	}
+	for _, f := range opt.Catalog.Files() {
+		m.byName[f.Name] = f.ID
+	}
+	return m, nil
+}
+
+// Getattr implements FileSystem.
+func (m *Mount) Getattr(name string) (FileInfo, error) {
+	id, err := m.resolve(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	f := m.cat.File(id)
+	info := FileInfo{
+		Name:        f.Name,
+		Size:        f.Size,
+		Bitrate:     f.Bitrate,
+		DurationSec: f.DurationSec,
+	}
+	if m.lookup != nil {
+		info.Replicas = m.lookup(id)
+	}
+	return info, nil
+}
+
+// Readdir implements FileSystem.
+func (m *Mount) Readdir() ([]string, error) {
+	m.mu.Lock()
+	if m.destroy {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("fsapi: mount destroyed")
+	}
+	m.mu.Unlock()
+	names := make([]string, 0, m.cat.Len())
+	for _, f := range m.cat.Files() {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Create stores a catalog file that has no replica yet — the write path
+// the paper routes through the same CFP/bid negotiation as reads. The
+// call fails if the file already has replicas (use Open) or no RM can
+// admit the store.
+func (m *Mount) Create(name string) error {
+	id, err := m.resolve(name)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.destroy {
+		m.mu.Unlock()
+		return fmt.Errorf("fsapi: mount destroyed")
+	}
+	m.mu.Unlock()
+	if m.lookup != nil && m.lookup(id) > 0 {
+		return fmt.Errorf("fsapi: %s already stored", name)
+	}
+	out := m.client.Store(id)
+	if !out.OK {
+		return fmt.Errorf("fsapi: create %s: %s", name, out.Reason)
+	}
+	return nil
+}
+
+// Open implements FileSystem.
+func (m *Mount) Open(name string) (Handle, error) {
+	id, err := m.resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	if m.destroy {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("fsapi: mount destroyed")
+	}
+	m.mu.Unlock()
+
+	out, release := m.client.AccessHeld(id)
+	if !out.OK {
+		return 0, fmt.Errorf("fsapi: open %s: %s", name, out.Reason)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextH++
+	h := m.nextH
+	m.open[h] = &openFile{
+		file:    id,
+		rm:      out.RM,
+		size:    int64(m.cat.File(id).Size),
+		release: release,
+	}
+	return h, nil
+}
+
+// Read implements FileSystem.
+func (m *Mount) Read(h Handle, p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	of, ok := m.open[h]
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("fsapi: read on closed handle %d", h)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fsapi: negative offset")
+	}
+	if off >= of.size {
+		return 0, io.EOF
+	}
+	if max := of.size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := m.data.ReadAt(of.rm, of.file, p, off)
+	if err == nil && off+int64(n) == of.size {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// Release implements FileSystem.
+func (m *Mount) Release(h Handle) error {
+	m.mu.Lock()
+	of, ok := m.open[h]
+	delete(m.open, h)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fsapi: release of unknown handle %d", h)
+	}
+	of.release()
+	return nil
+}
+
+// Destroy implements FileSystem.
+func (m *Mount) Destroy() {
+	m.mu.Lock()
+	files := make([]*openFile, 0, len(m.open))
+	for _, of := range m.open {
+		files = append(files, of)
+	}
+	m.open = make(map[Handle]*openFile)
+	m.destroy = true
+	m.mu.Unlock()
+	for _, of := range files {
+		of.release()
+	}
+}
+
+// OpenHandles reports the number of live handles (diagnostics).
+func (m *Mount) OpenHandles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.open)
+}
+
+func (m *Mount) resolve(name string) (ids.FileID, error) {
+	id, ok := m.byName[name]
+	if !ok {
+		return ids.NoneFile, fmt.Errorf("fsapi: %s: no such file", name)
+	}
+	return id, nil
+}
+
+var _ FileSystem = (*Mount)(nil)
+
+// Synthetic is a DataPlane serving deterministic per-file content without
+// any transport — byte k of file f is a pure function of (f, k). It lets
+// simulation-backed mounts exercise the full read path.
+type Synthetic struct{}
+
+// ReadAt implements DataPlane.
+func (Synthetic) ReadAt(_ ids.RMID, file ids.FileID, p []byte, off int64) (int, error) {
+	seed := uint64(file)*0x9e3779b97f4a7c15 + 0x85ebca6b
+	for i := range p {
+		k := uint64(off + int64(i))
+		x := (k + seed) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		p[i] = byte(x)
+	}
+	return len(p), nil
+}

@@ -1,0 +1,293 @@
+package fsapi
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"testing"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/history"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/mm"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/replication"
+	"dfsqos/internal/rm"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/simtime"
+	"dfsqos/internal/units"
+)
+
+// mountHarness builds a two-RM simulated cluster and mounts it.
+type mountHarness struct {
+	sched *simtime.Scheduler
+	mount *Mount
+	cat   *catalog.Catalog
+	rms   map[ids.RMID]*rm.RM
+}
+
+func newMountHarness(t *testing.T) *mountHarness {
+	return newMountHarnessPartial(t, -1)
+}
+
+// newMountHarnessPartial places every catalog file on both RMs except the
+// given one (-1: place all).
+func newMountHarnessPartial(t *testing.T, skip ids.FileID) *mountHarness {
+	t.Helper()
+	cfg := catalog.DefaultConfig()
+	cfg.NumFiles = 5
+	cat, err := catalog.Generate(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := simtime.NewScheduler()
+	adapter := ecnp.SimScheduler{S: sched}
+	mapper := mm.New()
+	dir := make(ecnp.StaticDirectory)
+	rms := make(map[ids.RMID]*rm.RM)
+	master := rng.New(5)
+	for _, id := range []ids.RMID{1, 2} {
+		files := make(map[ids.FileID]rm.FileMeta)
+		for _, f := range cat.Files() {
+			if f.ID == skip {
+				continue
+			}
+			files[f.ID] = rm.FileMeta{Bitrate: f.Bitrate, Size: f.Size, DurationSec: f.DurationSec}
+		}
+		node, err := rm.New(rm.Options{
+			Info:        ecnp.RMInfo{ID: id, Capacity: units.Mbps(100), StorageBytes: units.GB},
+			Scheduler:   adapter,
+			Mapper:      mapper,
+			History:     history.DefaultConfig(),
+			Replication: replication.DefaultConfig(replication.Static()),
+			Rand:        master.Split(id.String()),
+			Files:       files,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Register()
+		node.SetDirectory(dir)
+		dir[id] = node
+		rms[id] = node
+	}
+	client, err := dfsc.New(dfsc.Options{
+		ID: 1, Mapper: mapper, Directory: dir, Scheduler: adapter,
+		Catalog: cat, Policy: selection.RemOnly, Scenario: qos.Firm,
+		Rand: master.Split("client"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mount, err := NewMount(Options{
+		Client:       client,
+		Catalog:      cat,
+		Data:         Synthetic{},
+		ReplicaCount: mapper.ReplicaCount,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mountHarness{sched: sched, mount: mount, cat: cat, rms: rms}
+}
+
+func TestNewMountValidation(t *testing.T) {
+	if _, err := NewMount(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}
+
+func TestReaddirListsCatalog(t *testing.T) {
+	h := newMountHarness(t)
+	names, err := h.mount.Readdir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("readdir lists %d entries", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("readdir not sorted")
+	}
+}
+
+func TestGetattr(t *testing.T) {
+	h := newMountHarness(t)
+	f := h.cat.File(0)
+	info, err := h.mount.Getattr(f.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != f.Size || info.Bitrate != f.Bitrate || info.DurationSec != f.DurationSec {
+		t.Fatalf("Getattr = %+v, want catalog values", info)
+	}
+	if info.Replicas != 2 {
+		t.Fatalf("Replicas = %d, want 2", info.Replicas)
+	}
+	if _, err := h.mount.Getattr("nope.mp4"); err == nil {
+		t.Fatal("Getattr of missing file succeeded")
+	}
+}
+
+func TestOpenReadReleaseLifecycle(t *testing.T) {
+	h := newMountHarness(t)
+	f := h.cat.File(0)
+	handle, err := h.mount.Open(f.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reservation is live on exactly one RM.
+	total := h.rms[1].Allocated() + h.rms[2].Allocated()
+	if total != f.Bitrate {
+		t.Fatalf("allocated %v across RMs, want the bitrate %v", total, f.Bitrate)
+	}
+
+	// Sequential reads deliver the full file, deterministically.
+	var got bytes.Buffer
+	buf := make([]byte, 64*1024)
+	var off int64
+	for {
+		n, err := h.mount.Read(handle, buf, off)
+		got.Write(buf[:n])
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.Len() != int(f.Size) {
+		t.Fatalf("read %d bytes, want %d", got.Len(), f.Size)
+	}
+	// Rereading a slice matches.
+	part := make([]byte, 100)
+	if _, err := h.mount.Read(handle, part, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, got.Bytes()[1000:1100]) {
+		t.Fatal("random-offset read mismatches sequential read")
+	}
+
+	if err := h.mount.Release(handle); err != nil {
+		t.Fatal(err)
+	}
+	if h.rms[1].Allocated()+h.rms[2].Allocated() != 0 {
+		t.Fatal("bandwidth not returned on release")
+	}
+	if _, err := h.mount.Read(handle, buf, 0); err == nil {
+		t.Fatal("read after release succeeded")
+	}
+	if err := h.mount.Release(handle); err == nil {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	h := newMountHarness(t)
+	if _, err := h.mount.Open("missing.mp4"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	h := newMountHarness(t)
+	f := h.cat.File(1)
+	handle, err := h.mount.Open(f.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.mount.Release(handle)
+	buf := make([]byte, 10)
+	if _, err := h.mount.Read(handle, buf, int64(f.Size)); err != io.EOF {
+		t.Fatalf("read at EOF: %v, want io.EOF", err)
+	}
+	if _, err := h.mount.Read(handle, buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	// Short tail read.
+	n, err := h.mount.Read(handle, buf, int64(f.Size)-3)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("tail read = (%d, %v), want (3, EOF)", n, err)
+	}
+}
+
+func TestDestroyReleasesEverything(t *testing.T) {
+	h := newMountHarness(t)
+	for i := 0; i < 3; i++ {
+		if _, err := h.mount.Open(h.cat.File(ids.FileID(i)).Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.mount.OpenHandles() != 3 {
+		t.Fatalf("%d handles", h.mount.OpenHandles())
+	}
+	h.mount.Destroy()
+	if h.mount.OpenHandles() != 0 {
+		t.Fatal("handles leaked through Destroy")
+	}
+	if h.rms[1].Allocated()+h.rms[2].Allocated() != 0 {
+		t.Fatal("bandwidth leaked through Destroy")
+	}
+	if _, err := h.mount.Open(h.cat.File(0).Name); err == nil {
+		t.Fatal("open after destroy succeeded")
+	}
+	if _, err := h.mount.Readdir(); err == nil {
+		t.Fatal("readdir after destroy succeeded")
+	}
+}
+
+func TestCreateStoresUnplacedFile(t *testing.T) {
+	h := newMountHarness(t)
+	// The harness places every catalog file on both RMs, so Create of an
+	// existing file must refuse...
+	if err := h.mount.Create(h.cat.File(0).Name); err == nil {
+		t.Fatal("Create of an already-stored file succeeded")
+	}
+	if err := h.mount.Create("missing.mp4"); err == nil {
+		t.Fatal("Create of an unknown name succeeded")
+	}
+}
+
+func TestCreateThenOpen(t *testing.T) {
+	// A harness variant with file 4 unplaced.
+	h := newMountHarnessPartial(t, 4)
+	name := h.cat.File(4).Name
+	if _, err := h.mount.Open(name); err == nil {
+		t.Fatal("Open of an unplaced file succeeded")
+	}
+	if err := h.mount.Create(name); err != nil {
+		t.Fatal(err)
+	}
+	// The ingest reservation drains after the write duration.
+	h.sched.Run()
+	handle, err := h.mount.Open(name)
+	if err != nil {
+		t.Fatalf("Open after Create: %v", err)
+	}
+	if err := h.mount.Release(handle); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := h.mount.Getattr(name)
+	if info.Replicas != 1 {
+		t.Fatalf("Replicas = %d after Create", info.Replicas)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	var s Synthetic
+	a := make([]byte, 100)
+	b := make([]byte, 100)
+	s.ReadAt(1, 7, a, 50)
+	s.ReadAt(2, 7, b, 50) // RM does not matter
+	if !bytes.Equal(a, b) {
+		t.Fatal("synthetic content depends on the RM")
+	}
+	s.ReadAt(1, 8, b, 50)
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct files share content")
+	}
+}

@@ -1,0 +1,265 @@
+// Package host models the physical layer of the paper's testbed: "25
+// Xen-based VMs, i.e. 16 RMs, 1 MM and 8 DFSC, distributed on 5 physical
+// machines, each of which has ... a 1TB local disk, which can yield a total
+// of 128Mbps, i.e. 16MB/s, of sustained disk bandwidth to be dispatched to
+// VMs located on the local disk" (§VI-A).
+//
+// A Host owns one physical disk's sustained bandwidth and dispatches
+// slices of it to the VMs it carries — the role cgroups-blkio plays on the
+// real machines. The package validates the dispatch (no host may promise
+// more than its disk sustains), produces the blkio throttle plan for live
+// deployments, and reconstructs the paper's exact 5-host layout.
+package host
+
+import (
+	"fmt"
+	"sort"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+// VMKind labels what runs inside a VM.
+type VMKind int
+
+const (
+	// VMResourceManager carries one RM and a bandwidth slice.
+	VMResourceManager VMKind = iota
+	// VMMetadataManager carries the MM (no disk-bandwidth slice: the MM
+	// serves metadata from memory).
+	VMMetadataManager
+	// VMClient carries one DFSC.
+	VMClient
+)
+
+// String implements fmt.Stringer.
+func (k VMKind) String() string {
+	switch k {
+	case VMResourceManager:
+		return "RM"
+	case VMMetadataManager:
+		return "MM"
+	case VMClient:
+		return "DFSC"
+	default:
+		return fmt.Sprintf("VMKind(%d)", int(k))
+	}
+}
+
+// VM is one virtual machine placed on a host.
+type VM struct {
+	Kind VMKind
+	// RM is set for VMResourceManager; DFSC for VMClient.
+	RM   ids.RMID
+	DFSC ids.DFSCID
+	// DiskShare is the sustained disk bandwidth dispatched to this VM
+	// (zero for MM/DFSC VMs, which do no local disk I/O).
+	DiskShare units.BytesPerSec
+}
+
+// Name renders a stable identifier ("host2/RM9").
+func (v VM) Name() string {
+	switch v.Kind {
+	case VMResourceManager:
+		return v.RM.String()
+	case VMClient:
+		return v.DFSC.String()
+	default:
+		return "MM"
+	}
+}
+
+// Host is one physical machine.
+type Host struct {
+	// ID numbers hosts from 1, like the paper's five machines.
+	ID int
+	// DiskBandwidth is the disk's total sustained bandwidth
+	// (paper: 128 Mbit/s = 16 MB/s per machine).
+	DiskBandwidth units.BytesPerSec
+	// VMs are the guests placed on this host.
+	VMs []VM
+}
+
+// Dispatched returns the summed disk shares of the host's VMs.
+func (h *Host) Dispatched() units.BytesPerSec {
+	var total units.BytesPerSec
+	for _, vm := range h.VMs {
+		total += vm.DiskShare
+	}
+	return total
+}
+
+// Validate checks the host's dispatch: every share positive where
+// required, and the total within the physical disk's bandwidth.
+func (h *Host) Validate() error {
+	if h.DiskBandwidth <= 0 {
+		return fmt.Errorf("host%d: non-positive disk bandwidth", h.ID)
+	}
+	for _, vm := range h.VMs {
+		switch vm.Kind {
+		case VMResourceManager:
+			if vm.DiskShare <= 0 {
+				return fmt.Errorf("host%d: %s has no disk share", h.ID, vm.Name())
+			}
+			if !vm.RM.Valid() {
+				return fmt.Errorf("host%d: RM VM with invalid id", h.ID)
+			}
+		case VMMetadataManager, VMClient:
+			if vm.DiskShare != 0 {
+				return fmt.Errorf("host%d: %s VMs take no disk share", h.ID, vm.Kind)
+			}
+		default:
+			return fmt.Errorf("host%d: unknown VM kind %d", h.ID, vm.Kind)
+		}
+	}
+	if d := h.Dispatched(); float64(d) > float64(h.DiskBandwidth)+1e-9 {
+		return fmt.Errorf("host%d: dispatched %v exceeds disk bandwidth %v", h.ID, d, h.DiskBandwidth)
+	}
+	return nil
+}
+
+// Layout is a full physical deployment.
+type Layout struct {
+	Hosts []Host
+}
+
+// Validate checks every host plus cross-host invariants: each RM and DFSC
+// placed exactly once, exactly one MM.
+func (l *Layout) Validate() error {
+	seenRM := make(map[ids.RMID]int)
+	seenDFSC := make(map[ids.DFSCID]int)
+	mmCount := 0
+	for i := range l.Hosts {
+		h := &l.Hosts[i]
+		if err := h.Validate(); err != nil {
+			return err
+		}
+		for _, vm := range h.VMs {
+			switch vm.Kind {
+			case VMResourceManager:
+				if prev, dup := seenRM[vm.RM]; dup {
+					return fmt.Errorf("%v placed on host%d and host%d", vm.RM, prev, h.ID)
+				}
+				seenRM[vm.RM] = h.ID
+			case VMClient:
+				if prev, dup := seenDFSC[vm.DFSC]; dup {
+					return fmt.Errorf("%v placed on host%d and host%d", vm.DFSC, prev, h.ID)
+				}
+				seenDFSC[vm.DFSC] = h.ID
+			case VMMetadataManager:
+				mmCount++
+			}
+		}
+	}
+	if mmCount != 1 {
+		return fmt.Errorf("host: layout has %d MMs, want exactly 1", mmCount)
+	}
+	return nil
+}
+
+// RMCapacities extracts the per-RM bandwidth vector (index i → RM(i+1)),
+// the form cluster.Config consumes. Missing RM ids are an error.
+func (l *Layout) RMCapacities() ([]units.BytesPerSec, error) {
+	shares := make(map[ids.RMID]units.BytesPerSec)
+	var maxID ids.RMID
+	for _, h := range l.Hosts {
+		for _, vm := range h.VMs {
+			if vm.Kind == VMResourceManager {
+				shares[vm.RM] = vm.DiskShare
+				if vm.RM > maxID {
+					maxID = vm.RM
+				}
+			}
+		}
+	}
+	out := make([]units.BytesPerSec, maxID)
+	for i := ids.RMID(1); i <= maxID; i++ {
+		s, ok := shares[i]
+		if !ok {
+			return nil, fmt.Errorf("host: no VM carries %v", i)
+		}
+		out[i-1] = s
+	}
+	return out, nil
+}
+
+// HostOf returns the host carrying the given RM, or 0.
+func (l *Layout) HostOf(rm ids.RMID) int {
+	for _, h := range l.Hosts {
+		for _, vm := range h.VMs {
+			if vm.Kind == VMResourceManager && vm.RM == rm {
+				return h.ID
+			}
+		}
+	}
+	return 0
+}
+
+// ThrottlePlan is one blkio group binding for a live deployment: the
+// group name and the byte-rate limits to program, exactly what the paper
+// writes into blkio.throttle.read_bps_device for each VM's loop device.
+type ThrottlePlan struct {
+	Host     int
+	Group    string
+	ReadBps  units.BytesPerSec
+	WriteBps units.BytesPerSec
+}
+
+// ThrottlePlans renders the blkio configuration for every RM VM, sorted by
+// host then group name.
+func (l *Layout) ThrottlePlans() []ThrottlePlan {
+	var out []ThrottlePlan
+	for _, h := range l.Hosts {
+		for _, vm := range h.VMs {
+			if vm.Kind != VMResourceManager {
+				continue
+			}
+			out = append(out, ThrottlePlan{
+				Host:     h.ID,
+				Group:    fmt.Sprintf("vm-%s", vm.Name()),
+				ReadBps:  vm.DiskShare,
+				WriteBps: vm.DiskShare,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}
+
+// PaperLayout reconstructs the evaluation's deployment: five machines with
+// 128 Mbit/s disks carrying 16 RMs (two extra-large at a full 128 Mbit/s,
+// four at 19, ten at 18), one MM and eight DFSCs.
+//
+// The extra-large RMs RM1 and RM9 each monopolize a host's disk, so they
+// get their own machines; the remaining 14 RMs split across the other
+// three hosts within each host's 128 Mbit/s budget. The MM and the eight
+// clients ride along without disk shares.
+func PaperLayout() *Layout {
+	mk := func(id int, rms []ids.RMID, shares []float64, extra ...VM) Host {
+		h := Host{ID: id, DiskBandwidth: units.Mbps(128)}
+		for i, rm := range rms {
+			h.VMs = append(h.VMs, VM{Kind: VMResourceManager, RM: rm, DiskShare: units.Mbps(shares[i])})
+		}
+		h.VMs = append(h.VMs, extra...)
+		return h
+	}
+	dfsc := func(id ids.DFSCID) VM { return VM{Kind: VMClient, DFSC: id} }
+	return &Layout{Hosts: []Host{
+		// Host 1: RM1 takes the whole disk; the MM and two clients ride along.
+		mk(1, []ids.RMID{1}, []float64{128},
+			VM{Kind: VMMetadataManager}, dfsc(0), dfsc(1)),
+		// Host 2: RM9 takes the whole disk; two clients ride along.
+		mk(2, []ids.RMID{9}, []float64{128}, dfsc(2), dfsc(3)),
+		// Host 3: RM2, RM3 (19 each) + RM4-6 (18 each) = 92 of 128.
+		mk(3, []ids.RMID{2, 3, 4, 5, 6}, []float64{19, 19, 18, 18, 18}, dfsc(4)),
+		// Host 4: RM10, RM11 (19 each) + RM7, RM8, RM12 (18 each) = 92.
+		mk(4, []ids.RMID{10, 11, 7, 8, 12}, []float64{19, 19, 18, 18, 18}, dfsc(5)),
+		// Host 5: RM13-16 (18 each) = 72 of 128.
+		mk(5, []ids.RMID{13, 14, 15, 16}, []float64{18, 18, 18, 18}, dfsc(6), dfsc(7)),
+	}}
+}

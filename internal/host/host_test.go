@@ -1,0 +1,193 @@
+package host
+
+import (
+	"testing"
+
+	"dfsqos/internal/cluster"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+func TestPaperLayoutValid(t *testing.T) {
+	l := PaperLayout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Hosts) != 5 {
+		t.Fatalf("%d hosts, want the paper's 5", len(l.Hosts))
+	}
+	// Count VMs: 16 RMs + 1 MM + 8 DFSCs = 25.
+	total := 0
+	for _, h := range l.Hosts {
+		total += len(h.VMs)
+	}
+	if total != 25 {
+		t.Fatalf("%d VMs, want 25", total)
+	}
+}
+
+func TestPaperLayoutMatchesClusterTopology(t *testing.T) {
+	caps, err := PaperLayout().RMCapacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.PaperTopology()
+	if len(caps) != len(want) {
+		t.Fatalf("%d RM capacities, want %d", len(caps), len(want))
+	}
+	for i := range want {
+		if caps[i] != want[i] {
+			t.Fatalf("RM%d capacity %v, want %v", i+1, caps[i], want[i])
+		}
+	}
+}
+
+func TestHostDispatchBound(t *testing.T) {
+	h := Host{
+		ID:            1,
+		DiskBandwidth: units.Mbps(128),
+		VMs: []VM{
+			{Kind: VMResourceManager, RM: 1, DiskShare: units.Mbps(100)},
+			{Kind: VMResourceManager, RM: 2, DiskShare: units.Mbps(29)},
+		},
+	}
+	if err := h.Validate(); err == nil {
+		t.Fatal("over-dispatched host accepted")
+	}
+	h.VMs[1].DiskShare = units.Mbps(28)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Dispatched(); got != units.Mbps(128) {
+		t.Fatalf("Dispatched = %v", got)
+	}
+}
+
+func TestHostValidation(t *testing.T) {
+	bad := []Host{
+		{ID: 1, DiskBandwidth: 0},
+		{ID: 1, DiskBandwidth: units.Mbps(10), VMs: []VM{{Kind: VMResourceManager, RM: 1, DiskShare: 0}}},
+		{ID: 1, DiskBandwidth: units.Mbps(10), VMs: []VM{{Kind: VMResourceManager, RM: -1, DiskShare: units.Mbps(1)}}},
+		{ID: 1, DiskBandwidth: units.Mbps(10), VMs: []VM{{Kind: VMClient, DFSC: 0, DiskShare: units.Mbps(1)}}},
+		{ID: 1, DiskBandwidth: units.Mbps(10), VMs: []VM{{Kind: VMKind(9)}}},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: invalid host accepted", i)
+		}
+	}
+}
+
+func TestLayoutCrossHostInvariants(t *testing.T) {
+	// Duplicate RM placement.
+	l := &Layout{Hosts: []Host{
+		{ID: 1, DiskBandwidth: units.Mbps(50), VMs: []VM{
+			{Kind: VMResourceManager, RM: 1, DiskShare: units.Mbps(10)},
+			{Kind: VMMetadataManager},
+		}},
+		{ID: 2, DiskBandwidth: units.Mbps(50), VMs: []VM{
+			{Kind: VMResourceManager, RM: 1, DiskShare: units.Mbps(10)},
+		}},
+	}}
+	if err := l.Validate(); err == nil {
+		t.Fatal("duplicate RM placement accepted")
+	}
+	// No MM.
+	l = &Layout{Hosts: []Host{
+		{ID: 1, DiskBandwidth: units.Mbps(50), VMs: []VM{
+			{Kind: VMResourceManager, RM: 1, DiskShare: units.Mbps(10)},
+		}},
+	}}
+	if err := l.Validate(); err == nil {
+		t.Fatal("MM-less layout accepted")
+	}
+	// Two MMs.
+	l = &Layout{Hosts: []Host{
+		{ID: 1, DiskBandwidth: units.Mbps(50), VMs: []VM{
+			{Kind: VMMetadataManager}, {Kind: VMMetadataManager},
+		}},
+	}}
+	if err := l.Validate(); err == nil {
+		t.Fatal("double-MM layout accepted")
+	}
+}
+
+func TestRMCapacitiesDetectsGaps(t *testing.T) {
+	l := &Layout{Hosts: []Host{
+		{ID: 1, DiskBandwidth: units.Mbps(50), VMs: []VM{
+			{Kind: VMResourceManager, RM: 1, DiskShare: units.Mbps(10)},
+			{Kind: VMResourceManager, RM: 3, DiskShare: units.Mbps(10)}, // RM2 missing
+			{Kind: VMMetadataManager},
+		}},
+	}}
+	if _, err := l.RMCapacities(); err == nil {
+		t.Fatal("gap in RM ids accepted")
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	l := PaperLayout()
+	if got := l.HostOf(1); got != 1 {
+		t.Fatalf("HostOf(RM1) = %d", got)
+	}
+	if got := l.HostOf(9); got != 2 {
+		t.Fatalf("HostOf(RM9) = %d", got)
+	}
+	if got := l.HostOf(14); got != 5 {
+		t.Fatalf("HostOf(RM14) = %d", got)
+	}
+	if got := l.HostOf(ids.RMID(99)); got != 0 {
+		t.Fatalf("HostOf(unplaced) = %d", got)
+	}
+}
+
+func TestThrottlePlans(t *testing.T) {
+	plans := PaperLayout().ThrottlePlans()
+	if len(plans) != 16 {
+		t.Fatalf("%d throttle plans, want 16 RM VMs", len(plans))
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Host < plans[i-1].Host {
+			t.Fatal("plans not sorted by host")
+		}
+	}
+	for _, p := range plans {
+		if p.ReadBps <= 0 || p.ReadBps != p.WriteBps {
+			t.Fatalf("plan %+v has bad limits", p)
+		}
+		if p.Group == "" {
+			t.Fatal("plan without group name")
+		}
+	}
+}
+
+func TestVMKindStrings(t *testing.T) {
+	if VMResourceManager.String() != "RM" || VMMetadataManager.String() != "MM" || VMClient.String() != "DFSC" {
+		t.Fatal("kind strings wrong")
+	}
+	vm := VM{Kind: VMResourceManager, RM: 4}
+	if vm.Name() != "RM4" {
+		t.Fatal("VM name wrong")
+	}
+}
+
+// TestLayoutDrivesCluster runs a simulation directly from the physical
+// layout, confirming the host model composes with the cluster harness.
+func TestLayoutDrivesCluster(t *testing.T) {
+	caps, err := PaperLayout().RMCapacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.RMCapacities = caps
+	cfg.Workload.NumUsers = 64
+	cfg.Workload.HorizonSec = 600
+	cfg.Catalog.NumFiles = 100
+	res, err := cluster.RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRM) != 16 {
+		t.Fatalf("%d RMs", len(res.PerRM))
+	}
+}

@@ -1,0 +1,33 @@
+package ids
+
+import "testing"
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FileID(7).String(), "file7"},
+		{RMID(3).String(), "RM3"},
+		{DFSCID(2).String(), "DFSC2"},
+		{UserID(5).String(), "user5"},
+		{RequestID(9).String(), "req9"},
+		{ReplicationID(4).String(), "rep4"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if NoneFile.Valid() {
+		t.Error("NoneFile claims validity")
+	}
+	if NoneRM.Valid() {
+		t.Error("NoneRM claims validity")
+	}
+	if !FileID(0).Valid() || !RMID(1).Valid() {
+		t.Error("real ids invalid")
+	}
+}

@@ -1,0 +1,121 @@
+package live
+
+import (
+	"testing"
+
+	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/replication"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/units"
+)
+
+// TestRMCrashFallback kills one replica holder mid-deployment and verifies
+// a client access still succeeds through the surviving holder: the dead
+// RM's CFP degrades to a zero bid instead of aborting the negotiation.
+func TestRMCrashFallback(t *testing.T) {
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(50), units.Mbps(50)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}},
+		replication.DefaultConfig(replication.Static()), 100)
+	defer lc.shutdown()
+
+	client, err := dfsc.New(dfsc.Options{
+		ID:        1,
+		Mapper:    lc.mmCli,
+		Directory: lc.dir,
+		Scheduler: lc.sched,
+		Catalog:   lc.cat,
+		Policy:    selection.RemOnly,
+		Scenario:  qos.Firm,
+		Rand:      rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the directory so a cached (now dead) connection is exercised.
+	if _, ok := lc.dir.RMClient(2); !ok {
+		t.Fatal("RM2 unreachable before crash")
+	}
+	// Crash RM2.
+	lc.rmSrvs[1].Close()
+
+	out := client.Access(0)
+	if !out.OK {
+		t.Fatalf("access failed after single-RM crash: %s", out.Reason)
+	}
+	if out.RM != 1 {
+		t.Fatalf("served by %v, want surviving RM1", out.RM)
+	}
+}
+
+// TestAllHoldersDownFailsCleanly verifies the client reports failure (not
+// a hang or panic) when every replica holder is gone.
+func TestAllHoldersDownFailsCleanly(t *testing.T) {
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(50)},
+		map[ids.FileID][]ids.RMID{0: {1}},
+		replication.DefaultConfig(replication.Static()), 100)
+	defer lc.shutdown()
+
+	client, err := dfsc.New(dfsc.Options{
+		ID:        1,
+		Mapper:    lc.mmCli,
+		Directory: lc.dir,
+		Scheduler: lc.sched,
+		Catalog:   lc.cat,
+		Policy:    selection.RemOnly,
+		Scenario:  qos.Firm,
+		Rand:      rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.dir.RMClient(1) // cache the connection
+	lc.rmSrvs[0].Close()
+
+	out := client.Access(0)
+	if out.OK {
+		t.Fatal("access succeeded with every holder down")
+	}
+	st := client.Stats()
+	if st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOfferToDeadDestinationSkipped verifies the replication source
+// tolerates a dead destination: the offer fails and replication proceeds
+// to the next candidate (or quietly does nothing) without wedging the RM.
+func TestOfferToDeadDestinationSkipped(t *testing.T) {
+	cfg := replication.DefaultConfig(replication.Rep(1, 8))
+	cfg.CooldownSec = 0.01
+	cfg.Speed = units.Mbps(1000)
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(5), units.Mbps(100), units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1}},
+		cfg, 1000)
+	defer lc.shutdown()
+
+	// Kill RM2 so the source's offer to it fails over TCP.
+	lc.dir.RMClient(2)
+	lc.rmSrvs[1].Close()
+
+	src := lc.rmSrvs[0].Node()
+	src.Open(ecnp.OpenRequest{Request: 1, File: 0, Bitrate: units.Mbps(4.5), DurationSec: 3600})
+	meta := lc.cat.File(0)
+	src.HandleCFP(ecnp.CFP{Request: 2, File: 0, Bitrate: meta.Bitrate, DurationSec: meta.DurationSec})
+
+	// The trigger must not wedge: either RM3 received the copy or no
+	// transfer started; in both cases the source is in a clean state.
+	st := src.Stats()
+	if st.RepTriggers > 1 {
+		t.Fatalf("source triggered %d times", st.RepTriggers)
+	}
+	// A second CFP after the cooldown must not panic or deadlock.
+	src.HandleCFP(ecnp.CFP{Request: 3, File: 0, Bitrate: meta.Bitrate, DurationSec: meta.DurationSec})
+}

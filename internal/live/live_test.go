@@ -1,0 +1,328 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dfsqos/internal/blkio"
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/history"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/mm"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/replication"
+	"dfsqos/internal/rm"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/simtime"
+	"dfsqos/internal/units"
+	"dfsqos/internal/vdisk"
+)
+
+// liveCluster spins up a real TCP deployment on localhost: one MM server,
+// n RM servers with throttled virtual disks, and returns everything a
+// client needs.
+type liveCluster struct {
+	mmSrv  *MMServer
+	rmSrvs []*RMServer
+	mmCli  *MMClient
+	dir    *Directory
+	sched  *WallScheduler
+	cat    *catalog.Catalog
+}
+
+func (lc *liveCluster) shutdown() {
+	lc.dir.Close()
+	lc.mmCli.Close()
+	for _, s := range lc.rmSrvs {
+		s.Close()
+	}
+	lc.mmSrv.Close()
+	lc.sched.Stop()
+}
+
+// startLiveCluster provisions files on the RMs per the given holders map.
+func startLiveCluster(t *testing.T, caps []units.BytesPerSec, holders map[ids.FileID][]ids.RMID, repCfg replication.Config, timeScale float64) *liveCluster {
+	t.Helper()
+	cfg := catalog.DefaultConfig()
+	cfg.NumFiles = 8
+	cfg.MeanDurationSec = 5
+	cfg.MinDurationSec = 1
+	cfg.MaxDurationSec = 10
+	cat, err := catalog.Generate(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mmSrv, err := NewMMServer(mm.New(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewWallScheduler(timeScale)
+	master := rng.New(31)
+
+	var rmSrvs []*RMServer
+	for i, capBW := range caps {
+		id := ids.RMID(i + 1)
+		ctrl := blkio.NewController()
+		disk, err := vdisk.New(units.GB, ctrl, fmt.Sprintf("vm%d", id), capBW, capBW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := make(map[ids.FileID]rm.FileMeta)
+		for f, hs := range holders {
+			for _, h := range hs {
+				if h == id {
+					meta := cat.File(f)
+					files[f] = rm.FileMeta{Bitrate: meta.Bitrate, Size: meta.Size, DurationSec: meta.DurationSec}
+					if err := disk.Provision(FileName(f), meta.Size); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		mapperCli, err := DialMM(mmSrv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := rm.New(rm.Options{
+			Info:        ecnp.RMInfo{ID: id, Capacity: capBW, StorageBytes: units.GB},
+			Scheduler:   sched,
+			Mapper:      mapperCli,
+			History:     history.DefaultConfig(),
+			Replication: repCfg,
+			Rand:        master.Split(id.String()),
+			Files:       files,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewRMServer(node, disk, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Register with the real address so the directory can dial back.
+		info := node.Info()
+		info.Addr = srv.Addr()
+		fileIDs := make([]ids.FileID, 0, len(files))
+		for f := range files {
+			fileIDs = append(fileIDs, f)
+		}
+		if err := mapperCli.RegisterRM(info, fileIDs); err != nil {
+			t.Fatal(err)
+		}
+		node.SetDirectory(NewDirectory(mapperCli))
+		rmSrvs = append(rmSrvs, srv)
+	}
+
+	mmCli, err := DialMM(mmSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &liveCluster{
+		mmSrv:  mmSrv,
+		rmSrvs: rmSrvs,
+		mmCli:  mmCli,
+		dir:    NewDirectory(mmCli),
+		sched:  sched,
+		cat:    cat,
+	}
+}
+
+func TestLiveControlPlaneEndToEnd(t *testing.T) {
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(50), units.Mbps(50)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}, 1: {1}, 2: {2}},
+		replication.DefaultConfig(replication.Static()), 100)
+	defer lc.shutdown()
+
+	// The resource list reflects both registrations with dialable addrs.
+	infos := lc.mmCli.RMs()
+	if len(infos) != 2 {
+		t.Fatalf("resource list has %d RMs", len(infos))
+	}
+	for _, info := range infos {
+		if info.Addr == "" {
+			t.Fatalf("%v registered without address", info.ID)
+		}
+	}
+
+	// A DFSC over TCP: query, CFP fan-out, selection, open, close.
+	client, err := dfsc.New(dfsc.Options{
+		ID:        1,
+		Mapper:    lc.mmCli,
+		Directory: lc.dir,
+		Scheduler: lc.sched,
+		Catalog:   lc.cat,
+		Policy:    selection.RemOnly,
+		Scenario:  qos.Firm,
+		Rand:      rng.New(77),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := client.Access(0)
+	if !out.OK {
+		t.Fatalf("live access failed: %s", out.Reason)
+	}
+	served, ok := lc.dir.RMClient(out.RM)
+	if !ok {
+		t.Fatal("winner not reachable")
+	}
+
+	// Data plane: stream the file and verify size + checksum.
+	var buf bytes.Buffer
+	n, err := served.ReadFile(0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(lc.cat.File(0).Size) {
+		t.Fatalf("streamed %d bytes, want %d", n, lc.cat.File(0).Size)
+	}
+
+	// Release the reservation explicitly (playback end would also do it).
+	served.Close(out.Request)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if lc.rmSrvs[out.RM-1].Node().Allocated() == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := lc.rmSrvs[out.RM-1].Node().Allocated(); got != 0 {
+		t.Fatalf("allocated %v after close", got)
+	}
+}
+
+func TestLiveFirmRefusalOverTCP(t *testing.T) {
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(5)},
+		map[ids.FileID][]ids.RMID{0: {1}},
+		replication.DefaultConfig(replication.Static()), 100)
+	defer lc.shutdown()
+
+	rmCli, ok := lc.dir.RMClient(1)
+	if !ok {
+		t.Fatal("RM1 unreachable")
+	}
+	// Saturate RM1, then a firm open must be refused remotely.
+	res := rmCli.Open(ecnp.OpenRequest{Request: 1, File: 0, Bitrate: units.Mbps(5), DurationSec: 60, Firm: true})
+	if !res.OK {
+		t.Fatalf("first open refused: %s", res.Reason)
+	}
+	res = rmCli.Open(ecnp.OpenRequest{Request: 2, File: 0, Bitrate: units.Mbps(1), DurationSec: 60, Firm: true})
+	if res.OK {
+		t.Fatal("over-capacity firm open admitted")
+	}
+}
+
+func TestLiveReplicationOverTCP(t *testing.T) {
+	cfg := replication.DefaultConfig(replication.Rep(1, 8))
+	cfg.CooldownSec = 0.01
+	// Use a high replication speed so the copy completes quickly in
+	// wall time (the virtual disk is throttled at the RM capacity).
+	cfg.Speed = units.Mbps(1000)
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(5), units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1}},
+		cfg, 1000)
+	defer lc.shutdown()
+
+	rm1, _ := lc.dir.RMClient(1)
+	// Saturate RM1 beyond 80%, then a CFP triggers the replication agent,
+	// which offers the file to RM2 over TCP.
+	rm1.Open(ecnp.OpenRequest{Request: 1, File: 0, Bitrate: units.Mbps(4.5), DurationSec: 3600})
+	meta := lc.cat.File(0)
+	rm1.HandleCFP(ecnp.CFP{Request: 2, File: 0, Bitrate: meta.Bitrate, DurationSec: meta.DurationSec})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if lc.mmCli.ReplicaCount(0) == 2 && lc.rmSrvs[1].Node().HasFile(0) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lc.mmCli.ReplicaCount(0) != 2 {
+		t.Fatalf("replica count = %d, want 2 after live replication", lc.mmCli.ReplicaCount(0))
+	}
+	if !lc.rmSrvs[1].Node().HasFile(0) {
+		t.Fatal("RM2 does not hold the replica")
+	}
+}
+
+func TestLiveThrottledDataPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// 2 MB file over a 4 Mbit/s (0.5 MB/s) disk: the burst covers 0.5 MB,
+	// the remaining 1.5 MB takes ~3 s.
+	lc := startLiveCluster(t,
+		[]units.BytesPerSec{units.Mbps(4)},
+		nil,
+		replication.DefaultConfig(replication.Static()), 1)
+	defer lc.shutdown()
+
+	disk := diskOf(t, lc, 0)
+	if err := disk.Provision(FileName(99), 2*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	rmCli, _ := lc.dir.RMClient(1)
+	start := time.Now()
+	var buf bytes.Buffer
+	n, err := rmCli.ReadFile(99, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n != int64(2*units.MB) {
+		t.Fatalf("streamed %d bytes", n)
+	}
+	if elapsed < 2*time.Second {
+		t.Fatalf("2 MB crossed a 0.5 MB/s disk in %v; throttle not applied", elapsed)
+	}
+	if elapsed > 8*time.Second {
+		t.Fatalf("transfer took %v; throttle too aggressive", elapsed)
+	}
+}
+
+// diskOf digs the vdisk out of an RMServer for test provisioning.
+func diskOf(t *testing.T, lc *liveCluster, idx int) *vdisk.Disk {
+	t.Helper()
+	return lc.rmSrvs[idx].disk
+}
+
+func TestWallScheduler(t *testing.T) {
+	s := NewWallScheduler(1000) // 1000 virtual seconds per wall second
+	defer s.Stop()
+	fired := make(chan simtime.Time, 1)
+	s.After(5, func(now simtime.Time) { fired <- now })
+	select {
+	case now := <-fired:
+		if now < 5 {
+			t.Fatalf("fired at virtual %v, want ≥ 5", now)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire")
+	}
+	// Cancellation.
+	cancel := s.After(1e6, func(simtime.Time) { t.Error("canceled timer fired") })
+	if !cancel() {
+		t.Fatal("cancel returned false")
+	}
+	if cancel() {
+		t.Fatal("double cancel returned true")
+	}
+}
+
+func TestWallSchedulerPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero scale did not panic")
+		}
+	}()
+	NewWallScheduler(0)
+}

@@ -1,0 +1,297 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/wire"
+)
+
+// MMServer serves a Metadata Manager over TCP. One goroutine per
+// connection; the mapper implementations are internally synchronized.
+// Both the single mm.Manager and the DHT-sharded mm.ShardedManager fit.
+type MMServer struct {
+	mgr ecnp.Mapper
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	logf   func(string, ...any)
+}
+
+// NewMMServer starts listening on addr ("127.0.0.1:0" for an ephemeral
+// port) and serves mgr until Close.
+func NewMMServer(mgr ecnp.Mapper, addr string) (*MMServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: mm listen: %w", err)
+	}
+	s := &MMServer{
+		mgr:   mgr,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		logf:  func(string, ...any) {},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogger routes diagnostics (default: discard).
+func (s *MMServer) SetLogger(logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Addr returns the listening address.
+func (s *MMServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all active connections.
+func (s *MMServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *MMServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *MMServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	wc := wire.NewConn(conn)
+	for {
+		msg, err := wc.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("mm: read: %v", err)
+			}
+			return
+		}
+		if err := s.handle(wc, msg); err != nil {
+			s.logf("mm: handle %v: %v", msg.Kind, err)
+			return
+		}
+	}
+}
+
+func (s *MMServer) handle(wc *wire.Conn, msg wire.Msg) error {
+	switch msg.Kind {
+	case wire.KindRegisterRM:
+		req, ok := msg.Payload.(wire.RegisterRM)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad RegisterRM payload"))
+		}
+		if err := s.mgr.RegisterRM(req.Info, req.Files); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindLookup:
+		req, ok := msg.Payload.(wire.FileRef)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad Lookup payload"))
+		}
+		return wc.Write(wire.KindRMList, wire.RMList{RMs: s.mgr.Lookup(req.File)})
+	case wire.KindRMsWithout:
+		req, ok := msg.Payload.(wire.FileRef)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad RMsWithout payload"))
+		}
+		return wc.Write(wire.KindRMList, wire.RMList{RMs: s.mgr.RMsWithout(req.File)})
+	case wire.KindAddReplica:
+		req, ok := msg.Payload.(wire.ReplicaRef)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad AddReplica payload"))
+		}
+		if err := s.mgr.AddReplica(req.File, req.RM); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindRemoveReplica:
+		req, ok := msg.Payload.(wire.ReplicaRef)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad RemoveReplica payload"))
+		}
+		if err := s.mgr.RemoveReplica(req.File, req.RM); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindBeginReplication:
+		req, ok := msg.Payload.(wire.BeginReplication)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad BeginReplication payload"))
+		}
+		if err := s.mgr.BeginReplication(req.File, req.RM, req.MaxTotal); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindEndReplication:
+		req, ok := msg.Payload.(wire.EndReplication)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad EndReplication payload"))
+		}
+		if err := s.mgr.EndReplication(req.File, req.RM, req.Commit); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindReplicaCount:
+		req, ok := msg.Payload.(wire.FileRef)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad ReplicaCount payload"))
+		}
+		return wc.Write(wire.KindCount, wire.Count{N: s.mgr.ReplicaCount(req.File)})
+	case wire.KindRMs:
+		return wc.Write(wire.KindRMInfoList, wire.RMInfoList{Infos: s.mgr.RMs()})
+	default:
+		return wc.WriteError(fmt.Errorf("mm: unexpected message %v", msg.Kind))
+	}
+}
+
+// MMClient is an ecnp.Mapper stub over TCP. Calls are serialized on a
+// single connection; use one client per component, as the paper's
+// components each hold their own channel to the MM.
+type MMClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wc   *wire.Conn
+}
+
+// DialMM connects to an MM server.
+func DialMM(addr string) (*MMClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial mm %s: %w", addr, err)
+	}
+	return &MMClient{conn: conn, wc: wire.NewConn(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *MMClient) Close() error { return c.conn.Close() }
+
+func (c *MMClient) call(kind wire.Kind, payload any) (wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wc.Call(kind, payload)
+}
+
+// RegisterRM implements ecnp.Mapper.
+func (c *MMClient) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
+	_, err := c.call(wire.KindRegisterRM, wire.RegisterRM{Info: info, Files: files})
+	return err
+}
+
+// Lookup implements ecnp.Mapper.
+func (c *MMClient) Lookup(file ids.FileID) []ids.RMID {
+	reply, err := c.call(wire.KindLookup, wire.FileRef{File: file})
+	if err != nil {
+		log.Printf("live: mm lookup: %v", err)
+		return nil
+	}
+	if l, ok := reply.Payload.(wire.RMList); ok {
+		return l.RMs
+	}
+	return nil
+}
+
+// RMsWithout implements ecnp.Mapper.
+func (c *MMClient) RMsWithout(file ids.FileID) []ids.RMID {
+	reply, err := c.call(wire.KindRMsWithout, wire.FileRef{File: file})
+	if err != nil {
+		log.Printf("live: mm rms-without: %v", err)
+		return nil
+	}
+	if l, ok := reply.Payload.(wire.RMList); ok {
+		return l.RMs
+	}
+	return nil
+}
+
+// AddReplica implements ecnp.Mapper.
+func (c *MMClient) AddReplica(file ids.FileID, rm ids.RMID) error {
+	_, err := c.call(wire.KindAddReplica, wire.ReplicaRef{File: file, RM: rm})
+	return err
+}
+
+// RemoveReplica implements ecnp.Mapper.
+func (c *MMClient) RemoveReplica(file ids.FileID, rm ids.RMID) error {
+	_, err := c.call(wire.KindRemoveReplica, wire.ReplicaRef{File: file, RM: rm})
+	return err
+}
+
+// BeginReplication implements ecnp.Mapper.
+func (c *MMClient) BeginReplication(file ids.FileID, rm ids.RMID, maxTotal int) error {
+	_, err := c.call(wire.KindBeginReplication, wire.BeginReplication{File: file, RM: rm, MaxTotal: maxTotal})
+	return err
+}
+
+// EndReplication implements ecnp.Mapper.
+func (c *MMClient) EndReplication(file ids.FileID, rm ids.RMID, commit bool) error {
+	_, err := c.call(wire.KindEndReplication, wire.EndReplication{File: file, RM: rm, Commit: commit})
+	return err
+}
+
+// ReplicaCount implements ecnp.Mapper.
+func (c *MMClient) ReplicaCount(file ids.FileID) int {
+	reply, err := c.call(wire.KindReplicaCount, wire.FileRef{File: file})
+	if err != nil {
+		log.Printf("live: mm replica-count: %v", err)
+		return 0
+	}
+	if n, ok := reply.Payload.(wire.Count); ok {
+		return n.N
+	}
+	return 0
+}
+
+// RMs implements ecnp.Mapper.
+func (c *MMClient) RMs() []ecnp.RMInfo {
+	reply, err := c.call(wire.KindRMs, nil)
+	if err != nil {
+		log.Printf("live: mm rms: %v", err)
+		return nil
+	}
+	if l, ok := reply.Payload.(wire.RMInfoList); ok {
+		return l.Infos
+	}
+	return nil
+}
+
+var _ ecnp.Mapper = (*MMClient)(nil)

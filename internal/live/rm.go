@@ -1,0 +1,598 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/rm"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/vdisk"
+	"dfsqos/internal/wire"
+)
+
+// FileName maps a catalog file ID to its name on an RM's virtual disk.
+func FileName(f ids.FileID) string { return fmt.Sprintf("%d.video", int32(f)) }
+
+// RMServer fronts one Resource Manager over TCP: the control plane
+// delegates to the embedded rm.RM (the same actor the simulation runs) and
+// the data plane streams file contents from a blkio-throttled virtual disk.
+type RMServer struct {
+	node *rm.RM
+	disk *vdisk.Disk
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	logf   func(string, ...any)
+}
+
+// NewRMServer starts serving node and disk on addr.
+func NewRMServer(node *rm.RM, disk *vdisk.Disk, addr string) (*RMServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: rm listen: %w", err)
+	}
+	s := &RMServer{
+		node:  node,
+		disk:  disk,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		logf:  func(string, ...any) {},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogger routes diagnostics (default: discard).
+func (s *RMServer) SetLogger(logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Addr returns the listening address.
+func (s *RMServer) Addr() string { return s.ln.Addr().String() }
+
+// Node exposes the embedded RM actor (stats, snapshots).
+func (s *RMServer) Node() *rm.RM { return s.node }
+
+// Close stops the server.
+func (s *RMServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *RMServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *RMServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	wc := wire.NewConn(conn)
+	for {
+		msg, err := wc.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("rm%d: read: %v", s.node.Info().ID, err)
+			}
+			return
+		}
+		if err := s.handle(wc, msg); err != nil {
+			s.logf("rm%d: handle %v: %v", s.node.Info().ID, msg.Kind, err)
+			return
+		}
+	}
+}
+
+func (s *RMServer) handle(wc *wire.Conn, msg wire.Msg) error {
+	switch msg.Kind {
+	case wire.KindCFP:
+		cfp, ok := msg.Payload.(ecnp.CFP)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad CFP payload"))
+		}
+		return wc.Write(wire.KindBid, s.node.HandleCFP(cfp))
+	case wire.KindOpen:
+		req, ok := msg.Payload.(ecnp.OpenRequest)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad Open payload"))
+		}
+		return wc.Write(wire.KindOpenResult, s.node.Open(req))
+	case wire.KindClose:
+		req, ok := msg.Payload.(wire.CloseReq)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad Close payload"))
+		}
+		s.node.Close(req.Request)
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindOfferReplica:
+		offer, ok := msg.Payload.(ecnp.ReplicaOffer)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad OfferReplica payload"))
+		}
+		accepted := s.node.OfferReplica(offer)
+		if accepted && s.disk != nil {
+			// Provision space for the incoming replica up front; a full
+			// disk retroactively rejects the offer.
+			if err := s.disk.Provision(FileName(offer.File), offer.SizeBytes); err != nil {
+				s.node.FinishReplica(offer.Replication, false)
+				accepted = false
+			}
+		}
+		return wc.Write(wire.KindOfferReply, wire.OfferReply{Accepted: accepted})
+	case wire.KindFinishReplica:
+		fin, ok := msg.Payload.(wire.FinishReplica)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad FinishReplica payload"))
+		}
+		s.node.FinishReplica(fin.Replication, fin.Committed)
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindStoreFile:
+		req, ok := msg.Payload.(ecnp.StoreRequest)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad StoreFile payload"))
+		}
+		if err := s.node.StoreFile(req); err != nil {
+			return wc.WriteError(err)
+		}
+		if s.disk != nil {
+			if err := s.disk.Provision(FileName(req.File), req.SizeBytes); err != nil {
+				return wc.WriteError(err)
+			}
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindReadFile:
+		req, ok := msg.Payload.(wire.ReadFile)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad ReadFile payload"))
+		}
+		return s.streamFile(wc, req)
+	case wire.KindWriteFile:
+		req, ok := msg.Payload.(wire.WriteFile)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad WriteFile payload"))
+		}
+		return s.ingestFile(wc, req)
+	default:
+		return wc.WriteError(fmt.Errorf("rm: unexpected message %v", msg.Kind))
+	}
+}
+
+// streamFile sends the file as FileChunk frames followed by FileEnd.
+func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
+	if s.disk == nil {
+		return wc.WriteError(fmt.Errorf("rm: no data plane configured"))
+	}
+	name := FileName(req.File)
+	chunk := req.ChunkSize
+	if chunk <= 0 || chunk > 256*1024 {
+		chunk = 64 * 1024
+	}
+	r, size, err := s.disk.Reader(context.Background(), name, chunk)
+	if err != nil {
+		return wc.WriteError(err)
+	}
+	buf := make([]byte, chunk)
+	var off int64
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if werr := wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
+				return werr
+			}
+			off += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return wc.WriteError(err)
+		}
+	}
+	sum, err := s.disk.Checksum(name)
+	if err != nil {
+		return wc.WriteError(err)
+	}
+	return wc.Write(wire.KindFileEnd, wire.FileEnd{Size: int64(size), Checksum: sum})
+}
+
+// ingestFile receives an inbound data stream (replica copy or upload) and
+// stores it on the virtual disk. Replica ingestion writes through the raw
+// path: it rides the B_REV reserve, not the VM's QoS throttle.
+func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile) error {
+	if s.disk == nil {
+		return wc.WriteError(fmt.Errorf("rm: no data plane configured"))
+	}
+	if req.SizeBytes < 0 || req.SizeBytes > 1<<40 {
+		return wc.WriteError(fmt.Errorf("rm: implausible inbound size %d", req.SizeBytes))
+	}
+	data := make([]byte, 0, req.SizeBytes)
+	var sum uint64 = 14695981039346656037
+	for {
+		msg, err := wc.Read()
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case wire.KindFileChunk:
+			chunk, ok := msg.Payload.(wire.FileChunk)
+			if !ok {
+				return wc.WriteError(fmt.Errorf("rm: malformed FileChunk"))
+			}
+			if chunk.Offset != int64(len(data)) {
+				return wc.WriteError(fmt.Errorf("rm: out-of-order chunk at %d, want %d", chunk.Offset, len(data)))
+			}
+			data = append(data, chunk.Data...)
+			for _, b := range chunk.Data {
+				sum ^= uint64(b)
+				sum *= 1099511628211
+			}
+			if int64(len(data)) > req.SizeBytes {
+				return wc.WriteError(fmt.Errorf("rm: stream exceeds declared size %d", req.SizeBytes))
+			}
+		case wire.KindFileEnd:
+			end, ok := msg.Payload.(wire.FileEnd)
+			if !ok {
+				return wc.WriteError(fmt.Errorf("rm: malformed FileEnd"))
+			}
+			if end.Size != int64(len(data)) || end.Size != req.SizeBytes {
+				return wc.WriteError(fmt.Errorf("rm: stream ended at %d bytes, declared %d", len(data), req.SizeBytes))
+			}
+			if end.Checksum != sum {
+				return wc.WriteError(fmt.Errorf("rm: inbound checksum mismatch"))
+			}
+			if err := s.disk.WriteRaw(FileName(req.File), data); err != nil {
+				return wc.WriteError(err)
+			}
+			return wc.Write(wire.KindAck, wire.Ack{})
+		default:
+			return wc.WriteError(fmt.Errorf("rm: unexpected %v during inbound stream", msg.Kind))
+		}
+	}
+}
+
+// RMClient is an ecnp.Provider stub over TCP.
+type RMClient struct {
+	info   ecnp.RMInfo
+	mu     sync.Mutex
+	conn   net.Conn
+	wc     *wire.Conn
+	broken bool
+}
+
+// DialRM connects to an RM server whose registration record is info.
+func DialRM(info ecnp.RMInfo) (*RMClient, error) {
+	if info.Addr == "" {
+		return nil, fmt.Errorf("live: %v has no address", info.ID)
+	}
+	conn, err := net.Dial("tcp", info.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %v at %s: %w", info.ID, info.Addr, err)
+	}
+	return &RMClient{info: info, conn: conn, wc: wire.NewConn(conn)}, nil
+}
+
+// Disconnect releases the connection. (Close is taken by the
+// ecnp.Provider method that releases a bandwidth reservation.)
+func (c *RMClient) Disconnect() error { return c.conn.Close() }
+
+func (c *RMClient) call(kind wire.Kind, payload any) (wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg, err := c.wc.Call(kind, payload)
+	if err != nil && !isRemoteError(err) {
+		// A transport failure (not a served error reply) marks the client
+		// broken so the directory redials — the RM may have restarted on
+		// a new address and re-registered with the MM.
+		c.broken = true
+	}
+	return msg, err
+}
+
+// isRemoteError distinguishes an error the peer *served* (the connection
+// is fine) from a transport failure.
+func isRemoteError(err error) bool {
+	return strings.Contains(err.Error(), "remote error")
+}
+
+// Broken reports whether the client has seen a transport failure.
+func (c *RMClient) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Info implements ecnp.Provider.
+func (c *RMClient) Info() ecnp.RMInfo { return c.info }
+
+// HandleCFP implements ecnp.Provider. A transport failure yields a zero
+// bid for this RM, which ranks it last without aborting the negotiation.
+func (c *RMClient) HandleCFP(cfp ecnp.CFP) selection.Bid {
+	reply, err := c.call(wire.KindCFP, cfp)
+	if err != nil {
+		log.Printf("live: cfp to %v: %v", c.info.ID, err)
+		return selection.Bid{RM: c.info.ID, Req: cfp.Bitrate}
+	}
+	if bid, ok := reply.Payload.(selection.Bid); ok {
+		return bid
+	}
+	return selection.Bid{RM: c.info.ID, Req: cfp.Bitrate}
+}
+
+// Open implements ecnp.Provider.
+func (c *RMClient) Open(req ecnp.OpenRequest) ecnp.OpenResult {
+	reply, err := c.call(wire.KindOpen, req)
+	if err != nil {
+		return ecnp.OpenResult{OK: false, Reason: err.Error()}
+	}
+	if res, ok := reply.Payload.(ecnp.OpenResult); ok {
+		return res
+	}
+	return ecnp.OpenResult{OK: false, Reason: "malformed OpenResult"}
+}
+
+// Close implements ecnp.Provider.
+func (c *RMClient) Close(request ids.RequestID) {
+	if _, err := c.call(wire.KindClose, wire.CloseReq{Request: request}); err != nil {
+		log.Printf("live: close on %v: %v", c.info.ID, err)
+	}
+}
+
+// OfferReplica implements ecnp.Provider.
+func (c *RMClient) OfferReplica(offer ecnp.ReplicaOffer) bool {
+	reply, err := c.call(wire.KindOfferReplica, offer)
+	if err != nil {
+		log.Printf("live: offer to %v: %v", c.info.ID, err)
+		return false
+	}
+	if r, ok := reply.Payload.(wire.OfferReply); ok {
+		return r.Accepted
+	}
+	return false
+}
+
+// FinishReplica implements ecnp.Provider.
+func (c *RMClient) FinishReplica(rep ids.ReplicationID, committed bool) {
+	if _, err := c.call(wire.KindFinishReplica, wire.FinishReplica{Replication: rep, Committed: committed}); err != nil {
+		log.Printf("live: finish on %v: %v", c.info.ID, err)
+	}
+}
+
+// ReadFile streams the whole file into w, verifying size and checksum.
+// It holds the connection for the duration of the stream.
+func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.wc.Write(wire.KindReadFile, wire.ReadFile{File: file, ChunkSize: 128 * 1024}); err != nil {
+		return 0, err
+	}
+	var total int64
+	var sum uint64 = 14695981039346656037
+	for {
+		msg, err := c.wc.Read()
+		if err != nil {
+			return total, err
+		}
+		switch msg.Kind {
+		case wire.KindFileChunk:
+			chunk, ok := msg.Payload.(wire.FileChunk)
+			if !ok {
+				return total, fmt.Errorf("live: malformed FileChunk")
+			}
+			if chunk.Offset != total {
+				return total, fmt.Errorf("live: out-of-order chunk at %d, want %d", chunk.Offset, total)
+			}
+			if _, err := w.Write(chunk.Data); err != nil {
+				return total, err
+			}
+			for _, b := range chunk.Data {
+				sum ^= uint64(b)
+				sum *= 1099511628211
+			}
+			total += int64(len(chunk.Data))
+		case wire.KindFileEnd:
+			end, ok := msg.Payload.(wire.FileEnd)
+			if !ok {
+				return total, fmt.Errorf("live: malformed FileEnd")
+			}
+			if end.Size != total {
+				return total, fmt.Errorf("live: stream ended at %d bytes, server reports %d", total, end.Size)
+			}
+			if end.Checksum != sum {
+				return total, fmt.Errorf("live: checksum mismatch")
+			}
+			return total, nil
+		case wire.KindError:
+			if e, ok := msg.Payload.(wire.Error); ok {
+				return total, fmt.Errorf("live: remote: %s", e.Text)
+			}
+			return total, fmt.Errorf("live: remote error")
+		default:
+			return total, fmt.Errorf("live: unexpected %v during stream", msg.Kind)
+		}
+	}
+}
+
+// StoreFile implements ecnp.Provider: remote admission of a new file.
+// The data bytes follow separately via WriteFile.
+func (c *RMClient) StoreFile(req ecnp.StoreRequest) error {
+	_, err := c.call(wire.KindStoreFile, req)
+	return err
+}
+
+// WriteFile streams size bytes from r to the remote RM's disk under the
+// given file id (rep identifies the replication transfer, 0 for uploads).
+// It holds the connection for the duration of the stream and fails unless
+// the server acknowledges a checksum-verified store.
+func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64, r io.Reader) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.wc.Write(wire.KindWriteFile, wire.WriteFile{File: file, SizeBytes: size, Replication: rep}); err != nil {
+		return err
+	}
+	buf := make([]byte, 64*1024)
+	var off int64
+	var sum uint64 = 14695981039346656037
+	for off < size {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if werr := c.wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
+				return werr
+			}
+			for _, b := range buf[:n] {
+				sum ^= uint64(b)
+				sum *= 1099511628211
+			}
+			off += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if off != size {
+		return fmt.Errorf("live: source delivered %d of %d bytes", off, size)
+	}
+	if err := c.wc.Write(wire.KindFileEnd, wire.FileEnd{Size: size, Checksum: sum}); err != nil {
+		return err
+	}
+	reply, err := c.wc.Read()
+	if err != nil {
+		return err
+	}
+	if reply.Kind == wire.KindError {
+		if e, ok := reply.Payload.(wire.Error); ok {
+			return fmt.Errorf("live: remote: %s", e.Text)
+		}
+		return fmt.Errorf("live: remote error")
+	}
+	if reply.Kind != wire.KindAck {
+		return fmt.Errorf("live: unexpected %v after upload", reply.Kind)
+	}
+	return nil
+}
+
+var _ ecnp.Provider = (*RMClient)(nil)
+
+// Directory resolves providers by dialing the addresses the MM's resource
+// list advertises, caching one client per RM.
+type Directory struct {
+	mapper ecnp.Mapper
+	mu     sync.Mutex
+	cache  map[ids.RMID]*RMClient
+}
+
+// NewDirectory builds a directory backed by the given mapper.
+func NewDirectory(mapper ecnp.Mapper) *Directory {
+	return &Directory{mapper: mapper, cache: make(map[ids.RMID]*RMClient)}
+}
+
+// Provider implements ecnp.Directory. A cached client that has suffered a
+// transport failure is discarded and redialed at the address the MM
+// currently advertises, so an RM that crashed and re-registered (possibly
+// on a new port) becomes reachable again without manual intervention.
+func (d *Directory) Provider(id ids.RMID) (ecnp.Provider, bool) {
+	d.mu.Lock()
+	if c, ok := d.cache[id]; ok {
+		if !c.Broken() {
+			d.mu.Unlock()
+			return c, true
+		}
+		delete(d.cache, id)
+		d.mu.Unlock()
+		c.Disconnect()
+	} else {
+		d.mu.Unlock()
+	}
+
+	var info ecnp.RMInfo
+	found := false
+	for _, i := range d.mapper.RMs() {
+		if i.ID == id {
+			info, found = i, true
+			break
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	c, err := DialRM(info)
+	if err != nil {
+		log.Printf("live: directory: %v", err)
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if existing, ok := d.cache[id]; ok {
+		c.Disconnect()
+		return existing, true
+	}
+	d.cache[id] = c
+	return c, true
+}
+
+// RMClient returns the cached typed client (for the data plane), dialing
+// if needed.
+func (d *Directory) RMClient(id ids.RMID) (*RMClient, bool) {
+	p, ok := d.Provider(id)
+	if !ok {
+		return nil, false
+	}
+	c, ok := p.(*RMClient)
+	return c, ok
+}
+
+// Close releases all cached connections.
+func (d *Directory) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.cache {
+		c.Disconnect()
+	}
+	d.cache = make(map[ids.RMID]*RMClient)
+}
+
+var _ ecnp.Directory = (*Directory)(nil)

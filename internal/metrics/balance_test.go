@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dfsqos/internal/ledger"
+	"dfsqos/internal/units"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{25, 2},
+		{50, 3},
+		{75, 4},
+		{100, 5},
+		{-5, 1},  // clamped
+		{150, 5}, // clamped
+		{62.5, 3.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Original slice untouched.
+	if vals[0] != 4 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("single-element percentile")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("uniform CV = %v, want 0", got)
+	}
+	// {0, 10}: mean 5, stddev 5 → CV 1.
+	if got := CoefficientOfVariation([]float64{0, 10}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CV = %v, want 1", got)
+	}
+	if CoefficientOfVariation(nil) != 0 || CoefficientOfVariation([]float64{0, 0}) != 0 {
+		t.Error("degenerate CV not 0")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform fairness = %v, want 1", got)
+	}
+	// One RM carries everything over n=4 → 1/4.
+	if got := JainFairness([]float64{8, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("concentrated fairness = %v, want 0.25", got)
+	}
+	if JainFairness(nil) != 1 || JainFairness([]float64{0, 0}) != 1 {
+		t.Error("degenerate fairness not 1")
+	}
+}
+
+func TestUtilizationShares(t *testing.T) {
+	rms := []RMResult{
+		{ID: 1, Capacity: units.BytesPerSec(10), Snap: ledger.Snapshot{Capacity: 10, AllocByteSecs: 500}},
+		{ID: 2, Capacity: units.BytesPerSec(10), Snap: ledger.Snapshot{Capacity: 10, AllocByteSecs: 250}},
+	}
+	got := UtilizationShares(rms, 100)
+	if math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-0.25) > 1e-12 {
+		t.Fatalf("shares = %v, want [0.5 0.25]", got)
+	}
+}
+
+// Property: Jain's index is always in (0, 1] and is 1 only for (near-)
+// uniform inputs; CV is non-negative.
+func TestBalanceMeasureBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		j := JainFairness(vals)
+		if j <= 0 || j > 1+1e-12 {
+			return false
+		}
+		return CoefficientOfVariation(vals) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vals[i] = float64(r)
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		a := float64(p1 % 101)
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(vals, a), Percentile(vals, b)
+		return pa <= pb+1e-9 && pa >= lo-1e-9 && pb <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

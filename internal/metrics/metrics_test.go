@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dfsqos/internal/ledger"
+	"dfsqos/internal/simtime"
+	"dfsqos/internal/units"
+)
+
+func TestSeriesAppendAndStats(t *testing.T) {
+	s := &Series{Name: "rm1"}
+	for i := 0; i < 10; i++ {
+		s.Append(simT(i), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if s.Max() != 9 {
+		t.Fatalf("max %v", s.Max())
+	}
+	if s.Mean() != 4.5 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	empty := &Series{}
+	if empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+}
+
+func TestSeriesAppendOutOfOrderPanics(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	s.Append(4, 1)
+}
+
+func TestDownsample(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i := 0; i < 100; i++ {
+		s.Append(simT(i), float64(i))
+	}
+	pts := s.Downsample(10)
+	if len(pts) != 11 { // 0,10,...,90 plus the final point 99
+		t.Fatalf("downsampled to %d points", len(pts))
+	}
+	if pts[0].At != 0 || pts[len(pts)-1].At != 99 {
+		t.Fatalf("endpoints not kept: %v .. %v", pts[0].At, pts[len(pts)-1].At)
+	}
+	if got := s.Downsample(1); len(got) != 100 {
+		t.Fatalf("k=1 should copy all points, got %d", len(got))
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	for i := 0; i < 5; i++ {
+		a.Append(simT(i), 1)
+		b.Append(simT(i), 2)
+	}
+	total := Sum("total", a, b)
+	if total.Len() != 5 {
+		t.Fatalf("sum len %d", total.Len())
+	}
+	for _, p := range total.Points {
+		if p.Value != 3 {
+			t.Fatalf("sum value %v, want 3", p.Value)
+		}
+	}
+	if Sum("empty").Len() != 0 {
+		t.Fatal("empty sum not empty")
+	}
+}
+
+func TestSumMisalignedPanics(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Append(0, 1)
+	a.Append(1, 1)
+	b.Append(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned Sum did not panic")
+		}
+	}()
+	Sum("bad", a, b)
+}
+
+func TestAggregateOverAllocate(t *testing.T) {
+	rms := []RMResult{
+		{ID: 1, Capacity: units.Mbps(18), Snap: ledger.Snapshot{OverBytes: 100, AssignedBytes: 1000}},
+		{ID: 2, Capacity: units.Mbps(18), Snap: ledger.Snapshot{OverBytes: 0, AssignedBytes: 1000}},
+	}
+	// Aggregate = (100+0)/(1000+1000) = 5%.
+	if got := AggregateOverAllocate(rms); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("aggregate R_OA = %v, want 0.05", got)
+	}
+	if got := AggregateOverAllocate(nil); got != 0 {
+		t.Fatalf("empty aggregate = %v", got)
+	}
+	// Per-RM ratio comes straight from the snapshot.
+	if got := rms[0].OverAllocateRatio(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("per-RM R_OA = %v, want 0.1", got)
+	}
+}
+
+func TestFailRate(t *testing.T) {
+	if got := FailRate(15, 100); got != 0.15 {
+		t.Fatalf("FailRate = %v", got)
+	}
+	if got := FailRate(0, 0); got != 0 {
+		t.Fatalf("FailRate(0,0) = %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.09771); got != "9.771%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(0); got != "0.000%" {
+		t.Fatalf("Pct(0) = %q", got)
+	}
+	if got := Pct(math.NaN()); got != "NaN" {
+		t.Fatalf("Pct(NaN) = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("policy", "64", "128")
+	tab.AddRow("(0,0,0)", "1.447%", "6.539%")
+	tab.AddRow("(1,0,0)", "0.000%")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "(0,0,0)") || !strings.Contains(lines[2], "6.539%") {
+		t.Fatalf("row line %q", lines[2])
+	}
+	// Columns align: the "64" header starts where "1.447%" starts.
+	if strings.Index(lines[0], "64") != strings.Index(lines[2], "1.447%") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+// simT converts an int sample index to a virtual time.
+func simT(i int) simtime.Time { return simtime.Time(i) }

@@ -1,0 +1,232 @@
+// Package mm implements the Metadata Manager — the Mapper (matchmaker) role
+// of the ECNP model. It maintains the global resource list as "the union of
+// the resource information provided by all of the registered RMs" and the
+// file → replica map, and answers two queries: the requester's resource
+// lookup and the replication source's inverse lookup (RMs holding no
+// replica of a file).
+//
+// The manager is safe for concurrent use: in live mode many TCP sessions
+// query it at once, and even in the DES it is shared by all actors.
+package mm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+)
+
+// Manager is the Metadata Manager.
+type Manager struct {
+	mu        sync.RWMutex
+	rms       map[ids.RMID]ecnp.RMInfo
+	placement *catalog.Placement
+	// pending tracks in-flight replication destinations per file. A
+	// pending entry counts toward ReplicaCount, which is how concurrent
+	// replication sources are prevented from overshooting N_MAXR, and it
+	// blocks a second source from targeting the same destination.
+	pending map[ids.FileID]map[ids.RMID]bool
+	// version increments on every mutation, providing the consistency
+	// token that resource registration is validated against.
+	version uint64
+}
+
+// New returns an empty Metadata Manager.
+func New() *Manager {
+	return &Manager{
+		rms:       make(map[ids.RMID]ecnp.RMInfo),
+		placement: catalog.NewPlacement(),
+		pending:   make(map[ids.FileID]map[ids.RMID]bool),
+	}
+}
+
+// NewWithPlacement returns a manager pre-seeded with a static placement,
+// the evaluation's "distribute these three replicas randomly into 16 RMs".
+// The placement is deep-copied; the caller's copy stays untouched.
+func NewWithPlacement(p *catalog.Placement) *Manager {
+	m := New()
+	m.placement = p.Clone()
+	return m
+}
+
+// RegisterRM implements ecnp.Mapper. Registering an already-known RM
+// refreshes its info; the files it reports are merged into the replica map
+// (the paper's "maintain the integrity and consistency of the global
+// resource list" during registration).
+func (m *Manager) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
+	if err := info.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rms[info.ID] = info
+	for _, f := range files {
+		if !m.placement.Has(f, info.ID) {
+			if err := m.placement.Add(f, info.ID); err != nil {
+				return fmt.Errorf("mm: registering %v: %w", info.ID, err)
+			}
+		}
+	}
+	m.version++
+	return nil
+}
+
+// Lookup implements ecnp.Mapper: the RMs holding a replica of file, in
+// ascending RM order for determinism.
+func (m *Manager) Lookup(file ids.FileID) []ids.RMID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	hs := m.placement.Holders(file)
+	sortRMs(hs)
+	return hs
+}
+
+// RMsWithout implements ecnp.Mapper: registered RMs with neither a
+// committed nor a pending replica of file, in ascending RM order.
+func (m *Manager) RMsWithout(file ids.FileID) []ids.RMID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []ids.RMID
+	for id := range m.rms {
+		if !m.placement.Has(file, id) && !m.pending[file][id] {
+			out = append(out, id)
+		}
+	}
+	sortRMs(out)
+	return out
+}
+
+// AddReplica implements ecnp.Mapper.
+func (m *Manager) AddReplica(file ids.FileID, rm ids.RMID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rms[rm]; !ok {
+		return fmt.Errorf("mm: AddReplica to unregistered %v", rm)
+	}
+	if err := m.placement.Add(file, rm); err != nil {
+		return err
+	}
+	m.version++
+	return nil
+}
+
+// RemoveReplica implements ecnp.Mapper. Removing the last replica is
+// refused by the placement layer: the file would become unreachable.
+func (m *Manager) RemoveReplica(file ids.FileID, rm ids.RMID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.placement.Remove(file, rm); err != nil {
+		return err
+	}
+	m.version++
+	return nil
+}
+
+// BeginReplication implements ecnp.Mapper.
+func (m *Manager) BeginReplication(file ids.FileID, rm ids.RMID, maxTotal int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rms[rm]; !ok {
+		return fmt.Errorf("mm: BeginReplication to unregistered %v", rm)
+	}
+	if m.placement.Has(file, rm) {
+		return fmt.Errorf("mm: %v already holds %v", rm, file)
+	}
+	if m.pending[file][rm] {
+		return fmt.Errorf("mm: %v already receiving %v", rm, file)
+	}
+	if maxTotal > 0 && m.placement.Degree(file)+len(m.pending[file]) >= maxTotal {
+		return fmt.Errorf("mm: %v already at %d replicas (cap %d)",
+			file, m.placement.Degree(file)+len(m.pending[file]), maxTotal)
+	}
+	if m.pending[file] == nil {
+		m.pending[file] = make(map[ids.RMID]bool)
+	}
+	m.pending[file][rm] = true
+	m.version++
+	return nil
+}
+
+// EndReplication implements ecnp.Mapper.
+func (m *Manager) EndReplication(file ids.FileID, rm ids.RMID, commit bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.pending[file][rm] {
+		return fmt.Errorf("mm: no pending replication of %v on %v", file, rm)
+	}
+	delete(m.pending[file], rm)
+	if len(m.pending[file]) == 0 {
+		delete(m.pending, file)
+	}
+	m.version++
+	if !commit {
+		return nil
+	}
+	return m.placement.Add(file, rm)
+}
+
+// ReplicaCount implements ecnp.Mapper: committed plus pending replicas.
+func (m *Manager) ReplicaCount(file ids.FileID) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.placement.Degree(file) + len(m.pending[file])
+}
+
+// PendingCount reports in-flight replications of file (diagnostics).
+func (m *Manager) PendingCount(file ids.FileID) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pending[file])
+}
+
+// RMs implements ecnp.Mapper: the resource list in ascending RM order.
+func (m *Manager) RMs() []ecnp.RMInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]ecnp.RMInfo, 0, len(m.rms))
+	for _, info := range m.rms {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RM returns the registration record of one RM.
+func (m *Manager) RM(id ids.RMID) (ecnp.RMInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	info, ok := m.rms[id]
+	return info, ok
+}
+
+// Version returns the mutation counter (diagnostics and cache validation).
+func (m *Manager) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// FilesOn returns the files with a replica on rm, sorted by file ID.
+func (m *Manager) FilesOn(rm ids.RMID) []ids.FileID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fs := m.placement.FilesOn(rm)
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	return fs
+}
+
+// Validate checks replica-map invariants (delegates to the placement).
+func (m *Manager) Validate() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.placement.Validate()
+}
+
+func sortRMs(s []ids.RMID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+var _ ecnp.Mapper = (*Manager)(nil)

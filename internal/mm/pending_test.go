@@ -1,0 +1,146 @@
+package mm
+
+import (
+	"testing"
+
+	"dfsqos/internal/ids"
+)
+
+func TestBeginEndReplicationLifecycle(t *testing.T) {
+	m := New()
+	m.RegisterRM(info(1), []ids.FileID{0})
+	m.RegisterRM(info(2), nil)
+
+	if err := m.BeginReplication(0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Pending counts toward ReplicaCount but not Lookup.
+	if got := m.ReplicaCount(0); got != 2 {
+		t.Fatalf("ReplicaCount = %d during transfer, want 2", got)
+	}
+	if got := m.Lookup(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup = %v during transfer, want committed holder only", got)
+	}
+	if got := m.PendingCount(0); got != 1 {
+		t.Fatalf("PendingCount = %d", got)
+	}
+	// The pending destination is excluded from further candidates.
+	for _, rm := range m.RMsWithout(0) {
+		if rm == 2 {
+			t.Fatal("pending destination offered as candidate")
+		}
+	}
+	// Commit turns it into a real replica.
+	if err := m.EndReplication(0, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(0); len(got) != 2 {
+		t.Fatalf("Lookup = %v after commit", got)
+	}
+	if m.PendingCount(0) != 0 {
+		t.Fatal("pending entry leaked after commit")
+	}
+}
+
+func TestBeginReplicationRejections(t *testing.T) {
+	m := New()
+	m.RegisterRM(info(1), []ids.FileID{0})
+	m.RegisterRM(info(2), nil)
+	m.RegisterRM(info(3), nil)
+
+	if err := m.BeginReplication(0, 9, 0); err == nil {
+		t.Fatal("unregistered destination accepted")
+	}
+	if err := m.BeginReplication(0, 1, 0); err == nil {
+		t.Fatal("existing holder accepted as destination")
+	}
+	if err := m.BeginReplication(0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginReplication(0, 2, 0); err == nil {
+		t.Fatal("duplicate pending destination accepted")
+	}
+}
+
+func TestBeginReplicationEnforcesCap(t *testing.T) {
+	m := New()
+	m.RegisterRM(info(1), []ids.FileID{0})
+	m.RegisterRM(info(2), nil)
+	m.RegisterRM(info(3), nil)
+	m.RegisterRM(info(4), nil)
+
+	// Cap 2: one committed + one pending fills it.
+	if err := m.BeginReplication(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginReplication(0, 3, 2); err == nil {
+		t.Fatal("cap overshoot accepted")
+	}
+	// An uncapped reservation still works.
+	if err := m.BeginReplication(0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Abort frees a slot under the cap.
+	m.EndReplication(0, 3, false)
+	m.EndReplication(0, 2, false)
+	if err := m.BeginReplication(0, 4, 2); err != nil {
+		t.Fatalf("reservation after aborts refused: %v", err)
+	}
+}
+
+func TestEndReplicationWithoutBegin(t *testing.T) {
+	m := New()
+	m.RegisterRM(info(1), []ids.FileID{0})
+	if err := m.EndReplication(0, 1, true); err == nil {
+		t.Fatal("EndReplication without reservation accepted")
+	}
+}
+
+func TestConcurrentReservationsRespectCap(t *testing.T) {
+	m := New()
+	m.RegisterRM(info(1), []ids.FileID{0})
+	for id := ids.RMID(2); id <= 17; id++ {
+		m.RegisterRM(info(id), nil)
+	}
+	const cap = 4
+	done := make(chan bool, 16)
+	for id := ids.RMID(2); id <= 17; id++ {
+		id := id
+		go func() {
+			done <- m.BeginReplication(0, id, cap) == nil
+		}()
+	}
+	won := 0
+	for i := 0; i < 16; i++ {
+		if <-done {
+			won++
+		}
+	}
+	// Exactly cap−1 reservations may join the single committed replica.
+	if won != cap-1 {
+		t.Fatalf("%d concurrent reservations succeeded, want %d", won, cap-1)
+	}
+	if got := m.ReplicaCount(0); got != cap {
+		t.Fatalf("ReplicaCount = %d, want the cap %d", got, cap)
+	}
+}
+
+func TestShardedPendingSemantics(t *testing.T) {
+	m := NewSharded(3)
+	m.RegisterRM(info(1), []ids.FileID{0, 1, 2})
+	m.RegisterRM(info(2), nil)
+	for f := ids.FileID(0); f < 3; f++ {
+		if err := m.BeginReplication(f, 2, 2); err != nil {
+			t.Fatalf("file %v: %v", f, err)
+		}
+		if got := m.ReplicaCount(f); got != 2 {
+			t.Fatalf("file %v count %d", f, got)
+		}
+		if err := m.EndReplication(f, 2, true); err != nil {
+			t.Fatalf("file %v commit: %v", f, err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package mm
+
+import (
+	"fmt"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+)
+
+// ShardedManager is a distributed Metadata Manager: the file → replica map
+// is partitioned across shards by consistent hashing, while the (small)
+// global resource list is replicated to every shard so any shard can
+// answer "which RMs exist" and "which RMs lack a replica of file f"
+// locally. This is the DHT design the paper points to for scaling past a
+// single MM; with one shard it degenerates to exactly the single manager.
+//
+// Each shard is a full *Manager, so shard-local invariants (duplicate
+// replicas, last-replica protection) are enforced by the same code the
+// single-MM deployment runs.
+type ShardedManager struct {
+	ring   *Ring
+	shards []*Manager
+}
+
+// NewSharded returns a distributed manager over n shards.
+func NewSharded(n int) *ShardedManager {
+	ring := NewRing(n)
+	shards := make([]*Manager, n)
+	for i := range shards {
+		shards[i] = New()
+	}
+	return &ShardedManager{ring: ring, shards: shards}
+}
+
+// NumShards returns the shard count.
+func (m *ShardedManager) NumShards() int { return len(m.shards) }
+
+// Shard exposes one shard (diagnostics and tests).
+func (m *ShardedManager) Shard(i int) *Manager { return m.shards[i] }
+
+// shardFor routes a file to its owning shard.
+func (m *ShardedManager) shardFor(file ids.FileID) *Manager {
+	return m.shards[m.ring.OwnerOfFile(int64(file))]
+}
+
+// RegisterRM implements ecnp.Mapper: the RM info replicates to every
+// shard; each reported file lands only on its owner shard.
+func (m *ShardedManager) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
+	perShard := make([][]ids.FileID, len(m.shards))
+	for _, f := range files {
+		s := m.ring.OwnerOfFile(int64(f))
+		perShard[s] = append(perShard[s], f)
+	}
+	for i, shard := range m.shards {
+		if err := shard.RegisterRM(info, perShard[i]); err != nil {
+			return fmt.Errorf("mm: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Lookup implements ecnp.Mapper.
+func (m *ShardedManager) Lookup(file ids.FileID) []ids.RMID {
+	return m.shardFor(file).Lookup(file)
+}
+
+// RMsWithout implements ecnp.Mapper.
+func (m *ShardedManager) RMsWithout(file ids.FileID) []ids.RMID {
+	return m.shardFor(file).RMsWithout(file)
+}
+
+// AddReplica implements ecnp.Mapper.
+func (m *ShardedManager) AddReplica(file ids.FileID, rm ids.RMID) error {
+	return m.shardFor(file).AddReplica(file, rm)
+}
+
+// RemoveReplica implements ecnp.Mapper.
+func (m *ShardedManager) RemoveReplica(file ids.FileID, rm ids.RMID) error {
+	return m.shardFor(file).RemoveReplica(file, rm)
+}
+
+// BeginReplication implements ecnp.Mapper.
+func (m *ShardedManager) BeginReplication(file ids.FileID, rm ids.RMID, maxTotal int) error {
+	return m.shardFor(file).BeginReplication(file, rm, maxTotal)
+}
+
+// EndReplication implements ecnp.Mapper.
+func (m *ShardedManager) EndReplication(file ids.FileID, rm ids.RMID, commit bool) error {
+	return m.shardFor(file).EndReplication(file, rm, commit)
+}
+
+// ReplicaCount implements ecnp.Mapper.
+func (m *ShardedManager) ReplicaCount(file ids.FileID) int {
+	return m.shardFor(file).ReplicaCount(file)
+}
+
+// RMs implements ecnp.Mapper. The resource list is replicated, so any
+// shard can answer; shard 0 is canonical.
+func (m *ShardedManager) RMs() []ecnp.RMInfo {
+	return m.shards[0].RMs()
+}
+
+// FilesOn merges the per-shard file lists of one RM.
+func (m *ShardedManager) FilesOn(rm ids.RMID) []ids.FileID {
+	var out []ids.FileID
+	for _, shard := range m.shards {
+		out = append(out, shard.FilesOn(rm)...)
+	}
+	sortFiles(out)
+	return out
+}
+
+// Validate checks every shard's replica-map invariants plus the
+// cross-shard invariant that all shards agree on the resource list.
+func (m *ShardedManager) Validate() error {
+	canonical := m.shards[0].RMs()
+	for i, shard := range m.shards {
+		if err := shard.Validate(); err != nil {
+			return fmt.Errorf("mm: shard %d: %w", i, err)
+		}
+		rms := shard.RMs()
+		if len(rms) != len(canonical) {
+			return fmt.Errorf("mm: shard %d has %d RMs, shard 0 has %d", i, len(rms), len(canonical))
+		}
+		for j := range rms {
+			if rms[j] != canonical[j] {
+				return fmt.Errorf("mm: shard %d resource list diverges at %v", i, rms[j].ID)
+			}
+		}
+	}
+	return nil
+}
+
+func sortFiles(s []ids.FileID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+var _ ecnp.Mapper = (*ShardedManager)(nil)

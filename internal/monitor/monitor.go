@@ -1,0 +1,141 @@
+// Package monitor exposes the runtime state of the live daemons over
+// HTTP/JSON: the paper's RM "maintain[s] the dynamic runtime information,
+// e.g. the current remained storage bandwidth, of its host during the data
+// communication" — this package makes that information observable, which
+// is what the figures' utilization curves are drawn from in a live
+// deployment.
+//
+// Endpoints:
+//
+//	GET /healthz     → 200 "ok"
+//	GET /stats       → JSON snapshot (RM or MM flavour)
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/rm"
+	"dfsqos/internal/vdisk"
+)
+
+// RMStats is the JSON shape of an RM's /stats reply.
+type RMStats struct {
+	ID              string  `json:"id"`
+	CapacityBps     float64 `json:"capacityBps"`
+	AllocatedBps    float64 `json:"allocatedBps"`
+	RemainingBps    float64 `json:"remainingBps"`
+	FracRemaining   float64 `json:"fracRemaining"`
+	ActiveStreams   int     `json:"activeStreams"`
+	StorageBytes    int64   `json:"storageBytes"`
+	StorageUsed     int64   `json:"storageUsed"`
+	Files           int     `json:"files"`
+	CFPs            int64   `json:"cfps"`
+	Opens           int64   `json:"opens"`
+	OpenRefusals    int64   `json:"openRefusals"`
+	RepTriggers     int64   `json:"repTriggers"`
+	RepTransfers    int64   `json:"repTransfers"`
+	RepMigrations   int64   `json:"repMigrations"`
+	OffersAccepted  int64   `json:"offersAccepted"`
+	OffersRejected  int64   `json:"offersRejected"`
+	GCEvictions     int64   `json:"gcEvictions"`
+	VirtualTimeSecs float64 `json:"virtualTimeSecs"`
+}
+
+// NewRMHandler builds the HTTP handler for one RM daemon. disk may be nil.
+func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		now := sched.Now()
+		snap := node.Snapshot(now)
+		st := node.Stats()
+		info := node.Info()
+		out := RMStats{
+			ID:              info.ID.String(),
+			CapacityBps:     float64(info.Capacity),
+			AllocatedBps:    float64(snap.Allocated),
+			RemainingBps:    float64(info.Capacity - snap.Allocated),
+			FracRemaining:   float64(info.Capacity-snap.Allocated) / float64(info.Capacity),
+			ActiveStreams:   snap.Streams,
+			StorageBytes:    int64(info.StorageBytes),
+			StorageUsed:     int64(node.StorageUsed()),
+			Files:           node.NumFiles(),
+			CFPs:            st.CFPs,
+			Opens:           st.Opens,
+			OpenRefusals:    st.OpenRefusals,
+			RepTriggers:     st.RepTriggers,
+			RepTransfers:    st.RepTransfers,
+			RepMigrations:   st.RepMigrations,
+			OffersAccepted:  st.OffersAccepted,
+			OffersRejected:  st.OffersRejected,
+			GCEvictions:     st.GCEvictions,
+			VirtualTimeSecs: now.Seconds(),
+		}
+		if disk != nil {
+			out.StorageUsed = int64(disk.Used())
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+// MMStats is the JSON shape of the MM's /stats reply.
+type MMStats struct {
+	RMs []MMRMEntry `json:"rms"`
+}
+
+// MMRMEntry is one row of the global resource list.
+type MMRMEntry struct {
+	ID          string  `json:"id"`
+	CapacityBps float64 `json:"capacityBps"`
+	Addr        string  `json:"addr"`
+}
+
+// NewMMHandler builds the HTTP handler for the MM daemon.
+func NewMMHandler(mapper ecnp.Mapper) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		var out MMStats
+		for _, info := range mapper.RMs() {
+			out.RMs = append(out.RMs, MMRMEntry{
+				ID:          info.ID.String(),
+				CapacityBps: float64(info.Capacity),
+				Addr:        info.Addr,
+			})
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+func healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve starts an HTTP server on addr with the handler and returns it
+// together with the bound address. Callers stop it with Server.Close.
+func Serve(addr string, h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,57 @@
+// Package qos names the two bandwidth-allocation scenarios of the paper's
+// evaluation and their success criteria.
+//
+// Firm real-time allocation refuses to open a file when no RM can provide
+// the required bandwidth — the criterion is the fail rate of opened files.
+// Soft real-time allocation always allocates the requested bandwidth even
+// past the disk's maximum — the criterion is the over-allocate ratio
+// R_OA = S_OA / S_TA.
+package qos
+
+import "fmt"
+
+// Scenario selects the allocation discipline.
+type Scenario int
+
+const (
+	// Soft real-time: bandwidth is always allocated if requested, even
+	// when the maximum accessible bandwidth is exceeded.
+	Soft Scenario = iota
+	// Firm real-time: the open fails when none of the RMs can provide
+	// sufficient bandwidth; failed opens receive no allocation.
+	Firm
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Soft:
+		return "soft"
+	case Firm:
+		return "firm"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Parse parses "soft" or "firm".
+func Parse(s string) (Scenario, error) {
+	switch s {
+	case "soft", "Soft":
+		return Soft, nil
+	case "firm", "Firm":
+		return Firm, nil
+	}
+	return 0, fmt.Errorf("qos: unknown scenario %q", s)
+}
+
+// Criterion names the metric the paper reports for the scenario.
+func (s Scenario) Criterion() string {
+	if s == Firm {
+		return "fail rate"
+	}
+	return "over-allocate ratio"
+}
+
+// IsFirm is a convenience predicate for admission-control call sites.
+func (s Scenario) IsFirm() bool { return s == Firm }

@@ -1,0 +1,39 @@
+package qos
+
+import "testing"
+
+func TestString(t *testing.T) {
+	if Soft.String() != "soft" || Firm.String() != "firm" {
+		t.Fatalf("String: %v %v", Soft, Firm)
+	}
+	if got := Scenario(9).String(); got != "Scenario(9)" {
+		t.Fatalf("unknown scenario renders %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	for in, want := range map[string]Scenario{"soft": Soft, "Soft": Soft, "firm": Firm, "Firm": Firm} {
+		got, err := Parse(in)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := Parse("hard"); err == nil {
+		t.Error("Parse accepted unknown scenario")
+	}
+}
+
+func TestCriterion(t *testing.T) {
+	if Soft.Criterion() != "over-allocate ratio" {
+		t.Errorf("soft criterion = %q", Soft.Criterion())
+	}
+	if Firm.Criterion() != "fail rate" {
+		t.Errorf("firm criterion = %q", Firm.Criterion())
+	}
+}
+
+func TestIsFirm(t *testing.T) {
+	if Soft.IsFirm() || !Firm.IsFirm() {
+		t.Fatal("IsFirm wrong")
+	}
+}

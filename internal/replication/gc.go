@@ -1,0 +1,116 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+// GCConfig tunes replica deletion. The paper (§III-B) argues both sides of
+// the threshold: "if the storage system only replicates data without
+// deleting the redundant replicas, the resource utilization will
+// continuously downgrade", yet a threshold set too high causes "too many
+// operations back and forth between data replication and deletion".
+// The watermark pair encodes that hysteresis: deletion starts when storage
+// utilization crosses HighWatermark and stops once it falls below
+// LowWatermark, which keeps replication and deletion from oscillating.
+type GCConfig struct {
+	// Enabled turns replica deletion on.
+	Enabled bool
+	// HighWatermark is the storage-utilization fraction that triggers
+	// deletion.
+	HighWatermark float64
+	// LowWatermark is the utilization fraction deletion drives down to.
+	LowWatermark float64
+	// MinReplicas is the replica count deletion never goes below
+	// (normally the static degree, so the original fault tolerance is
+	// preserved).
+	MinReplicas int
+}
+
+// DefaultGCConfig returns a disabled config whose thresholds, once
+// enabled, use an 85%/70% hysteresis and preserve the paper's static
+// degree of 3.
+func DefaultGCConfig() GCConfig {
+	return GCConfig{HighWatermark: 0.85, LowWatermark: 0.70, MinReplicas: 3}
+}
+
+// Validate reports the first problem with the config, or nil.
+func (g GCConfig) Validate() error {
+	if !g.Enabled {
+		return nil
+	}
+	switch {
+	case g.HighWatermark <= 0 || g.HighWatermark > 1:
+		return fmt.Errorf("replication: HighWatermark must be in (0,1], got %v", g.HighWatermark)
+	case g.LowWatermark <= 0 || g.LowWatermark >= g.HighWatermark:
+		return fmt.Errorf("replication: LowWatermark must be in (0, HighWatermark), got %v", g.LowWatermark)
+	case g.MinReplicas < 1:
+		return fmt.Errorf("replication: MinReplicas must be ≥ 1, got %d", g.MinReplicas)
+	}
+	return nil
+}
+
+// ShouldCollect reports whether deletion must start at the given usage.
+func (g GCConfig) ShouldCollect(used, capacity units.Size) bool {
+	if !g.Enabled || capacity <= 0 {
+		return false
+	}
+	return float64(used) > g.HighWatermark*float64(capacity)
+}
+
+// TargetBytes returns the usage deletion drives down to.
+func (g GCConfig) TargetBytes(capacity units.Size) units.Size {
+	return units.Size(g.LowWatermark * float64(capacity))
+}
+
+// Victim is a deletion candidate: a locally stored replica with its
+// coldness rank inputs.
+type Victim struct {
+	File ids.FileID
+	Size units.Size
+	// Count is the local request count (lower = colder).
+	Count int64
+	// Replicas is the file's current global replica count.
+	Replicas int
+	// Pinned marks replicas that must not be deleted (in-flight
+	// replication source, currently streaming, etc.).
+	Pinned bool
+}
+
+// SelectVictims returns the files to delete, coldest first, so that usage
+// drops to at most target. Files at or below minReplicas or pinned are
+// skipped. Ties in coldness break by larger size first (fewer deletions),
+// then file ID for determinism.
+func SelectVictims(victims []Victim, used, target units.Size, minReplicas int) []ids.FileID {
+	if used <= target {
+		return nil
+	}
+	sorted := make([]Victim, 0, len(victims))
+	for _, v := range victims {
+		if v.Pinned || v.Replicas <= minReplicas || v.Replicas <= 1 {
+			continue
+		}
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count < sorted[j].Count
+		}
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].File < sorted[j].File
+	})
+	var out []ids.FileID
+	for _, v := range sorted {
+		if used <= target {
+			break
+		}
+		out = append(out, v.File)
+		used -= v.Size
+	}
+	return out
+}

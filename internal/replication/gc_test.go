@@ -1,0 +1,155 @@
+package replication
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+func TestGCConfigValidate(t *testing.T) {
+	if err := (GCConfig{}).Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	good := DefaultGCConfig()
+	good.Enabled = true
+	if err := good.Validate(); err != nil {
+		t.Errorf("default enabled config rejected: %v", err)
+	}
+	bad := []GCConfig{
+		{Enabled: true, HighWatermark: 0, LowWatermark: 0.5, MinReplicas: 1},
+		{Enabled: true, HighWatermark: 1.5, LowWatermark: 0.5, MinReplicas: 1},
+		{Enabled: true, HighWatermark: 0.8, LowWatermark: 0.9, MinReplicas: 1}, // low ≥ high
+		{Enabled: true, HighWatermark: 0.8, LowWatermark: 0, MinReplicas: 1},
+		{Enabled: true, HighWatermark: 0.8, LowWatermark: 0.5, MinReplicas: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid GC config accepted", i)
+		}
+	}
+}
+
+func TestShouldCollectHysteresis(t *testing.T) {
+	cfg := GCConfig{Enabled: true, HighWatermark: 0.8, LowWatermark: 0.6, MinReplicas: 1}
+	capacity := units.Size(1000)
+	if cfg.ShouldCollect(790, capacity) {
+		t.Error("collection triggered below high watermark")
+	}
+	if !cfg.ShouldCollect(810, capacity) {
+		t.Error("collection not triggered above high watermark")
+	}
+	if got := cfg.TargetBytes(capacity); got != 600 {
+		t.Errorf("target = %d, want 600", got)
+	}
+	disabled := cfg
+	disabled.Enabled = false
+	if disabled.ShouldCollect(999, capacity) {
+		t.Error("disabled config collected")
+	}
+}
+
+func TestSelectVictimsColdestFirst(t *testing.T) {
+	victims := []Victim{
+		{File: 1, Size: 100, Count: 50, Replicas: 4},
+		{File: 2, Size: 100, Count: 5, Replicas: 4}, // coldest
+		{File: 3, Size: 100, Count: 20, Replicas: 4},
+	}
+	got := SelectVictims(victims, 1000, 850, 3)
+	// Need to free 150 bytes → two victims, coldest first.
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("victims = %v, want [2 3]", got)
+	}
+}
+
+func TestSelectVictimsRespectsMinReplicas(t *testing.T) {
+	victims := []Victim{
+		{File: 1, Size: 100, Count: 0, Replicas: 3},
+		{File: 2, Size: 100, Count: 0, Replicas: 4},
+	}
+	got := SelectVictims(victims, 1000, 800, 3)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("victims = %v, want only the file above min replicas", got)
+	}
+}
+
+func TestSelectVictimsSkipsPinnedAndLastReplica(t *testing.T) {
+	victims := []Victim{
+		{File: 1, Size: 100, Count: 0, Replicas: 5, Pinned: true},
+		{File: 2, Size: 100, Count: 0, Replicas: 1},
+		{File: 3, Size: 100, Count: 9, Replicas: 5},
+	}
+	got := SelectVictims(victims, 1000, 900, 1)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("victims = %v, want only file 3", got)
+	}
+}
+
+func TestSelectVictimsNoWorkBelowTarget(t *testing.T) {
+	victims := []Victim{{File: 1, Size: 100, Count: 0, Replicas: 9}}
+	if got := SelectVictims(victims, 500, 500, 1); got != nil {
+		t.Fatalf("victims = %v at target, want none", got)
+	}
+}
+
+func TestSelectVictimsTieBreak(t *testing.T) {
+	victims := []Victim{
+		{File: 5, Size: 50, Count: 3, Replicas: 9},
+		{File: 4, Size: 200, Count: 3, Replicas: 9}, // same coldness, bigger first
+	}
+	got := SelectVictims(victims, 1000, 980, 1)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("victims = %v, want the larger file first", got)
+	}
+}
+
+// Property: SelectVictims frees enough bytes when enough unpinned,
+// above-minimum victims exist, and never selects a protected replica.
+func TestSelectVictimsProperty(t *testing.T) {
+	f := func(sizes []uint16, counts []uint16) bool {
+		victims := make([]Victim, len(sizes))
+		var total units.Size
+		for i, s := range sizes {
+			c := int64(0)
+			if i < len(counts) {
+				c = int64(counts[i])
+			}
+			victims[i] = Victim{
+				File:     ids.FileID(i),
+				Size:     units.Size(s) + 1,
+				Count:    c,
+				Replicas: 2 + i%4,
+				Pinned:   i%7 == 0,
+			}
+			total += victims[i].Size
+		}
+		target := total / 2
+		selected := SelectVictims(victims, total, target, 2)
+		freed := units.Size(0)
+		seen := map[ids.FileID]bool{}
+		for _, f := range selected {
+			if seen[f] {
+				return false // duplicates
+			}
+			seen[f] = true
+			v := victims[int(f)]
+			if v.Pinned || v.Replicas <= 2 {
+				return false // protected replica selected
+			}
+			freed += v.Size
+		}
+		// Either the target was reached, or every eligible victim was taken.
+		if total-freed > target {
+			for _, v := range victims {
+				if !v.Pinned && v.Replicas > 2 && !seen[v.File] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

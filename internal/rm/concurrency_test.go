@@ -1,0 +1,100 @@
+package rm
+
+import (
+	"sync"
+	"testing"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+// TestConcurrentOperations hammers one RM from many goroutines — the live
+// TCP server serves each connection on its own goroutine, so every public
+// method must tolerate concurrent callers. Run with -race.
+func TestConcurrentOperations(t *testing.T) {
+	files := map[ids.RMID]map[ids.FileID]FileMeta{
+		1: {0: fm(units.Mbps(2), 100), 1: fm(units.Mbps(1), 50)},
+		2: {0: fm(units.Mbps(2), 100)},
+		3: {1: fm(units.Mbps(1), 50)},
+	}
+	h := newHarness(t, staticCfg(), map[ids.RMID]units.BytesPerSec{
+		1: units.Mbps(100), 2: units.Mbps(100), 3: units.Mbps(100),
+	}, files)
+	node := h.rms[1]
+
+	const goroutines = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req := ids.RequestID(int64(g)<<32 | int64(i))
+				file := ids.FileID(i % 2)
+				node.HandleCFP(ecnp.CFP{Request: req, File: file, Bitrate: units.Mbps(1), DurationSec: 10})
+				res := node.Open(ecnp.OpenRequest{Request: req, File: file, Bitrate: units.Mbps(1), DurationSec: 10, Firm: true})
+				if res.OK {
+					node.Close(req)
+				}
+				node.Snapshot(h.sched.Now())
+				node.Allocated()
+				node.StorageUsed()
+				node.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := node.Allocated(); got != 0 {
+		t.Fatalf("allocated %v after all closes", got)
+	}
+	st := node.Stats()
+	if st.CFPs != goroutines*iters {
+		t.Fatalf("CFPs = %d, want %d", st.CFPs, goroutines*iters)
+	}
+	if st.Opens == 0 {
+		t.Fatal("no opens admitted")
+	}
+}
+
+// TestConcurrentOffersSingleWinnerPerFile fires many concurrent replica
+// offers of the same file at one destination; exactly one may be accepted
+// (rule 1 covers in-flight copies).
+func TestConcurrentOffersSingleWinnerPerFile(t *testing.T) {
+	h := newHarness(t, staticCfg(), map[ids.RMID]units.BytesPerSec{
+		1: units.Mbps(100), 2: units.Mbps(100),
+	}, nil)
+	dst := h.rms[2]
+	const offers = 16
+	accepted := make(chan bool, offers)
+	var wg sync.WaitGroup
+	for i := 0; i < offers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			accepted <- dst.OfferReplica(ecnp.ReplicaOffer{
+				Replication: ids.ReplicationID(i + 1),
+				File:        7,
+				SizeBytes:   units.MB,
+				Bitrate:     units.Mbps(1),
+				DurationSec: 8,
+				Rate:        units.Mbps(1.8),
+				Source:      1,
+			})
+		}()
+	}
+	wg.Wait()
+	close(accepted)
+	wins := 0
+	for ok := range accepted {
+		if ok {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d concurrent offers of the same file accepted, want 1", wins)
+	}
+}

@@ -1,0 +1,683 @@
+// Package rm implements the Resource Manager — the Storage Provider role of
+// the ECNP model. Each RM owns one throttled disk (modelled by a bandwidth
+// ledger), answers Call-For-Proposals with bids built from its remaining
+// bandwidth, two-queue usage history and occupation-time statistics, admits
+// or refuses data accesses depending on the QoS scenario, and runs the
+// source and destination endpoints of the dynamic replication mechanism.
+//
+// The RM is driven through an abstract scheduler (ecnp.Scheduler), so the
+// identical code executes under the discrete-event simulation and in live
+// TCP mode; a mutex guards all state for the latter.
+package rm
+
+import (
+	"fmt"
+	"sync"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/history"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/ledger"
+	"dfsqos/internal/replication"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/simtime"
+	"dfsqos/internal/units"
+)
+
+// FileMeta is what an RM knows about a file it stores.
+type FileMeta struct {
+	Bitrate     units.BytesPerSec
+	Size        units.Size
+	DurationSec float64
+}
+
+// Stats counts notable RM events for metrics and experiments.
+type Stats struct {
+	CFPs           int64 // CFPs received
+	Opens          int64 // accesses admitted
+	OpenRefusals   int64 // firm-scenario refusals
+	RepTriggers    int64 // replication triggers that produced ≥1 transfer
+	RepTransfers   int64 // replica copies completed (as source)
+	RepMigrations  int64 // own-replica deletions after exceeding N_MAXR
+	OffersAccepted int64 // incoming offers accepted (as destination)
+	OffersRejected int64 // incoming offers rejected (as destination)
+	GCEvictions    int64 // cold replicas deleted by the storage collector
+}
+
+// incoming tracks one accepted inbound replication transfer.
+type incoming struct {
+	file ids.FileID
+	meta FileMeta
+	rate units.BytesPerSec
+}
+
+// DataCopier moves real replica bytes during dynamic replication. The DES
+// leaves it nil (the transfer is pure timing: size/speed seconds); live
+// mode plugs a copier that streams the file from the local virtual disk to
+// the destination RM over TCP, paced at the replication rate. CopyReplica
+// blocks until the copy completes and returns nil only when the
+// destination durably holds the bytes.
+type DataCopier interface {
+	CopyReplica(dst ids.RMID, rep ids.ReplicationID, file ids.FileID, meta FileMeta, rate units.BytesPerSec) error
+}
+
+// RM is one Resource Manager.
+type RM struct {
+	mu sync.Mutex
+
+	info   ecnp.RMInfo
+	sched  ecnp.Scheduler
+	mapper ecnp.Mapper
+	dir    ecnp.Directory
+	led    *ledger.Ledger
+	hist   *history.TwoQueue
+	src    *rng.Source
+	repCfg replication.Config
+	copier DataCopier
+
+	files       map[ids.FileID]FileMeta
+	sumDur      float64    // Σ DurationSec over files (occupation-time aggregate)
+	storageUsed units.Size // Σ Size over files + in-flight incoming replicas
+	counts      map[ids.FileID]int64
+	gcCfg       replication.GCConfig
+
+	active map[ids.RequestID]units.BytesPerSec
+
+	// Replication state.
+	incomings     map[ids.ReplicationID]incoming
+	incomingFiles map[ids.FileID]int
+	outgoingFiles map[ids.FileID]int
+	srcActive     int
+	dstActive     int
+	lastRep       simtime.Time
+	hasRepped     bool
+	repSeq        int64
+
+	stats Stats
+}
+
+// Options configures a new RM.
+type Options struct {
+	Info        ecnp.RMInfo
+	Scheduler   ecnp.Scheduler
+	Mapper      ecnp.Mapper
+	History     history.Config
+	Replication replication.Config
+	// GC configures cold-replica deletion (zero value: disabled).
+	GC replication.GCConfig
+	// Rand is this RM's private random stream (tie-breaking, destination
+	// sampling).
+	Rand *rng.Source
+	// Copier optionally moves real bytes during replication (live mode).
+	Copier DataCopier
+	// Files seeds the RM's local file table with its static replicas.
+	Files map[ids.FileID]FileMeta
+}
+
+// New constructs an RM. The Directory is injected later via SetDirectory
+// because providers and the directory reference each other.
+func New(opt Options) (*RM, error) {
+	if err := opt.Info.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Scheduler == nil || opt.Mapper == nil || opt.Rand == nil {
+		return nil, fmt.Errorf("rm: %v: Scheduler, Mapper and Rand are required", opt.Info.ID)
+	}
+	if err := opt.Replication.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.GC.Validate(); err != nil {
+		return nil, err
+	}
+	hist, err := history.New(opt.History)
+	if err != nil {
+		return nil, err
+	}
+	r := &RM{
+		info:          opt.Info,
+		sched:         opt.Scheduler,
+		mapper:        opt.Mapper,
+		led:           ledger.New(opt.Info.Capacity, opt.Scheduler.Now()),
+		hist:          hist,
+		src:           opt.Rand,
+		repCfg:        opt.Replication,
+		gcCfg:         opt.GC,
+		copier:        opt.Copier,
+		files:         make(map[ids.FileID]FileMeta, len(opt.Files)),
+		counts:        make(map[ids.FileID]int64),
+		active:        make(map[ids.RequestID]units.BytesPerSec),
+		incomings:     make(map[ids.ReplicationID]incoming),
+		incomingFiles: make(map[ids.FileID]int),
+		outgoingFiles: make(map[ids.FileID]int),
+	}
+	for f, meta := range opt.Files {
+		r.files[f] = meta
+		r.sumDur += meta.DurationSec
+		r.storageUsed += meta.Size
+	}
+	if opt.Info.StorageBytes > 0 && r.storageUsed > opt.Info.StorageBytes {
+		return nil, fmt.Errorf("rm: %v seeded with %v of replicas exceeding %v disk",
+			opt.Info.ID, r.storageUsed, opt.Info.StorageBytes)
+	}
+	return r, nil
+}
+
+// StorageUsed returns the bytes of committed and in-flight replicas.
+func (r *RM) StorageUsed() units.Size {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storageUsed
+}
+
+// SetDirectory wires the RM to its peers; it must be called before any
+// replication can run.
+func (r *RM) SetDirectory(dir ecnp.Directory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dir = dir
+}
+
+// Register submits the RM's resources and file list to the Metadata
+// Manager — the first step of system initialization (paper Fig. 2).
+func (r *RM) Register() error {
+	r.mu.Lock()
+	files := make([]ids.FileID, 0, len(r.files))
+	for f := range r.files {
+		files = append(files, f)
+	}
+	info := r.info
+	r.mu.Unlock()
+	return r.mapper.RegisterRM(info, files)
+}
+
+// Info implements ecnp.Provider.
+func (r *RM) Info() ecnp.RMInfo { return r.info }
+
+// Stats returns a copy of the RM's event counters.
+func (r *RM) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Snapshot freezes the ledger integrals at now (see ledger.Snapshot).
+func (r *RM) Snapshot(now simtime.Time) ledger.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.led.Snapshot(now)
+}
+
+// Allocated returns the currently reserved bandwidth.
+func (r *RM) Allocated() units.BytesPerSec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.led.Allocated()
+}
+
+// HasFile reports whether the RM holds a committed replica of file.
+func (r *RM) HasFile(f ids.FileID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.files[f]
+	return ok
+}
+
+// NumFiles returns the number of committed replicas on this RM.
+func (r *RM) NumFiles() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.files)
+}
+
+// HandleCFP implements ecnp.Provider. Per the paper's first deviation from
+// textbook ECNP, the RM always returns a bid rather than refusing. The CFP
+// arrival is recorded in the access history (it is a request for the file,
+// whether or not this RM wins) and may trigger the dynamic-replication
+// source agent.
+func (r *RM) HandleCFP(cfp ecnp.CFP) selection.Bid {
+	r.mu.Lock()
+	r.stats.CFPs++
+	now := r.sched.Now()
+
+	meta, known := r.files[cfp.File]
+	tOcp := cfp.DurationSec
+	if known {
+		tOcp = meta.DurationSec
+	}
+	// The request frequency feeds the replication agent's busiest-file
+	// ranking; the utilization history is recorded at Open time, when the
+	// file is actually accessed on this RM.
+	r.counts[cfp.File]++
+
+	tOcpAvg := 0.0
+	if n := len(r.files); n > 0 {
+		tOcpAvg = r.sumDur / float64(n)
+	}
+	bid := selection.Bid{
+		RM:         r.info.ID,
+		Rem:        r.led.Remaining(),
+		Trend:      r.hist.Trend(now, r.led.Allocated()),
+		OccBias:    selection.OccupationBias(tOcp, tOcpAvg),
+		Req:        cfp.Bitrate,
+		HasReplica: known,
+	}
+	r.mu.Unlock()
+
+	// The replication check runs outside the bid critical section: it
+	// talks to the mapper and to peer RMs.
+	r.maybeReplicate(now)
+	return bid
+}
+
+// Open implements ecnp.Provider.
+func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.active[req.Request]; dup {
+		return ecnp.OpenResult{OK: false, Reason: "duplicate request id"}
+	}
+	if req.Firm && !r.led.Fits(req.Bitrate) {
+		r.stats.OpenRefusals++
+		return ecnp.OpenResult{OK: false, Reason: "insufficient bandwidth"}
+	}
+	now := r.sched.Now()
+	size := units.Size(float64(req.Bitrate) * req.DurationSec)
+	// The two-queue history accumulates "the cumulative amount of
+	// bandwidth utilization": the sizes of files being accessed on this
+	// RM during the recording window.
+	r.hist.Record(now, size)
+	r.led.Allocate(now, req.Bitrate)
+	r.led.AddAssignedBytes(size)
+	r.active[req.Request] = req.Bitrate
+	r.stats.Opens++
+	return ecnp.OpenResult{OK: true}
+}
+
+// Close implements ecnp.Provider. Closing an unknown request is a no-op so
+// a requester retrying after a lost reply cannot corrupt the ledger.
+func (r *RM) Close(request ids.RequestID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rate, ok := r.active[request]
+	if !ok {
+		return
+	}
+	delete(r.active, request)
+	r.led.Release(r.sched.Now(), rate)
+}
+
+// StoreFile implements ecnp.Provider: it admits a brand-new file onto this
+// RM — the write half of the paper's data communication phase ("data can
+// be stored into the selected storage resource"). The file joins the local
+// table and storage accounting; the caller registers the replica with the
+// MM once the store succeeds.
+func (r *RM) StoreFile(req ecnp.StoreRequest) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.files[req.File]; dup {
+		return fmt.Errorf("rm: %v already holds %v", r.info.ID, req.File)
+	}
+	if r.info.StorageBytes > 0 && r.storageUsed+req.SizeBytes > r.info.StorageBytes {
+		return fmt.Errorf("rm: %v disk full (%v of %v used)", r.info.ID, r.storageUsed, r.info.StorageBytes)
+	}
+	meta := FileMeta{Bitrate: req.Bitrate, Size: req.SizeBytes, DurationSec: req.DurationSec}
+	r.files[req.File] = meta
+	r.sumDur += meta.DurationSec
+	r.storageUsed += meta.Size
+	return nil
+}
+
+// OfferReplica implements ecnp.Provider (the destination endpoint).
+func (r *RM) OfferReplica(offer ecnp.ReplicaOffer) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, has := r.files[offer.File]
+	hasReplica := has || r.incomingFiles[offer.File] > 0
+	ok := replication.DestinationDecision(
+		hasReplica,
+		r.led.Remaining(),
+		r.info.Capacity,
+		r.repCfg.BRev(offer.Bitrate),
+		r.repCfg.TriggerFrac,
+	)
+	// A full disk also rejects: the replica would not fit.
+	if ok && r.info.StorageBytes > 0 && r.storageUsed+offer.SizeBytes > r.info.StorageBytes {
+		ok = false
+	}
+	if !ok {
+		r.stats.OffersRejected++
+		return false
+	}
+	r.storageUsed += offer.SizeBytes
+	r.stats.OffersAccepted++
+	if r.repCfg.ChargeTransfers {
+		r.led.Allocate(r.sched.Now(), offer.Rate)
+	}
+	r.incomings[offer.Replication] = incoming{
+		file: offer.File,
+		meta: FileMeta{Bitrate: offer.Bitrate, Size: offer.SizeBytes, DurationSec: offer.DurationSec},
+		rate: offer.Rate,
+	}
+	r.incomingFiles[offer.File]++
+	r.dstActive++
+	return true
+}
+
+// FinishReplica implements ecnp.Provider (destination side completion).
+func (r *RM) FinishReplica(rep ids.ReplicationID, committed bool) {
+	r.mu.Lock()
+	in, ok := r.incomings[rep]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.incomings, rep)
+	r.incomingFiles[in.file]--
+	if r.incomingFiles[in.file] <= 0 {
+		delete(r.incomingFiles, in.file)
+	}
+	r.dstActive--
+	if r.repCfg.ChargeTransfers {
+		r.led.Release(r.sched.Now(), in.rate)
+	}
+	commitOK := false
+	if committed {
+		if _, dup := r.files[in.file]; !dup {
+			r.files[in.file] = in.meta
+			r.sumDur += in.meta.DurationSec
+			commitOK = true
+		}
+	}
+	if !commitOK {
+		// Aborted (or duplicate) transfer: return the reserved space.
+		r.storageUsed -= in.meta.Size
+	}
+	r.mu.Unlock()
+	if commitOK {
+		// A landed replica may push storage past the high watermark; the
+		// collector runs outside the lock (it talks to the mapper).
+		r.collectGarbage()
+	}
+}
+
+// collectGarbage deletes the coldest local replicas until storage
+// utilization falls below the GC low watermark. Files currently being
+// replicated out are pinned; the mapper (which refuses to drop a last
+// replica) and MinReplicas protect availability.
+func (r *RM) collectGarbage() {
+	r.mu.Lock()
+	if !r.gcCfg.ShouldCollect(r.storageUsed, r.info.StorageBytes) {
+		r.mu.Unlock()
+		return
+	}
+	victims := make([]replication.Victim, 0, len(r.files))
+	for f, meta := range r.files {
+		victims = append(victims, replication.Victim{
+			File:   f,
+			Size:   meta.Size,
+			Count:  r.counts[f],
+			Pinned: r.outgoingFiles[f] > 0,
+		})
+	}
+	used := r.storageUsed
+	target := r.gcCfg.TargetBytes(r.info.StorageBytes)
+	minReplicas := r.gcCfg.MinReplicas
+	self := r.info.ID
+	r.mu.Unlock()
+
+	// Fill in the global replica counts outside the lock.
+	for i := range victims {
+		victims[i].Replicas = r.mapper.ReplicaCount(victims[i].File)
+	}
+	for _, f := range replication.SelectVictims(victims, used, target, minReplicas) {
+		if err := r.mapper.RemoveReplica(f, self); err != nil {
+			continue // lost a race (e.g. became the last replica); skip
+		}
+		r.mu.Lock()
+		if meta, ok := r.files[f]; ok {
+			delete(r.files, f)
+			r.sumDur -= meta.DurationSec
+			r.storageUsed -= meta.Size
+			r.stats.GCEvictions++
+		}
+		r.mu.Unlock()
+	}
+}
+
+// maybeReplicate is the source-side agent: it checks the trigger conditions
+// and, when they hold, replicates the busiest feasible file to destinations
+// chosen by the configured strategy.
+func (r *RM) maybeReplicate(now simtime.Time) {
+	r.mu.Lock()
+	cfg := r.repCfg
+	if !cfg.Strategy.Enabled || r.dir == nil {
+		r.mu.Unlock()
+		return
+	}
+	// Trigger conditions (paper §V, "When to replicate"):
+	// remaining bandwidth below B_TH, not already a source or destination
+	// endpoint, and no replication processed within the cooldown window.
+	if r.led.FracRemaining() >= cfg.TriggerFrac ||
+		r.srcActive > 0 || r.dstActive > 0 ||
+		(r.hasRepped && now.Sub(r.lastRep).Seconds() < cfg.CooldownSec) {
+		r.mu.Unlock()
+		return
+	}
+	// Busiest-file candidate set N_BF: smallest prefix of this RM's
+	// request counts covering BusyCoverage of the total.
+	fcs := make([]replication.FileCount, 0, len(r.counts))
+	for f, c := range r.counts {
+		if _, stored := r.files[f]; stored {
+			fcs = append(fcs, replication.FileCount{File: f, Count: c})
+		}
+	}
+	candidates := replication.BusiestCovering(fcs, cfg.BusyCoverage)
+	self := r.info.ID
+	r.mu.Unlock()
+
+	for _, f := range candidates {
+		if r.tryReplicateFile(now, f, self) {
+			return
+		}
+	}
+}
+
+// tryReplicateFile attempts one replication of file f; it reports whether
+// at least one copy was started.
+func (r *RM) tryReplicateFile(now simtime.Time, f ids.FileID, self ids.RMID) bool {
+	r.mu.Lock()
+	meta, stored := r.files[f]
+	outgoing := r.outgoingFiles[f] > 0
+	cfg := r.repCfg
+	r.mu.Unlock()
+	if !stored || outgoing {
+		return false
+	}
+	if !cfg.SourceEligible(meta.Bitrate) {
+		return false
+	}
+	nCur := r.mapper.ReplicaCount(f)
+	if nCur < 1 {
+		return false
+	}
+	want, migrate := cfg.Strategy.Plan(nCur)
+	if want < 1 {
+		return false
+	}
+	withoutIDs := r.mapper.RMsWithout(f)
+	if len(withoutIDs) == 0 {
+		return false
+	}
+	infos := make([]ecnp.RMInfo, 0, len(withoutIDs))
+	for _, id := range withoutIDs {
+		if id == self {
+			continue
+		}
+		if p, ok := r.dir.Provider(id); ok {
+			infos = append(infos, p.Info())
+		}
+	}
+	if len(infos) == 0 {
+		return false
+	}
+
+	r.mu.Lock()
+	order := cfg.Dest.Order(infos, r.src)
+	r.mu.Unlock()
+
+	type started struct {
+		rep ids.ReplicationID
+		dst ecnp.Provider
+	}
+	var transfers []started
+	for _, dstID := range order {
+		if len(transfers) >= want {
+			break
+		}
+		dst, ok := r.dir.Provider(dstID)
+		if !ok {
+			continue
+		}
+		// Reserve the replica slot globally first: the MM enforces the
+		// replica cap atomically, so concurrent sources of the same file
+		// cannot overshoot N_MAXR. A migrating plan may hold one replica
+		// beyond the bound until the source deletes its own copy.
+		cap := cfg.Strategy.NMaxR
+		if migrate {
+			cap++
+		}
+		if err := r.mapper.BeginReplication(f, dstID, cap); err != nil {
+			continue
+		}
+		rep := r.nextRepID()
+		offer := ecnp.ReplicaOffer{
+			Replication: rep,
+			File:        f,
+			SizeBytes:   meta.Size,
+			Bitrate:     meta.Bitrate,
+			DurationSec: meta.DurationSec,
+			Rate:        cfg.Speed,
+			Source:      self,
+		}
+		if dst.OfferReplica(offer) {
+			transfers = append(transfers, started{rep: rep, dst: dst})
+		} else {
+			r.mapper.EndReplication(f, dstID, false)
+		}
+	}
+	if len(transfers) == 0 {
+		return false
+	}
+
+	// Commit the source side: reserve the transfer bandwidth, mark the
+	// replication state and schedule the completions.
+	r.mu.Lock()
+	r.stats.RepTriggers++
+	r.srcActive += len(transfers)
+	r.outgoingFiles[f] += len(transfers)
+	r.lastRep = now
+	r.hasRepped = true
+	if cfg.ChargeTransfers {
+		for range transfers {
+			r.led.Allocate(now, cfg.Speed)
+		}
+	}
+	// state shared by this trigger's transfers: migration happens only
+	// after the last copy finishes, and only if at least one committed.
+	state := &transferGroup{remaining: len(transfers)}
+	// migrate applies only if the bound is actually exceeded once the
+	// accepted copies land.
+	doMigrate := migrate && nCur+len(transfers) > cfg.Strategy.NMaxR
+	r.mu.Unlock()
+
+	dur := simtime.Duration(units.DurationSec(meta.Size, cfg.Speed))
+	for _, tr := range transfers {
+		tr := tr
+		if r.copier == nil {
+			// Timing-only transfer (the DES): the copy "completes" after
+			// size/speed seconds of virtual time.
+			r.sched.After(dur, func(done simtime.Time) {
+				r.completeTransfer(done, f, tr.rep, tr.dst, state, doMigrate, true)
+			})
+			continue
+		}
+		// Live mode: move the actual bytes, paced at the replication
+		// rate, and complete with the copy's real outcome.
+		go func() {
+			err := r.copier.CopyReplica(tr.dst.Info().ID, tr.rep, f, meta, cfg.Speed)
+			r.completeTransfer(r.sched.Now(), f, tr.rep, tr.dst, state, doMigrate, err == nil)
+		}()
+	}
+	return true
+}
+
+// transferGroup tracks one trigger's outstanding copies.
+type transferGroup struct {
+	remaining int
+	committed int
+}
+
+// completeTransfer finalizes one outbound copy. copied reports whether the
+// bytes reached the destination; a failed copy aborts that destination's
+// replica without affecting its siblings.
+func (r *RM) completeTransfer(now simtime.Time, f ids.FileID, rep ids.ReplicationID, dst ecnp.Provider, state *transferGroup, migrate bool, copied bool) {
+	// Resolve the reservation before releasing resources so a concurrent
+	// lookup never observes the file with fewer holders than reality.
+	committed := copied && r.mapper.EndReplication(f, dst.Info().ID, true) == nil
+	if !copied {
+		r.mapper.EndReplication(f, dst.Info().ID, false)
+	}
+	dst.FinishReplica(rep, committed)
+
+	r.mu.Lock()
+	if r.repCfg.ChargeTransfers {
+		r.led.Release(now, r.repCfg.Speed)
+	}
+	r.srcActive--
+	r.outgoingFiles[f]--
+	if r.outgoingFiles[f] <= 0 {
+		delete(r.outgoingFiles, f)
+	}
+	if committed {
+		r.stats.RepTransfers++
+		state.committed++
+	}
+	state.remaining--
+	last := state.remaining == 0
+	anyCommitted := state.committed > 0
+	r.mu.Unlock()
+
+	if last && migrate && anyCommitted {
+		r.migrateOut(f)
+	}
+}
+
+// migrateOut deletes the RM's own replica of f after a bound-exceeding
+// replication, per the paper: "if the replication exceeds the upper bound
+// of the number of replicas, the RM will delete the replica that exists on
+// itself".
+func (r *RM) migrateOut(f ids.FileID) {
+	// The mapper refuses to drop the last replica; only delete locally
+	// once the global map accepted the removal.
+	if err := r.mapper.RemoveReplica(f, r.info.ID); err != nil {
+		return
+	}
+	r.mu.Lock()
+	if meta, ok := r.files[f]; ok {
+		delete(r.files, f)
+		r.sumDur -= meta.DurationSec
+		r.storageUsed -= meta.Size
+		r.stats.RepMigrations++
+	}
+	r.mu.Unlock()
+}
+
+func (r *RM) nextRepID() ids.ReplicationID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.repSeq++
+	return ids.ReplicationID(int64(r.info.ID)<<40 | r.repSeq)
+}
+
+var _ ecnp.Provider = (*RM)(nil)

@@ -1,0 +1,263 @@
+// Package rng provides deterministic, splittable random-number streams and
+// the distributions the paper's workload model needs: the negative
+// exponential distribution (NET) for request arrival times and a Zipf-like
+// popularity distribution over the video catalog.
+//
+// Every source of randomness in a simulation run is derived from a single
+// master seed through named streams, so an experiment rerun with the same
+// seed is bit-identical regardless of how many streams are consumed or in
+// which order they are created.
+package rng
+
+import (
+	"math"
+)
+
+// splitmix64 advances a splitmix64 state and returns the next output.
+// It is used both to seed streams and to hash stream names.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashName folds a stream name into a 64-bit value with an FNV-1a pass
+// followed by a splitmix64 finalizer for avalanche.
+func hashName(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return splitmix64(&h)
+}
+
+// Source is a deterministic pseudo-random stream (xoshiro256**).
+// It is not safe for concurrent use; split one Source per goroutine or per
+// simulation actor instead of sharing.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, as recommended by
+// the xoshiro authors (avoids correlated low-entropy states).
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// An all-zero state would be a fixed point; splitmix64 of any seed
+	// cannot produce four zero outputs, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child stream identified by name.
+// Children with distinct names are statistically independent of each other
+// and of the parent; splitting does not advance the parent stream.
+func (s *Source) Split(name string) *Source {
+	mix := s.s[0] ^ rotl(s.s[2], 17) ^ hashName(name)
+	return New(mix)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// OpenFloat64 returns a uniform value in the open interval (0, 1),
+// suitable as the U term of the paper's NET equation f(x) = −β·ln U,
+// where U = 0 would yield an infinite inter-arrival time.
+func (s *Source) OpenFloat64() float64 {
+	for {
+		v := s.Float64()
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	un := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= -un%un {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Shuffle pseudo-randomly permutes n elements via the provided swap func
+// using the Fisher-Yates algorithm.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Exp draws from the negative exponential distribution with the given mean,
+// implementing the paper's NET arrival model f(x) = −β·ln U with U ∈ (0,1).
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp with non-positive mean")
+	}
+	return -mean * math.Log(s.OpenFloat64())
+}
+
+// NormFloat64 draws a standard normal value via the Marsaglia polar method.
+// Used to jitter synthetic video bitrates around their class means.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Zipf draws ranks from a Zipf distribution over {0, 1, ..., n-1} with skew
+// parameter s (probability of rank k proportional to 1/(k+1)^s).
+// It precomputes the CDF once and samples by binary search, which keeps a
+// draw at O(log n) while remaining exact for any skew including s < 1
+// (the stdlib's rejection sampler requires s > 1).
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with skew skew > 0.
+func NewZipf(src *Source, n int, skew float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if skew <= 0 {
+		panic("rng: Zipf with non-positive skew")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), skew)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// P returns the probability mass of rank k.
+func (z *Zipf) P(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// Draw samples a rank.
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// WeightedChoice samples index i with probability weights[i]/sum(weights).
+// It panics if weights is empty or sums to a non-positive value. Used by the
+// Weighted destination-selection strategy (probability proportional to an
+// RM's initial bandwidth).
+func (s *Source) WeightedChoice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: WeightedChoice with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: WeightedChoice with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: WeightedChoice with non-positive total weight")
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // rounding guard
+}

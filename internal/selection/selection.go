@@ -1,0 +1,182 @@
+// Package selection implements the paper's resource-selection policies
+// (§IV): every eligible RM answers a Call-For-Proposal with a bid, and the
+// DFSC scores each bid as
+//
+//	Bid = α·B_rem + β·Trend − γ·(OccBias · B_req)
+//
+// where B_rem is the RM's remaining bandwidth, Trend is the two-queue
+// historical prediction term (see package history), OccBias =
+// exp(−T_ocp_avg/T_ocp) ∈ (0,1) biases against RMs the requested file would
+// occupy for long relative to the RM's average occupation time, and B_req is
+// the bandwidth the request needs. Higher scores win. The weights are the
+// policy triple (α,β,γ) with α ≥ β ≥ γ in the paper's experiments; (0,0,0)
+// denotes uniform-random selection with no policy involved.
+package selection
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/units"
+)
+
+// Policy is the (α, β, γ) weight triple.
+type Policy struct {
+	Alpha, Beta, Gamma float64
+}
+
+// Canonical policies evaluated in the paper.
+var (
+	Random   = Policy{0, 0, 0}
+	RemOnly  = Policy{1, 0, 0}
+	RemOcc   = Policy{1, 0, 1}
+	RemTrend = Policy{1, 1, 0}
+	Full     = Policy{1, 1, 1}
+)
+
+// PaperPolicies returns the five policies of Tables I-IV in paper order.
+func PaperPolicies() []Policy {
+	return []Policy{Random, RemOnly, RemOcc, RemTrend, Full}
+}
+
+// IsRandom reports whether the policy is (0,0,0), i.e. "choosing the RM
+// randomly without any selection policy being involved".
+func (p Policy) IsRandom() bool { return p.Alpha == 0 && p.Beta == 0 && p.Gamma == 0 }
+
+// String renders the policy as the paper writes it, e.g. "(1,0,0)".
+func (p Policy) String() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return "(" + f(p.Alpha) + "," + f(p.Beta) + "," + f(p.Gamma) + ")"
+}
+
+// ParsePolicy parses "(1,0,0)" or "1,0,0" into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "(")
+	t = strings.TrimSuffix(t, ")")
+	parts := strings.Split(t, ",")
+	if len(parts) != 3 {
+		return Policy{}, fmt.Errorf("selection: policy %q must have three components", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Policy{}, fmt.Errorf("selection: bad policy %q: %w", s, err)
+		}
+		if v < 0 {
+			return Policy{}, fmt.Errorf("selection: policy %q has negative weight", s)
+		}
+		vals[i] = v
+	}
+	return Policy{vals[0], vals[1], vals[2]}, nil
+}
+
+// Bid carries the factors an RM reports in response to a CFP, plus the
+// request context needed for scoring.
+type Bid struct {
+	// RM is the bidder.
+	RM ids.RMID
+	// Rem is B_rem, the RM's remaining (unallocated) bandwidth. It can be
+	// negative in the soft real-time scenario.
+	Rem units.BytesPerSec
+	// Trend is the two-queue historical prediction term (bytes/sec scale).
+	Trend float64
+	// OccBias is exp(−T_ocp_avg / T_ocp) for the requested file on this RM.
+	OccBias float64
+	// Req is B_req, the bandwidth the request reserves (the file bitrate).
+	Req units.BytesPerSec
+	// HasReplica reports whether the bidder actually holds the file.
+	// Under ECNP the matchmaker guarantees it; under plain-CNP broadcast
+	// (no matchmaker) the requester must filter on it, mirroring the
+	// refusal a CNP provider would send.
+	HasReplica bool
+}
+
+// OccupationBias computes exp(−tOcpAvg/tOcp), the paper's occupation bias
+// ratio scaled into (0, 1). tOcp is the occupation time of the requested
+// file (its playback duration); tOcpAvg is the mean occupation time across
+// files on the bidding RM. By convention a degenerate tOcp ≤ 0 yields 0
+// (an instantaneous access cannot bias the RM), and tOcpAvg ≤ 0 (an RM with
+// no files) yields 1.
+func OccupationBias(tOcp, tOcpAvg float64) float64 {
+	if tOcp <= 0 {
+		return 0
+	}
+	if tOcpAvg <= 0 {
+		return 1
+	}
+	return math.Exp(-tOcpAvg / tOcp)
+}
+
+// Score evaluates the bid under the policy. Higher is better.
+func (p Policy) Score(b Bid) float64 {
+	return p.Alpha*float64(b.Rem) + p.Beta*b.Trend - p.Gamma*(b.OccBias*float64(b.Req))
+}
+
+// Select picks the winning RM among the bids under the policy. For the
+// random policy it draws uniformly; otherwise it takes the highest score,
+// breaking exact ties uniformly at random so that symmetric configurations
+// do not systematically favour low-numbered RMs. ok is false when bids is
+// empty.
+func Select(p Policy, bids []Bid, src *rng.Source) (winner ids.RMID, ok bool) {
+	if len(bids) == 0 {
+		return ids.NoneRM, false
+	}
+	if p.IsRandom() {
+		return bids[src.Intn(len(bids))].RM, true
+	}
+	best := math.Inf(-1)
+	var tied []ids.RMID
+	for _, b := range bids {
+		s := p.Score(b)
+		switch {
+		case s > best:
+			best = s
+			tied = tied[:0]
+			tied = append(tied, b.RM)
+		case s == best:
+			tied = append(tied, b.RM)
+		}
+	}
+	if len(tied) == 1 {
+		return tied[0], true
+	}
+	return tied[src.Intn(len(tied))], true
+}
+
+// Rank returns the bids' RMs ordered from best to worst score under the
+// policy (stable under equal scores: input order preserved). Used by the
+// firm real-time scenario to try the next-best RM when the best cannot fit
+// the reservation, and by diagnostics.
+func Rank(p Policy, bids []Bid) []ids.RMID {
+	type scored struct {
+		rm    ids.RMID
+		score float64
+		idx   int
+	}
+	ss := make([]scored, len(bids))
+	for i, b := range bids {
+		ss[i] = scored{rm: b.RM, score: p.Score(b), idx: i}
+	}
+	// Insertion sort: bid lists are tiny (≤ replica degree).
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0; j-- {
+			if ss[j].score > ss[j-1].score ||
+				(ss[j].score == ss[j-1].score && ss[j].idx < ss[j-1].idx) {
+				ss[j], ss[j-1] = ss[j-1], ss[j]
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]ids.RMID, len(ss))
+	for i, s := range ss {
+		out[i] = s.rm
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+// Package simtime implements the discrete-event simulation (DES) engine that
+// substitutes for the paper's 25-VM Xen testbed. Virtual time is a float64
+// count of seconds since simulation start; events fire in strict (time,
+// sequence) order, which makes every run deterministic.
+//
+// The engine intentionally runs single-threaded: the paper's metrics
+// (over-allocate ratio, fail rate, utilization) are functions of the
+// bandwidth-allocation trajectory, which is piecewise constant between
+// events, so a sequential event loop reproduces it exactly and reproducibly.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Seconds returns the duration as a float64 second count.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String formats a virtual time as "h:mm:ss.mmm".
+func (t Time) String() string {
+	s := float64(t)
+	neg := ""
+	if s < 0 {
+		neg, s = "-", -s
+	}
+	h := int(s) / 3600
+	m := (int(s) % 3600) / 60
+	rest := s - float64(h*3600+m*60)
+	return fmt.Sprintf("%s%d:%02d:%06.3f", neg, h, m, rest)
+}
+
+// Event is a scheduled callback. The zero Event is invalid; obtain events
+// from Scheduler.Schedule.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func(Time)
+	canceled bool
+}
+
+// At returns the event's scheduled firing time.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: all simulation actors run inside event callbacks.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler with the clock at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns how many events have fired so far (diagnostic).
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Schedule registers fn to fire at time at. Scheduling in the past panics:
+// it is always a logic error in a DES and silently clamping would corrupt
+// metric integration. Ties fire in scheduling order.
+func (s *Scheduler) Schedule(at Time, fn func(Time)) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("simtime: scheduling nil callback")
+	}
+	if math.IsNaN(float64(at)) {
+		panic("simtime: scheduling event at NaN time")
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After registers fn to fire d seconds from now.
+func (s *Scheduler) After(d Duration, fn func(Time)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op returning false.
+func (s *Scheduler) Cancel(e *Event) bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// Step fires the single earliest event and returns true, or returns false if
+// the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.fired++
+	e.fn(s.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is strictly after the horizon; the clock then advances to the horizon.
+// Events scheduled exactly at the horizon do fire.
+func (s *Scheduler) RunUntil(horizon Time) {
+	if horizon < s.now {
+		panic(fmt.Sprintf("simtime: horizon %v before now %v", horizon, s.now))
+	}
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		next := s.queue[0]
+		if next.at > horizon {
+			break
+		}
+		s.Step()
+	}
+	if !s.halted && s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run fires all events until the queue drains or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		s.Step()
+	}
+}
+
+// Halt stops Run/RunUntil after the current event callback returns.
+// Pending events stay queued.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Ticker invokes fn every period seconds starting at start, until Stop.
+// It is the sampling backbone for the utilization time series in Figs 4-6.
+type Ticker struct {
+	s       *Scheduler
+	period  Duration
+	fn      func(Time)
+	event   *Event
+	stopped bool
+}
+
+// NewTicker schedules a periodic callback. period must be positive.
+func (s *Scheduler) NewTicker(start Time, period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.event = s.Schedule(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick(now Time) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped {
+		t.event = t.s.Schedule(now.Add(t.period), t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.s.Cancel(t.event)
+}

@@ -1,0 +1,329 @@
+// Package vdisk implements the virtual storage an RM serves files from in
+// live mode: an in-memory block store whose every read and write is routed
+// through a blkio throttle group, the way each Xen VM's loopback device is
+// bound to a blkio.throttle group in the paper's testbed (§VI-A).
+//
+// File contents are synthesized deterministically from the file name, so a
+// multi-gigabyte corpus costs no setup time while checksums still verify
+// end-to-end transfer integrity.
+package vdisk
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"dfsqos/internal/blkio"
+	"dfsqos/internal/units"
+)
+
+// Disk is one RM's virtual block device.
+type Disk struct {
+	mu       sync.RWMutex
+	capacity units.Size
+	used     units.Size
+	files    map[string]*file
+	ctrl     *blkio.Controller
+	group    *blkio.Group
+}
+
+type file struct {
+	size units.Size
+	// seed drives the deterministic content generator.
+	seed uint64
+	// data holds explicit contents when the file was written rather than
+	// provisioned; nil means synthesized content.
+	data []byte
+}
+
+// New creates a disk with the given capacity whose I/O is throttled by the
+// named group on ctrl (created with the supplied read/write limits, like
+// joining a loop-device to a blkio cgroup).
+func New(capacity units.Size, ctrl *blkio.Controller, group string, readBps, writeBps units.BytesPerSec) (*Disk, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("vdisk: non-positive capacity %v", capacity)
+	}
+	g, err := ctrl.SetGroup(group, readBps, writeBps)
+	if err != nil {
+		return nil, err
+	}
+	return &Disk{
+		capacity: capacity,
+		files:    make(map[string]*file),
+		ctrl:     ctrl,
+		group:    g,
+	}, nil
+}
+
+// Capacity returns the disk size.
+func (d *Disk) Capacity() units.Size { return d.capacity }
+
+// Used returns the bytes consumed by stored files.
+func (d *Disk) Used() units.Size {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.used
+}
+
+// Provision creates a file with deterministic synthetic contents of the
+// given size without performing throttled writes (the corpus exists before
+// the experiment starts). It fails when the disk would overflow.
+func (d *Disk) Provision(name string, size units.Size) error {
+	if size < 0 {
+		return fmt.Errorf("vdisk: negative size for %q", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.files[name]; ok {
+		d.used -= old.size
+	}
+	if d.used+size > d.capacity {
+		return fmt.Errorf("vdisk: provisioning %q (%v) overflows disk (%v of %v used)",
+			name, size, d.used, d.capacity)
+	}
+	d.files[name] = &file{size: size, seed: seedOf(name)}
+	d.used += size
+	return nil
+}
+
+// Write stores explicit contents under name, charging the write throttle.
+func (d *Disk) Write(ctx context.Context, name string, data []byte) error {
+	if err := d.ctrl.Wait(ctx, d.group, blkio.Write, len(data)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size := units.Size(len(data))
+	if old, ok := d.files[name]; ok {
+		d.used -= old.size
+	}
+	if d.used+size > d.capacity {
+		return fmt.Errorf("vdisk: writing %q (%v) overflows disk", name, size)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.files[name] = &file{size: size, data: cp}
+	d.used += size
+	return nil
+}
+
+// Delete removes a file, reclaiming its space.
+func (d *Disk) Delete(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("vdisk: %q not found", name)
+	}
+	d.used -= f.size
+	delete(d.files, name)
+	return nil
+}
+
+// Stat returns a file's size.
+func (d *Disk) Stat(name string) (units.Size, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("vdisk: %q not found", name)
+	}
+	return f.size, nil
+}
+
+// List returns the stored file names in sorted order.
+func (d *Disk) List() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadAt reads len(p) bytes from the file at offset off through the read
+// throttle. It returns io.EOF at or past the end of the file, matching the
+// io.ReaderAt contract.
+func (d *Disk) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	d.mu.RLock()
+	f, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("vdisk: %q not found", name)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vdisk: negative offset %d", off)
+	}
+	if off >= int64(f.size) {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if rem := int64(f.size) - off; int64(n) > rem {
+		n = int(rem)
+	}
+	if err := d.ctrl.Wait(ctx, d.group, blkio.Read, n); err != nil {
+		return 0, err
+	}
+	if f.data != nil {
+		copy(p[:n], f.data[off:off+int64(n)])
+	} else {
+		fillSynthetic(p[:n], f.seed, off)
+	}
+	var err error
+	if off+int64(n) == int64(f.size) {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// Reader returns an io.Reader streaming the file through the throttle in
+// chunkSize pieces.
+func (d *Disk) Reader(ctx context.Context, name string, chunkSize int) (io.Reader, units.Size, error) {
+	size, err := d.Stat(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if chunkSize <= 0 {
+		chunkSize = 64 * 1024
+	}
+	return &reader{d: d, ctx: ctx, name: name, chunk: chunkSize, size: int64(size)}, size, nil
+}
+
+type reader struct {
+	d     *Disk
+	ctx   context.Context
+	name  string
+	chunk int
+	off   int64
+	size  int64
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	if len(p) > r.chunk {
+		p = p[:r.chunk]
+	}
+	n, err := r.d.ReadAt(r.ctx, r.name, p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// ReadAtRaw reads without charging the throttle group. It exists for the
+// replication reserve path: the paper sets B_REV aside for replication
+// traffic, so replica copies are paced by their own budget (the 1.8 Mbit/s
+// transfer rate) rather than the VM's QoS throttle.
+func (d *Disk) ReadAtRaw(name string, p []byte, off int64) (int, error) {
+	d.mu.RLock()
+	f, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("vdisk: %q not found", name)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vdisk: negative offset %d", off)
+	}
+	if off >= int64(f.size) {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if rem := int64(f.size) - off; int64(n) > rem {
+		n = int(rem)
+	}
+	if f.data != nil {
+		copy(p[:n], f.data[off:off+int64(n)])
+	} else {
+		fillSynthetic(p[:n], f.seed, off)
+	}
+	var err error
+	if off+int64(n) == int64(f.size) {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// WriteRaw stores explicit contents without charging the write throttle,
+// for replica ingestion over the B_REV reserve.
+func (d *Disk) WriteRaw(name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size := units.Size(len(data))
+	if old, ok := d.files[name]; ok {
+		d.used -= old.size
+	}
+	if d.used+size > d.capacity {
+		return fmt.Errorf("vdisk: writing %q (%v) overflows disk", name, size)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.files[name] = &file{size: size, data: cp}
+	d.used += size
+	return nil
+}
+
+// Checksum computes a cheap rolling checksum of the whole file without
+// throttling (integrity checks are not disk I/O).
+func (d *Disk) Checksum(name string) (uint64, error) {
+	d.mu.RLock()
+	f, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("vdisk: %q not found", name)
+	}
+	var sum uint64 = 14695981039346656037
+	buf := make([]byte, 64*1024)
+	for off := int64(0); off < int64(f.size); off += int64(len(buf)) {
+		n := int64(len(buf))
+		if rem := int64(f.size) - off; n > rem {
+			n = rem
+		}
+		if f.data != nil {
+			copy(buf[:n], f.data[off:off+n])
+		} else {
+			fillSynthetic(buf[:n], f.seed, off)
+		}
+		for _, b := range buf[:n] {
+			sum ^= uint64(b)
+			sum *= 1099511628211
+		}
+	}
+	return sum, nil
+}
+
+// ChecksumBytes computes the same rolling checksum over a byte slice, for
+// verifying transferred contents against Checksum.
+func ChecksumBytes(data []byte) uint64 {
+	var sum uint64 = 14695981039346656037
+	for _, b := range data {
+		sum ^= uint64(b)
+		sum *= 1099511628211
+	}
+	return sum
+}
+
+// seedOf hashes a file name into a content seed.
+func seedOf(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h | 1
+}
+
+// fillSynthetic writes the deterministic content bytes of a file with the
+// given seed starting at offset off. Byte k of the file is a cheap mix of
+// the seed and k, so any slice can be generated independently.
+func fillSynthetic(p []byte, seed uint64, off int64) {
+	for i := range p {
+		k := uint64(off + int64(i))
+		x := (k + seed) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		p[i] = byte(x)
+	}
+}

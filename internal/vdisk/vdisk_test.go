@@ -1,0 +1,230 @@
+package vdisk
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"dfsqos/internal/blkio"
+	"dfsqos/internal/units"
+)
+
+// fastController returns a controller whose sleeps are instantaneous but
+// accounted, so tests measure virtual throttle time.
+func fastController() (*blkio.Controller, *time.Duration) {
+	var slept time.Duration
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	ctrl := blkio.NewController(
+		blkio.WithClock(func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}),
+		blkio.WithSleep(func(d time.Duration) {
+			mu.Lock()
+			now = now.Add(d)
+			slept += d
+			mu.Unlock()
+		}),
+	)
+	return ctrl, &slept
+}
+
+func newDisk(t *testing.T) *Disk {
+	t.Helper()
+	ctrl, _ := fastController()
+	d, err := New(100*units.MB, ctrl, "vm1", units.MBps(2), units.MBps(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	ctrl, _ := fastController()
+	if _, err := New(0, ctrl, "vm1", 0, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(units.MB, ctrl, "", 0, 0); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestProvisionAndStat(t *testing.T) {
+	d := newDisk(t)
+	if err := d.Provision("a.mp4", 10*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	size, err := d.Stat("a.mp4")
+	if err != nil || size != 10*units.MB {
+		t.Fatalf("Stat = (%v, %v)", size, err)
+	}
+	if d.Used() != 10*units.MB {
+		t.Fatalf("Used = %v", d.Used())
+	}
+	if _, err := d.Stat("missing"); err == nil {
+		t.Fatal("Stat of missing file succeeded")
+	}
+	if err := d.Provision("big", 200*units.MB); err == nil {
+		t.Fatal("overflow provision accepted")
+	}
+	if err := d.Provision("neg", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestProvisionReplaceReclaimsSpace(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("a", 60*units.MB)
+	if err := d.Provision("a", 90*units.MB); err != nil {
+		t.Fatalf("replacing provision failed: %v", err)
+	}
+	if d.Used() != 90*units.MB {
+		t.Fatalf("Used = %v after replace", d.Used())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("a", 10*units.MB)
+	if err := d.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 0 {
+		t.Fatalf("Used = %v after delete", d.Used())
+	}
+	if err := d.Delete("a"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("b", units.MB)
+	d.Provision("a", units.MB)
+	got := d.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestReadAtDeterministicContent(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("a", 1000)
+	full := make([]byte, 1000)
+	if _, err := d.ReadAt(context.Background(), "a", full, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	// Rereads and arbitrary slices match the full read.
+	part := make([]byte, 100)
+	if _, err := d.ReadAt(context.Background(), "a", part, 450); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, full[450:550]) {
+		t.Fatal("slice read differs from full read")
+	}
+	// Distinct files have distinct contents.
+	d.Provision("b", 1000)
+	other := make([]byte, 1000)
+	d.ReadAt(context.Background(), "b", other, 0)
+	if bytes.Equal(full, other) {
+		t.Fatal("distinct files share content")
+	}
+}
+
+func TestReadAtBoundaries(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("a", 100)
+	buf := make([]byte, 60)
+	n, err := d.ReadAt(context.Background(), "a", buf, 80)
+	if n != 20 || err != io.EOF {
+		t.Fatalf("tail read = (%d, %v), want (20, EOF)", n, err)
+	}
+	if _, err := d.ReadAt(context.Background(), "a", buf, 100); err != io.EOF {
+		t.Fatalf("past-end read err = %v, want EOF", err)
+	}
+	if _, err := d.ReadAt(context.Background(), "a", buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := d.ReadAt(context.Background(), "missing", buf, 0); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+}
+
+func TestWriteStoresExplicitData(t *testing.T) {
+	d := newDisk(t)
+	data := []byte("hello storage qos")
+	if err := d.Write(context.Background(), "w", data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(context.Background(), "w", got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q", got)
+	}
+	// The stored copy is isolated from caller mutation.
+	data[0] = 'X'
+	d.ReadAt(context.Background(), "w", got, 0)
+	if got[0] == 'X' {
+		t.Fatal("disk shares the caller's buffer")
+	}
+}
+
+func TestReaderStreamsWholeFile(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("a", 300*1024)
+	r, size, err := d.Reader(context.Background(), "a", 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != int64(size) {
+		t.Fatalf("streamed %d bytes, want %d", len(data), size)
+	}
+	want, _ := d.Checksum("a")
+	if got := ChecksumBytes(data); got != want {
+		t.Fatalf("checksum mismatch: %x vs %x", got, want)
+	}
+}
+
+func TestThrottledReadAccumulatesDelay(t *testing.T) {
+	ctrl, slept := fastController()
+	d, err := New(100*units.MB, ctrl, "vm1", units.MBps(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Provision("a", 10*units.MB)
+	r, _, _ := d.Reader(context.Background(), "a", 256*1024)
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		t.Fatal(err)
+	}
+	// 10 MB at 1 MB/s minus the 1 MB burst ⇒ ~9 s of throttle sleep.
+	if slept.Seconds() < 8 || slept.Seconds() > 10 {
+		t.Fatalf("throttle slept %v, want ~9s", *slept)
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	d := newDisk(t)
+	d.Provision("a", 12345)
+	c1, err := d.Checksum("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := d.Checksum("a")
+	if c1 != c2 {
+		t.Fatal("checksum not stable")
+	}
+	if _, err := d.Checksum("missing"); err == nil {
+		t.Fatal("checksum of missing file succeeded")
+	}
+}

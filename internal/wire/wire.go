@@ -1,0 +1,283 @@
+// Package wire frames the ECNP protocol messages for TCP transport: each
+// frame is a 4-byte big-endian length followed by a gob-encoded Msg. Frames
+// are independent (stateless gob per frame), so a connection can be taken
+// over after any message boundary and a corrupted frame cannot poison
+// decoder state. A frame-size cap bounds memory against malformed peers.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/selection"
+)
+
+// MaxFrame bounds a single message, comfortably above the largest data
+// chunk (256 KiB) plus headers.
+const MaxFrame = 4 << 20
+
+// Kind identifies the message type.
+type Kind uint16
+
+// Control-plane and data-plane message kinds.
+const (
+	KindError Kind = iota
+	// Mapper operations (DFSC/RM → MM).
+	KindRegisterRM
+	KindLookup
+	KindRMsWithout
+	KindAddReplica
+	KindRemoveReplica
+	KindBeginReplication
+	KindEndReplication
+	KindReplicaCount
+	KindRMs
+	// Mapper replies.
+	KindAck
+	KindRMList
+	KindRMInfoList
+	KindCount
+	// Provider operations (DFSC/peer RM → RM).
+	KindCFP
+	KindBid
+	KindOpen
+	KindOpenResult
+	KindClose
+	KindOfferReplica
+	KindOfferReply
+	KindFinishReplica
+	KindStoreFile
+	// Data plane.
+	KindReadFile
+	KindFileChunk
+	KindFileEnd
+	KindWriteFile
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	names := map[Kind]string{
+		KindError: "Error", KindRegisterRM: "RegisterRM", KindLookup: "Lookup",
+		KindRMsWithout: "RMsWithout", KindAddReplica: "AddReplica",
+		KindRemoveReplica: "RemoveReplica", KindReplicaCount: "ReplicaCount",
+		KindBeginReplication: "BeginReplication", KindEndReplication: "EndReplication",
+		KindRMs: "RMs", KindAck: "Ack", KindRMList: "RMList",
+		KindRMInfoList: "RMInfoList", KindCount: "Count", KindCFP: "CFP",
+		KindBid: "Bid", KindOpen: "Open", KindOpenResult: "OpenResult",
+		KindClose: "Close", KindOfferReplica: "OfferReplica",
+		KindOfferReply: "OfferReply", KindFinishReplica: "FinishReplica",
+		KindStoreFile: "StoreFile",
+		KindReadFile:  "ReadFile", KindFileChunk: "FileChunk", KindFileEnd: "FileEnd",
+		KindWriteFile: "WriteFile",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint16(k))
+}
+
+// Msg is one framed message.
+type Msg struct {
+	Kind    Kind
+	Payload any
+}
+
+// Payload structs not already defined by the ecnp package.
+type (
+	// RegisterRM carries an RM registration.
+	RegisterRM struct {
+		Info  ecnp.RMInfo
+		Files []ids.FileID
+	}
+	// FileRef names a file (Lookup, RMsWithout, ReplicaCount, ReadFile).
+	FileRef struct {
+		File ids.FileID
+	}
+	// ReplicaRef names a (file, RM) pair (Add/RemoveReplica).
+	ReplicaRef struct {
+		File ids.FileID
+		RM   ids.RMID
+	}
+	// BeginReplication reserves a pending replica (see ecnp.Mapper).
+	BeginReplication struct {
+		File     ids.FileID
+		RM       ids.RMID
+		MaxTotal int
+	}
+	// EndReplication resolves a reservation.
+	EndReplication struct {
+		File   ids.FileID
+		RM     ids.RMID
+		Commit bool
+	}
+	// RMList answers Lookup and RMsWithout.
+	RMList struct {
+		RMs []ids.RMID
+	}
+	// RMInfoList answers RMs.
+	RMInfoList struct {
+		Infos []ecnp.RMInfo
+	}
+	// Count answers ReplicaCount.
+	Count struct {
+		N int
+	}
+	// CloseReq releases a reservation.
+	CloseReq struct {
+		Request ids.RequestID
+	}
+	// OfferReply answers OfferReplica.
+	OfferReply struct {
+		Accepted bool
+	}
+	// FinishReplica finalizes a transfer at the destination.
+	FinishReplica struct {
+		Replication ids.ReplicationID
+		Committed   bool
+	}
+	// ReadFile opens a data stream.
+	ReadFile struct {
+		File ids.FileID
+		// ChunkSize is the server's streaming granularity hint in bytes.
+		ChunkSize int
+	}
+	// WriteFile opens an inbound data stream: the sender follows with
+	// FileChunk frames and a FileEnd, and the receiver stores the bytes
+	// on its virtual disk. Replication identifies the transfer this
+	// stream belongs to (0 for plain uploads).
+	WriteFile struct {
+		File        ids.FileID
+		SizeBytes   int64
+		Replication ids.ReplicationID
+	}
+	// FileChunk is one piece of streamed file data.
+	FileChunk struct {
+		Offset int64
+		Data   []byte
+	}
+	// FileEnd terminates a stream with an integrity checksum.
+	FileEnd struct {
+		Size     int64
+		Checksum uint64
+	}
+	// Ack is the empty success reply.
+	Ack struct{}
+	// Error carries a remote failure.
+	Error struct {
+		Text string
+	}
+)
+
+func init() {
+	gob.Register(RegisterRM{})
+	gob.Register(FileRef{})
+	gob.Register(ReplicaRef{})
+	gob.Register(BeginReplication{})
+	gob.Register(EndReplication{})
+	gob.Register(RMList{})
+	gob.Register(RMInfoList{})
+	gob.Register(Count{})
+	gob.Register(CloseReq{})
+	gob.Register(OfferReply{})
+	gob.Register(FinishReplica{})
+	gob.Register(ReadFile{})
+	gob.Register(WriteFile{})
+	gob.Register(FileChunk{})
+	gob.Register(FileEnd{})
+	gob.Register(Ack{})
+	gob.Register(Error{})
+	gob.Register(ecnp.CFP{})
+	gob.Register(ecnp.OpenRequest{})
+	gob.Register(ecnp.OpenResult{})
+	gob.Register(ecnp.ReplicaOffer{})
+	gob.Register(ecnp.StoreRequest{})
+	gob.Register(ecnp.RMInfo{})
+	gob.Register(selection.Bid{})
+}
+
+// Conn frames messages over a reliable byte stream. Reads and writes are
+// independently serialized, so one goroutine may stream reads while another
+// writes.
+type Conn struct {
+	wmu sync.Mutex
+	rmu sync.Mutex
+	rw  io.ReadWriter
+}
+
+// NewConn wraps a byte stream (normally a *net.TCPConn).
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Write sends one message.
+func (c *Conn) Write(kind Kind, payload any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(Msg{Kind: kind, Payload: payload}); err != nil {
+		return fmt.Errorf("wire: encoding %v: %w", kind, err)
+	}
+	if body.Len() > MaxFrame {
+		return fmt.Errorf("wire: %v frame of %d bytes exceeds cap %d", kind, body.Len(), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if _, err := c.rw.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("wire: writing body: %w", err)
+	}
+	return nil
+}
+
+// Read receives one message.
+func (c *Conn) Read() (Msg, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return Msg{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Msg{}, fmt.Errorf("wire: incoming frame of %d bytes exceeds cap %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading body: %w", err)
+	}
+	var msg Msg
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
+		return Msg{}, fmt.Errorf("wire: decoding frame: %w", err)
+	}
+	return msg, nil
+}
+
+// Call performs a synchronous request/response round trip. A KindError
+// reply is surfaced as a Go error.
+func (c *Conn) Call(kind Kind, payload any) (Msg, error) {
+	if err := c.Write(kind, payload); err != nil {
+		return Msg{}, err
+	}
+	reply, err := c.Read()
+	if err != nil {
+		return Msg{}, err
+	}
+	if reply.Kind == KindError {
+		if e, ok := reply.Payload.(Error); ok {
+			return Msg{}, fmt.Errorf("wire: remote error: %s", e.Text)
+		}
+		return Msg{}, fmt.Errorf("wire: remote error with malformed payload")
+	}
+	return reply, nil
+}
+
+// WriteError replies with a remote error message.
+func (c *Conn) WriteError(err error) error {
+	return c.Write(KindError, Error{Text: err.Error()})
+}

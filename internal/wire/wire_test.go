@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/units"
+)
+
+// pipeConn builds a bidirectional in-memory connection pair.
+func pipeConn() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRoundTripAllPayloads(t *testing.T) {
+	payloads := []struct {
+		kind Kind
+		body any
+	}{
+		{KindRegisterRM, RegisterRM{
+			Info:  ecnp.RMInfo{ID: 3, Capacity: units.Mbps(18), StorageBytes: 16 * units.GB, Addr: "127.0.0.1:9000"},
+			Files: []ids.FileID{1, 2, 3},
+		}},
+		{KindLookup, FileRef{File: 42}},
+		{KindRMList, RMList{RMs: []ids.RMID{1, 2, 3}}},
+		{KindRMInfoList, RMInfoList{Infos: []ecnp.RMInfo{{ID: 1, Capacity: units.Mbps(128)}}}},
+		{KindCount, Count{N: 3}},
+		{KindCFP, ecnp.CFP{Request: 9, File: 1, Bitrate: units.Mbps(2), DurationSec: 300}},
+		{KindOpen, ecnp.OpenRequest{Request: 9, File: 1, Bitrate: units.Mbps(2), DurationSec: 300, Firm: true}},
+		{KindOpenResult, ecnp.OpenResult{OK: false, Reason: "insufficient bandwidth"}},
+		{KindClose, CloseReq{Request: 9}},
+		{KindOfferReplica, ecnp.ReplicaOffer{Replication: 7, File: 1, SizeBytes: units.MB, Bitrate: units.Mbps(2), DurationSec: 4, Rate: units.Mbps(1.8), Source: 2}},
+		{KindOfferReply, OfferReply{Accepted: true}},
+		{KindFinishReplica, FinishReplica{Replication: 7, Committed: true}},
+		{KindReadFile, ReadFile{File: 1, ChunkSize: 65536}},
+		{KindFileChunk, FileChunk{Offset: 128, Data: []byte{1, 2, 3}}},
+		{KindFileEnd, FileEnd{Size: 131, Checksum: 0xdeadbeef}},
+		{KindAck, Ack{}},
+	}
+	client, server := pipeConn()
+	done := make(chan error, 1)
+	go func() {
+		for range payloads {
+			msg, err := server.Read()
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := server.Write(msg.Kind, msg.Payload); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for _, p := range payloads {
+		reply, err := client.Call(p.kind, p.body)
+		if err != nil {
+			t.Fatalf("%v: %v", p.kind, err)
+		}
+		if reply.Kind != p.kind {
+			t.Fatalf("echoed kind %v, want %v", reply.Kind, p.kind)
+		}
+		if fmt.Sprintf("%+v", reply.Payload) != fmt.Sprintf("%+v", p.body) {
+			t.Fatalf("%v payload mangled:\n got %+v\nwant %+v", p.kind, reply.Payload, p.body)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallSurfacesRemoteError(t *testing.T) {
+	client, server := pipeConn()
+	go func() {
+		server.Read()
+		server.WriteError(errors.New("boom"))
+	}()
+	_, err := client.Call(KindLookup, FileRef{File: 1})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want remote boom", err)
+	}
+}
+
+func TestReadEOFOnClose(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(a)
+	b.Close()
+	if _, err := conn.Read(); err == nil {
+		t.Fatal("Read on closed pipe succeeded")
+	}
+}
+
+func TestOversizeFrameRefused(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	big := FileChunk{Data: make([]byte, MaxFrame+1)}
+	if err := c.Write(KindFileChunk, big); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+}
+
+func TestOversizeIncomingFrameRefused(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a header claiming a gigantic frame.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	c := NewConn(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Fatal("oversize incoming frame accepted")
+	}
+}
+
+func TestCorruptFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 4})
+	buf.Write([]byte{1, 2, 3, 4})
+	c := NewConn(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Fatal("garbage frame decoded")
+	}
+}
+
+func TestTruncatedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 1, 0}) // claims 256 bytes, provides 2
+	buf.Write([]byte{1, 2})
+	c := NewConn(&buf)
+	if _, err := c.Read(); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+func TestFramesAreIndependent(t *testing.T) {
+	// Two messages written through different Conn instances decode from a
+	// single stream: no shared gob state.
+	var buf bytes.Buffer
+	NewConn(&buf).Write(KindAck, Ack{})
+	NewConn(&buf).Write(KindCount, Count{N: 7})
+	r := NewConn(&buf)
+	m1, err := r.Read()
+	if err != nil || m1.Kind != KindAck {
+		t.Fatalf("first frame: %v %v", m1.Kind, err)
+	}
+	m2, err := r.Read()
+	if err != nil || m2.Kind != KindCount || m2.Payload.(Count).N != 7 {
+		t.Fatalf("second frame: %+v %v", m2, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCFP.String() != "CFP" {
+		t.Errorf("KindCFP renders %q", KindCFP.String())
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Errorf("unknown kind renders %q", Kind(999).String())
+	}
+}
+
+func TestLargeChunkRoundTrip(t *testing.T) {
+	client, server := pipeConn()
+	data := make([]byte, 256*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	go func() {
+		msg, _ := server.Read()
+		server.Write(msg.Kind, msg.Payload)
+	}()
+	reply, err := client.Call(KindFileChunk, FileChunk{Offset: 0, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reply.Payload.(FileChunk).Data
+	if !bytes.Equal(got, data) {
+		t.Fatal("large chunk mangled")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := net.Pipe()
+	w := NewConn(a)
+	r := NewConn(b)
+	const n = 50
+	errs := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			for i := 0; i < n; i++ {
+				if err := w.Write(KindCount, Count{N: i}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < 2*n; i++ {
+		if _, err := r.Read(); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	}
+	for g := 0; g < 2; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

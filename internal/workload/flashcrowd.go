@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/rng"
+)
+
+// FlashCrowd models the paper's burst concern — "a burst of resource
+// requirements may lose their QoS assurance" (§III-B) — as a sudden
+// popularity shift: from AtSec onward, a fraction of all requests is
+// redirected to a single (previously unpopular) target file, the way a
+// newly viral video behaves. Static replication has exactly 3 replicas of
+// the target to absorb the surge; dynamic replication can spread it.
+type FlashCrowd struct {
+	// AtSec is when the crowd arrives.
+	AtSec float64
+	// Target is the file the crowd converges on. NoneFile picks the file
+	// at popularity rank ~N/2 (unpopular before the crowd) automatically.
+	Target ids.FileID
+	// Fraction of post-AtSec requests redirected to Target (0, 1].
+	Fraction float64
+}
+
+// Validate reports the first problem with the parameters, or nil.
+func (f FlashCrowd) Validate() error {
+	if f.AtSec < 0 {
+		return fmt.Errorf("workload: flash crowd at negative time %v", f.AtSec)
+	}
+	if f.Fraction <= 0 || f.Fraction > 1 {
+		return fmt.Errorf("workload: flash crowd fraction %v outside (0,1]", f.Fraction)
+	}
+	return nil
+}
+
+// ApplyFlashCrowd rewrites a generated pattern in place: each request at
+// or after fc.AtSec is redirected to the target with probability
+// fc.Fraction. It returns the chosen target. The redirection draws from
+// its own named stream, so two patterns differing only in fc share all
+// other randomness.
+func ApplyFlashCrowd(p *Pattern, cat *catalog.Catalog, fc FlashCrowd, src *rng.Source) (ids.FileID, error) {
+	if err := fc.Validate(); err != nil {
+		return ids.NoneFile, err
+	}
+	target := fc.Target
+	if !target.Valid() {
+		target = ids.FileID(cat.Len() / 2)
+	}
+	if int(target) >= cat.Len() {
+		return ids.NoneFile, fmt.Errorf("workload: flash crowd target %v beyond catalog", target)
+	}
+	redirect := src.Split("workload/flashcrowd")
+	// Requests are time-sorted; find the crowd's onset once.
+	start := sort.Search(len(p.Requests), func(i int) bool {
+		return p.Requests[i].AtSec >= fc.AtSec
+	})
+	for i := start; i < len(p.Requests); i++ {
+		if redirect.Float64() < fc.Fraction {
+			p.Requests[i].File = target
+		}
+	}
+	return target, nil
+}

@@ -1,0 +1,156 @@
+// Package workload generates the evaluation's multi-user access pattern:
+// each simulated user issues requests whose inter-arrival times follow the
+// negative exponential distribution (NET) f(x) = −β·ln U with U ∈ (0,1) and
+// cumulative mean arrival time β (paper: 300 s), each request targeting a
+// file drawn from the catalog's popularity law so "files with higher
+// popularity will be accessed more times in a fixed time interval". Users
+// are spread round-robin across the DFSCs, mirroring the request scheduler
+// of the paper's testbed, and the merged request stream is sorted by
+// arrival timestamp.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/rng"
+)
+
+// Request is one file access in the pattern.
+type Request struct {
+	// AtSec is the arrival timestamp in seconds from simulation start.
+	AtSec float64 `json:"at"`
+	// User is the issuing user.
+	User ids.UserID `json:"user"`
+	// DFSC is the client the user is attached to.
+	DFSC ids.DFSCID `json:"dfsc"`
+	// File is the requested file.
+	File ids.FileID `json:"file"`
+}
+
+// Config parameterizes pattern generation.
+type Config struct {
+	// NumUsers is the number of concurrent users (paper: 64-256).
+	NumUsers int
+	// NumDFSC is the number of clients users are spread over (paper: 8).
+	NumDFSC int
+	// MeanArrivalSec is β, the per-user mean inter-arrival time
+	// (paper: 300 s).
+	MeanArrivalSec float64
+	// HorizonSec is the pattern length (paper: 2 h = 7200 s).
+	HorizonSec float64
+}
+
+// DefaultConfig returns the paper's workload parameters at 256 users.
+func DefaultConfig() Config {
+	return Config{NumUsers: 256, NumDFSC: 8, MeanArrivalSec: 300, HorizonSec: 7200}
+}
+
+// Validate reports the first problem with the config, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.NumUsers <= 0:
+		return fmt.Errorf("workload: NumUsers must be positive, got %d", c.NumUsers)
+	case c.NumDFSC <= 0:
+		return fmt.Errorf("workload: NumDFSC must be positive, got %d", c.NumDFSC)
+	case c.MeanArrivalSec <= 0:
+		return fmt.Errorf("workload: MeanArrivalSec must be positive, got %v", c.MeanArrivalSec)
+	case c.HorizonSec <= 0:
+		return fmt.Errorf("workload: HorizonSec must be positive, got %v", c.HorizonSec)
+	}
+	return nil
+}
+
+// Pattern is a complete access pattern, sorted by arrival time.
+type Pattern struct {
+	Config   Config    `json:"config"`
+	Requests []Request `json:"requests"`
+}
+
+// Generate builds the access pattern for cfg over the given catalog.
+// Each user gets independent sub-streams for arrivals and file choice, so
+// adding users never perturbs existing users' request sequences.
+func Generate(cfg Config, cat *catalog.Catalog, src *rng.Source) (*Pattern, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var reqs []Request
+	for u := 0; u < cfg.NumUsers; u++ {
+		user := ids.UserID(u)
+		dfsc := ids.DFSCID(u % cfg.NumDFSC)
+		arr := src.Split(fmt.Sprintf("workload/user%d/arrivals", u))
+		files := src.Split(fmt.Sprintf("workload/user%d/files", u))
+		t := arr.Exp(cfg.MeanArrivalSec)
+		for t <= cfg.HorizonSec {
+			reqs = append(reqs, Request{
+				AtSec: t,
+				User:  user,
+				DFSC:  dfsc,
+				File:  cat.SamplePopular(files),
+			})
+			t += arr.Exp(cfg.MeanArrivalSec)
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].AtSec < reqs[j].AtSec })
+	return &Pattern{Config: cfg, Requests: reqs}, nil
+}
+
+// Len returns the number of requests.
+func (p *Pattern) Len() int { return len(p.Requests) }
+
+// Save writes the pattern as JSON.
+func (p *Pattern) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// Load reads a pattern previously written by Save and validates it.
+func Load(r io.Reader) (*Pattern, error) {
+	var p Pattern
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("workload: decoding pattern: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks pattern invariants: config validity, sortedness and
+// timestamps within the horizon.
+func (p *Pattern) Validate() error {
+	if err := p.Config.Validate(); err != nil {
+		return err
+	}
+	prev := 0.0
+	for i, r := range p.Requests {
+		if r.AtSec < prev {
+			return fmt.Errorf("workload: request %d out of order (%.3f after %.3f)", i, r.AtSec, prev)
+		}
+		if r.AtSec > p.Config.HorizonSec {
+			return fmt.Errorf("workload: request %d beyond horizon (%.3f > %.3f)", i, r.AtSec, p.Config.HorizonSec)
+		}
+		if int(r.DFSC) < 0 || int(r.DFSC) >= p.Config.NumDFSC {
+			return fmt.Errorf("workload: request %d has invalid DFSC %d", i, r.DFSC)
+		}
+		if !r.File.Valid() {
+			return fmt.Errorf("workload: request %d has invalid file", i)
+		}
+		prev = r.AtSec
+	}
+	return nil
+}
+
+// FileCounts returns how many requests target each file (popularity audit).
+func (p *Pattern) FileCounts() map[ids.FileID]int {
+	out := make(map[ids.FileID]int)
+	for _, r := range p.Requests {
+		out[r.File]++
+	}
+	return out
+}
