@@ -1,0 +1,23 @@
+# Build/test entry points. `make tier1` is the acceptance gate every PR
+# must keep green; `make race` exercises the concurrent paths (transport
+# pool, CFP fan-out, live servers) under the race detector.
+
+GO ?= go
+
+.PHONY: tier1 build test vet race all
+
+all: tier1 vet
+
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/...

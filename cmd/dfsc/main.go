@@ -22,6 +22,7 @@ import (
 	"dfsqos/internal/qos"
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
+	"dfsqos/internal/transport"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		files    = flag.Int("files", 1000, "catalog size")
 		gapMS    = flag.Int("gap", 200, "milliseconds between requests")
 		scale    = flag.Float64("scale", 1, "virtual seconds per wall second")
+		negTO    = flag.Duration("negotiation-timeout", 2*time.Second, "deadline for collecting CFP bids; stalled RMs degrade to last-ranked zero bids")
+		tcfg     = transport.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -55,13 +58,15 @@ func main() {
 		fail(err)
 	}
 
-	mapper, err := live.DialMM(*mmAddr)
+	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {
 		fail(err)
 	}
 	defer mapper.Close()
-	dir := live.NewDirectory(mapper)
+	mapper.SetLogger(log.Printf)
+	dir := live.NewDirectoryConfig(mapper, *tcfg)
 	defer dir.Close()
+	dir.SetLogger(log.Printf)
 	sched := live.NewWallScheduler(*scale)
 	defer sched.Stop()
 
@@ -74,6 +79,10 @@ func main() {
 		Policy:    pol,
 		Scenario:  scen,
 		Rand:      rng.New(*seed).Split("dfsc-cli"),
+		// The live control path fans CFPs out concurrently, bounded by
+		// the negotiation deadline: one stalled RM costs at most -negotiation-timeout,
+		// not its share of a serial scan.
+		Fanout: dfsc.Fanout{Concurrent: true, BidTimeout: *negTO},
 	})
 	if err != nil {
 		fail(err)

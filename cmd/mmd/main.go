@@ -22,6 +22,7 @@ import (
 	"dfsqos/internal/live"
 	"dfsqos/internal/mm"
 	"dfsqos/internal/monitor"
+	"dfsqos/internal/transport"
 )
 
 func main() {
@@ -30,6 +31,11 @@ func main() {
 		shards  = flag.Int("shards", 1, "DHT shards for the replica map (1 = the paper's single MM)")
 		monAddr = flag.String("monitor", "", "HTTP stats address; empty disables")
 		verbose = flag.Bool("v", false, "log every connection error")
+		// -call-timeout bounds each reply write (a client that stops
+		// reading cannot wedge a handler); -dial-timeout and -pool-size
+		// are accepted for deployment-script symmetry and apply to any
+		// outbound control connections the daemon opens.
+		tcfg = transport.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -42,6 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
 		os.Exit(1)
 	}
+	srv.SetReplyTimeout(tcfg.CallTimeout)
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}

@@ -30,6 +30,7 @@ import (
 	"dfsqos/internal/replication"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/rng"
+	"dfsqos/internal/transport"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
 )
@@ -50,6 +51,7 @@ func main() {
 		scale   = flag.Float64("scale", 1, "virtual seconds per wall second")
 		monAddr = flag.String("monitor", "", "HTTP stats address (e.g. 127.0.0.1:0); empty disables")
 		verbose = flag.Bool("v", false, "log connection errors")
+		tcfg    = transport.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -97,12 +99,12 @@ func main() {
 		}
 	}
 
-	mapper, err := live.DialMM(*mmAddr)
+	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {
 		fail(err)
 	}
 	sched := live.NewWallScheduler(*scale)
-	peers := live.NewDirectory(mapper)
+	peers := live.NewDirectoryConfig(mapper, *tcfg)
 	node, err := rm.New(rm.Options{
 		Info:        ecnp.RMInfo{ID: rmID, Capacity: capacity, StorageBytes: storage},
 		Scheduler:   sched,
@@ -122,8 +124,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	srv.SetReplyTimeout(tcfg.CallTimeout)
 	if *verbose {
 		srv.SetLogger(log.Printf)
+		mapper.SetLogger(log.Printf)
+		peers.SetLogger(log.Printf)
 	}
 
 	// Register with the dialable address, then wire the peer directory

@@ -13,8 +13,10 @@
 package dfsc
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"dfsqos/internal/catalog"
 	"dfsqos/internal/ecnp"
@@ -56,6 +58,24 @@ type Outcome struct {
 	Reason string
 }
 
+// Fanout configures how the client collects bids during resource
+// negotiation (phase 2).
+type Fanout struct {
+	// Concurrent issues the CFPs in parallel, one goroutine per eligible
+	// provider — the shape the paper's Fig. 3 broadcast implies. The
+	// default (false) keeps the serial fan-out the deterministic
+	// discrete-event simulation requires; live deployments should enable
+	// it so one stalled RM does not serialize the negotiation.
+	Concurrent bool
+	// BidTimeout bounds the wall-clock wait for bids when Concurrent is
+	// set. Providers that have not answered by the deadline degrade to
+	// the paper's "always bid" deviation: the client synthesizes a
+	// last-ranked zero bid for them instead of blocking the open. Zero
+	// waits for every provider (each still bounded by the transport's
+	// own call deadline).
+	BidTimeout time.Duration
+}
+
 // Client is one DFSC.
 type Client struct {
 	mu sync.Mutex
@@ -69,6 +89,7 @@ type Client struct {
 	scen      qos.Scenario
 	src       *rng.Source
 	broadcast bool
+	fanout    Fanout
 
 	reqSeq int64
 	stats  Stats
@@ -90,6 +111,9 @@ type Options struct {
 	// bids by HasReplica. QoS outcomes are identical; the message count
 	// is not — which is the point of the comparison.
 	BroadcastCNP bool
+	// Fanout selects serial (simulation) or concurrent deadline-bounded
+	// (live) CFP bid collection.
+	Fanout Fanout
 }
 
 // New constructs a client.
@@ -107,6 +131,7 @@ func New(opt Options) (*Client, error) {
 		scen:      opt.Scenario,
 		src:       opt.Rand,
 		broadcast: opt.BroadcastCNP,
+		fanout:    opt.Fanout,
 	}, nil
 }
 
@@ -171,16 +196,11 @@ func (c *Client) Store(file ids.FileID) Outcome {
 	f := c.cat.File(file)
 	cfp := ecnp.CFP{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec}
 
-	var bids []selection.Bid
-	providers := make(map[ids.RMID]ecnp.Provider)
+	var candidates []ids.RMID
 	for _, info := range c.mapper.RMs() {
-		p, ok := c.dir.Provider(info.ID)
-		if !ok {
-			continue
-		}
-		providers[info.ID] = p
-		bids = append(bids, p.HandleCFP(cfp))
+		candidates = append(candidates, info.ID)
 	}
+	bids, providers := c.collectBids(candidates, cfp, false)
 	if len(bids) == 0 {
 		c.mu.Lock()
 		c.stats.Failed++
@@ -263,29 +283,26 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}, nil
 	}
 
-	// Phase 2 — resource negotiation: CFP fan-out and bid collection.
+	// Phase 2 — resource negotiation: CFP fan-out and bid collection
+	// (serial for the DES, concurrent and deadline-bounded in live mode;
+	// see Fanout).
 	cfp := ecnp.CFP{
 		Request:     req,
 		File:        file,
 		Bitrate:     f.Bitrate,
 		DurationSec: f.DurationSec,
 	}
-	bids := make([]selection.Bid, 0, len(holders))
-	providers := make(map[ids.RMID]ecnp.Provider, len(holders))
-	for _, h := range holders {
-		p, ok := c.dir.Provider(h)
-		if !ok {
-			continue
+	collected, providers := c.collectBids(holders, cfp, true)
+	bids := collected
+	if c.broadcast {
+		// A CNP provider without the file refuses; its CFP and refusal
+		// are the redundant traffic ECNP eliminates.
+		bids = make([]selection.Bid, 0, len(collected))
+		for _, bid := range collected {
+			if bid.HasReplica {
+				bids = append(bids, bid)
+			}
 		}
-		providers[h] = p
-		bid := p.HandleCFP(cfp)
-		c.addMessages(2) // CFP + bid
-		if c.broadcast && !bid.HasReplica {
-			// A CNP provider without the file refuses; its CFP and
-			// refusal are the redundant traffic ECNP eliminates.
-			continue
-		}
-		bids = append(bids, bid)
 	}
 	if len(bids) == 0 {
 		c.mu.Lock()
@@ -343,6 +360,105 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 	c.stats.Failed++
 	c.mu.Unlock()
 	return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}, nil
+}
+
+// collectBids runs the CFP fan-out over the candidate RMs and returns the
+// bids in candidate order plus the resolved providers (unresolvable RMs
+// are skipped). count toggles message accounting: the read path counts a
+// CFP+bid pair per contacted provider; Store historically does not count.
+//
+// Serial mode (the default) calls each provider in turn — the
+// deterministic shape the discrete-event simulation requires. Concurrent
+// mode launches one goroutine per provider and waits at most BidTimeout:
+// providers implementing ecnp.CtxBidder receive the shared negotiation
+// context, so their network round trip is cut off at the deadline too;
+// laggards are abandoned (their goroutines drain into a buffered channel,
+// bounded by the transport's own call deadline) and contribute a
+// synthesized zero bid that ranks last — the paper's always-bid deviation
+// preserved by degradation instead of blocking the open.
+func (c *Client) collectBids(candidates []ids.RMID, cfp ecnp.CFP, count bool) ([]selection.Bid, map[ids.RMID]ecnp.Provider) {
+	providers := make(map[ids.RMID]ecnp.Provider, len(candidates))
+	resolved := make([]ecnp.Provider, len(candidates)) // index-aligned; nil = skipped
+	n := 0
+	for i, id := range candidates {
+		if _, dup := providers[id]; dup {
+			continue
+		}
+		if p, ok := c.dir.Provider(id); ok {
+			providers[id] = p
+			resolved[i] = p
+			n++
+		}
+	}
+	if count {
+		c.addMessages(int64(2 * n)) // CFP + bid per contacted provider
+	}
+	if n == 0 {
+		return nil, providers
+	}
+
+	bids := make([]selection.Bid, len(candidates))
+	have := make([]bool, len(candidates))
+	if !c.fanout.Concurrent {
+		for i, p := range resolved {
+			if p == nil {
+				continue
+			}
+			bids[i] = p.HandleCFP(cfp)
+			have[i] = true
+		}
+	} else {
+		ctx := context.Background()
+		if c.fanout.BidTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.fanout.BidTimeout)
+			defer cancel()
+		}
+		type slot struct {
+			i   int
+			bid selection.Bid
+		}
+		ch := make(chan slot, n) // buffered: abandoned bidders never leak
+		for i, p := range resolved {
+			if p == nil {
+				continue
+			}
+			go func(i int, p ecnp.Provider) {
+				var b selection.Bid
+				if cb, ok := p.(ecnp.CtxBidder); ok {
+					b = cb.HandleCFPContext(ctx, cfp)
+				} else {
+					b = p.HandleCFP(cfp)
+				}
+				ch <- slot{i: i, bid: b}
+			}(i, p)
+		}
+		for got := 0; got < n; {
+			select {
+			case s := <-ch:
+				bids[s.i] = s.bid
+				have[s.i] = true
+				got++
+			case <-ctx.Done():
+				got = n // deadline: synthesize zero bids for the rest
+			}
+		}
+	}
+
+	out := make([]selection.Bid, 0, n)
+	for i, p := range resolved {
+		if p == nil {
+			continue
+		}
+		if !have[i] {
+			// The negotiation deadline passed without this provider's
+			// bid: a zero bid ranks it last and the negotiation proceeds
+			// with the live bidders (paper's "always bid" preserved).
+			bids[i] = ecnp.ZeroBid(candidates[i], cfp)
+		}
+		out = append(out, bids[i])
+	}
+	return out, providers
 }
 
 // scheduleClose releases the reservation when the playback ends.

@@ -17,6 +17,7 @@
 package ecnp
 
 import (
+	"context"
 	"fmt"
 
 	"dfsqos/internal/ids"
@@ -173,6 +174,27 @@ type Provider interface {
 	// StoreFile admits a brand-new file (the write path); it fails when
 	// the provider already holds the file or its disk is full.
 	StoreFile(req StoreRequest) error
+}
+
+// CtxBidder is optionally implemented by Providers whose HandleCFP
+// crosses a network. HandleCFPContext must honor the context's deadline
+// and cancellation, degrading to the zero bid (RM set, Req set, everything
+// else zero) on overrun — the paper's always-bid deviation preserved: a
+// silent or stalled provider ranks last instead of blocking the
+// negotiation. Requesters running a deadline-bounded concurrent CFP
+// fan-out type-assert for this interface and fall back to the plain
+// HandleCFP for in-process (simulation) providers, so the simulated and
+// live Provider implementations stay on one contract.
+type CtxBidder interface {
+	HandleCFPContext(ctx context.Context, cfp CFP) selection.Bid
+}
+
+// ZeroBid is the bid a requester synthesizes for a provider that could not
+// answer a CFP in time (transport failure or negotiation-deadline
+// overrun). Its score is 0 under every policy, ranking it last among live
+// bidders without aborting the negotiation.
+func ZeroBid(rm ids.RMID, cfp CFP) selection.Bid {
+	return selection.Bid{RM: rm, Req: cfp.Bitrate}
 }
 
 // Directory resolves provider IDs to live endpoints. The simulation binds

@@ -1,15 +1,17 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
+	"time"
 
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
+	"dfsqos/internal/transport"
 	"dfsqos/internal/wire"
 )
 
@@ -20,11 +22,12 @@ type MMServer struct {
 	mgr ecnp.Mapper
 	ln  net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	logf   func(string, ...any)
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	logf    func(string, ...any)
+	replyTO time.Duration
 }
 
 // NewMMServer starts listening on addr ("127.0.0.1:0" for an ephemeral
@@ -51,6 +54,15 @@ func (s *MMServer) SetLogger(logf func(string, ...any)) {
 		logf = func(string, ...any) {}
 	}
 	s.logf = logf
+}
+
+// SetReplyTimeout arms a per-frame write deadline on every connection
+// accepted after the call, so a client that stops reading cannot wedge a
+// handler goroutine mid-reply. Zero (default) disables the bound.
+func (s *MMServer) SetReplyTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.replyTO = d
+	s.mu.Unlock()
 }
 
 // Addr returns the listening address.
@@ -98,6 +110,9 @@ func (s *MMServer) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	wc := wire.NewConn(conn)
+	s.mu.Lock()
+	wc.SetWriteTimeout(s.replyTO)
+	s.mu.Unlock()
 	for {
 		msg, err := wc.Read()
 		if err != nil {
@@ -185,31 +200,43 @@ func (s *MMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 	}
 }
 
-// MMClient is an ecnp.Mapper stub over TCP. Calls are serialized on a
-// single connection; use one client per component, as the paper's
-// components each hold their own channel to the MM.
+// MMClient is an ecnp.Mapper stub over a pooled transport: concurrent
+// calls proceed on independent connections with dial and call deadlines
+// instead of serializing behind one mutex-guarded socket.
 type MMClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	wc   *wire.Conn
+	t    *transport.Client
+	logf func(string, ...any)
 }
 
-// DialMM connects to an MM server.
+// DialMM connects to an MM server with the default transport tuning,
+// verifying connectivity eagerly.
 func DialMM(addr string) (*MMClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialMMConfig(addr, transport.DefaultConfig())
+}
+
+// DialMMConfig is DialMM with explicit transport tuning.
+func DialMMConfig(addr string, cfg transport.Config) (*MMClient, error) {
+	t, err := transport.Dial(addr, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("live: dial mm %s: %w", addr, err)
 	}
-	return &MMClient{conn: conn, wc: wire.NewConn(conn)}, nil
+	return &MMClient{t: t, logf: func(string, ...any) {}}, nil
 }
 
-// Close releases the connection.
-func (c *MMClient) Close() error { return c.conn.Close() }
+// SetLogger routes client-side diagnostics (lookup failures and the like)
+// through logf; the default discards them, matching the servers.
+func (c *MMClient) SetLogger(logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c.logf = logf
+}
+
+// Close releases all pooled connections.
+func (c *MMClient) Close() error { return c.t.Close() }
 
 func (c *MMClient) call(kind wire.Kind, payload any) (wire.Msg, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.wc.Call(kind, payload)
+	return c.t.Call(context.Background(), kind, payload)
 }
 
 // RegisterRM implements ecnp.Mapper.
@@ -222,7 +249,7 @@ func (c *MMClient) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
 func (c *MMClient) Lookup(file ids.FileID) []ids.RMID {
 	reply, err := c.call(wire.KindLookup, wire.FileRef{File: file})
 	if err != nil {
-		log.Printf("live: mm lookup: %v", err)
+		c.logf("live: mm lookup: %v", err)
 		return nil
 	}
 	if l, ok := reply.Payload.(wire.RMList); ok {
@@ -235,7 +262,7 @@ func (c *MMClient) Lookup(file ids.FileID) []ids.RMID {
 func (c *MMClient) RMsWithout(file ids.FileID) []ids.RMID {
 	reply, err := c.call(wire.KindRMsWithout, wire.FileRef{File: file})
 	if err != nil {
-		log.Printf("live: mm rms-without: %v", err)
+		c.logf("live: mm rms-without: %v", err)
 		return nil
 	}
 	if l, ok := reply.Payload.(wire.RMList); ok {
@@ -272,7 +299,7 @@ func (c *MMClient) EndReplication(file ids.FileID, rm ids.RMID, commit bool) err
 func (c *MMClient) ReplicaCount(file ids.FileID) int {
 	reply, err := c.call(wire.KindReplicaCount, wire.FileRef{File: file})
 	if err != nil {
-		log.Printf("live: mm replica-count: %v", err)
+		c.logf("live: mm replica-count: %v", err)
 		return 0
 	}
 	if n, ok := reply.Payload.(wire.Count); ok {
@@ -285,7 +312,7 @@ func (c *MMClient) ReplicaCount(file ids.FileID) int {
 func (c *MMClient) RMs() []ecnp.RMInfo {
 	reply, err := c.call(wire.KindRMs, nil)
 	if err != nil {
-		log.Printf("live: mm rms: %v", err)
+		c.logf("live: mm rms: %v", err)
 		return nil
 	}
 	if l, ok := reply.Payload.(wire.RMInfoList); ok {

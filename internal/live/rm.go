@@ -5,15 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
-	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/selection"
+	"dfsqos/internal/transport"
 	"dfsqos/internal/vdisk"
 	"dfsqos/internal/wire"
 )
@@ -29,11 +30,12 @@ type RMServer struct {
 	disk *vdisk.Disk
 	ln   net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	logf   func(string, ...any)
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	logf    func(string, ...any)
+	replyTO time.Duration
 }
 
 // NewRMServer starts serving node and disk on addr.
@@ -60,6 +62,14 @@ func (s *RMServer) SetLogger(logf func(string, ...any)) {
 		logf = func(string, ...any) {}
 	}
 	s.logf = logf
+}
+
+// SetReplyTimeout arms a per-frame write deadline on connections accepted
+// after the call (see MMServer.SetReplyTimeout). Zero disables.
+func (s *RMServer) SetReplyTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.replyTO = d
+	s.mu.Unlock()
 }
 
 // Addr returns the listening address.
@@ -110,6 +120,9 @@ func (s *RMServer) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	wc := wire.NewConn(conn)
+	s.mu.Lock()
+	wc.SetWriteTimeout(s.replyTO)
+	s.mu.Unlock()
 	for {
 		msg, err := wc.Read()
 		if err != nil {
@@ -292,77 +305,96 @@ func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile) error {
 	}
 }
 
-// RMClient is an ecnp.Provider stub over TCP.
+// RMClient is an ecnp.Provider stub over a pooled transport. Control-plane
+// calls are deadline-bounded and run concurrently on independent pooled
+// connections; data-plane streams check a dedicated connection out for
+// their full duration.
 type RMClient struct {
 	info   ecnp.RMInfo
-	mu     sync.Mutex
-	conn   net.Conn
-	wc     *wire.Conn
-	broken bool
+	t      *transport.Client
+	logf   func(string, ...any)
+	broken atomic.Bool
 }
 
-// DialRM connects to an RM server whose registration record is info.
+// DialRM connects to an RM server whose registration record is info, with
+// the default transport tuning.
 func DialRM(info ecnp.RMInfo) (*RMClient, error) {
+	return DialRMConfig(info, transport.DefaultConfig())
+}
+
+// DialRMConfig is DialRM with explicit transport tuning. Connectivity is
+// verified eagerly so an unreachable RM fails at construction.
+func DialRMConfig(info ecnp.RMInfo, cfg transport.Config) (*RMClient, error) {
 	if info.Addr == "" {
 		return nil, fmt.Errorf("live: %v has no address", info.ID)
 	}
-	conn, err := net.Dial("tcp", info.Addr)
+	t, err := transport.Dial(info.Addr, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("live: dial %v at %s: %w", info.ID, info.Addr, err)
 	}
-	return &RMClient{info: info, conn: conn, wc: wire.NewConn(conn)}, nil
+	return &RMClient{info: info, t: t, logf: func(string, ...any) {}}, nil
 }
 
-// Disconnect releases the connection. (Close is taken by the
-// ecnp.Provider method that releases a bandwidth reservation.)
-func (c *RMClient) Disconnect() error { return c.conn.Close() }
+// SetLogger routes client-side diagnostics (default: discard).
+func (c *RMClient) SetLogger(logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c.logf = logf
+}
 
-func (c *RMClient) call(kind wire.Kind, payload any) (wire.Msg, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	msg, err := c.wc.Call(kind, payload)
-	if err != nil && !isRemoteError(err) {
-		// A transport failure (not a served error reply) marks the client
-		// broken so the directory redials — the RM may have restarted on
-		// a new address and re-registered with the MM.
-		c.broken = true
+// Disconnect releases all pooled connections. (Close is taken by the
+// ecnp.Provider method that releases a bandwidth reservation.)
+func (c *RMClient) Disconnect() error { return c.t.Close() }
+
+// call performs one deadline-bounded RPC, recording transport failures —
+// but not errors the peer served — in the broken flag so the directory
+// re-resolves the RM's address: the RM may have restarted on a new port
+// and re-registered with the MM.
+func (c *RMClient) call(ctx context.Context, kind wire.Kind, payload any) (wire.Msg, error) {
+	msg, err := c.t.Call(ctx, kind, payload)
+	if err != nil && !transport.IsRemote(err) {
+		c.broken.Store(true)
 	}
 	return msg, err
 }
 
-// isRemoteError distinguishes an error the peer *served* (the connection
-// is fine) from a transport failure.
-func isRemoteError(err error) bool {
-	return strings.Contains(err.Error(), "remote error")
-}
+// Broken reports whether the client has seen a transport failure since
+// the last ClearBroken.
+func (c *RMClient) Broken() bool { return c.broken.Load() }
 
-// Broken reports whether the client has seen a transport failure.
-func (c *RMClient) Broken() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.broken
-}
+// ClearBroken re-arms the client after the directory confirms the MM
+// still advertises this address: the pool redials lazily under its
+// exponential backoff, which survives across clears.
+func (c *RMClient) ClearBroken() { c.broken.Store(false) }
 
 // Info implements ecnp.Provider.
 func (c *RMClient) Info() ecnp.RMInfo { return c.info }
 
-// HandleCFP implements ecnp.Provider. A transport failure yields a zero
-// bid for this RM, which ranks it last without aborting the negotiation.
-func (c *RMClient) HandleCFP(cfp ecnp.CFP) selection.Bid {
-	reply, err := c.call(wire.KindCFP, cfp)
+// HandleCFPContext implements ecnp.CtxBidder: the CFP round trip is
+// bounded by ctx (and the transport's call deadline). Any failure —
+// transport, timeout, or served error — degrades to the zero bid, which
+// ranks this RM last without aborting the negotiation.
+func (c *RMClient) HandleCFPContext(ctx context.Context, cfp ecnp.CFP) selection.Bid {
+	reply, err := c.call(ctx, wire.KindCFP, cfp)
 	if err != nil {
-		log.Printf("live: cfp to %v: %v", c.info.ID, err)
-		return selection.Bid{RM: c.info.ID, Req: cfp.Bitrate}
+		c.logf("live: cfp to %v: %v", c.info.ID, err)
+		return ecnp.ZeroBid(c.info.ID, cfp)
 	}
 	if bid, ok := reply.Payload.(selection.Bid); ok {
 		return bid
 	}
-	return selection.Bid{RM: c.info.ID, Req: cfp.Bitrate}
+	return ecnp.ZeroBid(c.info.ID, cfp)
+}
+
+// HandleCFP implements ecnp.Provider.
+func (c *RMClient) HandleCFP(cfp ecnp.CFP) selection.Bid {
+	return c.HandleCFPContext(context.Background(), cfp)
 }
 
 // Open implements ecnp.Provider.
 func (c *RMClient) Open(req ecnp.OpenRequest) ecnp.OpenResult {
-	reply, err := c.call(wire.KindOpen, req)
+	reply, err := c.call(context.Background(), wire.KindOpen, req)
 	if err != nil {
 		return ecnp.OpenResult{OK: false, Reason: err.Error()}
 	}
@@ -374,16 +406,16 @@ func (c *RMClient) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 
 // Close implements ecnp.Provider.
 func (c *RMClient) Close(request ids.RequestID) {
-	if _, err := c.call(wire.KindClose, wire.CloseReq{Request: request}); err != nil {
-		log.Printf("live: close on %v: %v", c.info.ID, err)
+	if _, err := c.call(context.Background(), wire.KindClose, wire.CloseReq{Request: request}); err != nil {
+		c.logf("live: close on %v: %v", c.info.ID, err)
 	}
 }
 
 // OfferReplica implements ecnp.Provider.
 func (c *RMClient) OfferReplica(offer ecnp.ReplicaOffer) bool {
-	reply, err := c.call(wire.KindOfferReplica, offer)
+	reply, err := c.call(context.Background(), wire.KindOfferReplica, offer)
 	if err != nil {
-		log.Printf("live: offer to %v: %v", c.info.ID, err)
+		c.logf("live: offer to %v: %v", c.info.ID, err)
 		return false
 	}
 	if r, ok := reply.Payload.(wire.OfferReply); ok {
@@ -394,158 +426,201 @@ func (c *RMClient) OfferReplica(offer ecnp.ReplicaOffer) bool {
 
 // FinishReplica implements ecnp.Provider.
 func (c *RMClient) FinishReplica(rep ids.ReplicationID, committed bool) {
-	if _, err := c.call(wire.KindFinishReplica, wire.FinishReplica{Replication: rep, Committed: committed}); err != nil {
-		log.Printf("live: finish on %v: %v", c.info.ID, err)
+	if _, err := c.call(context.Background(), wire.KindFinishReplica, wire.FinishReplica{Replication: rep, Committed: committed}); err != nil {
+		c.logf("live: finish on %v: %v", c.info.ID, err)
 	}
 }
 
+// stream checks a dedicated connection out of the pool for a data-plane
+// exchange, runs fn on it, and returns it (discarding on transport
+// failure). Streams are exempt from the call deadline — the disk throttle
+// paces them — but still inherit the dial deadline and backoff gate.
+func (c *RMClient) stream(fn func(wc *wire.Conn) error) error {
+	conn, err := c.t.Get(context.Background())
+	if err != nil {
+		c.broken.Store(true)
+		return err
+	}
+	err = transport.Classify("stream", c.t.Addr(), fn(conn.W))
+	c.t.Put(conn, err)
+	if err != nil && !transport.IsRemote(err) {
+		c.broken.Store(true)
+	}
+	return err
+}
+
 // ReadFile streams the whole file into w, verifying size and checksum.
-// It holds the connection for the duration of the stream.
+// It holds a dedicated pooled connection for the duration of the stream.
 func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.wc.Write(wire.KindReadFile, wire.ReadFile{File: file, ChunkSize: 128 * 1024}); err != nil {
-		return 0, err
-	}
 	var total int64
-	var sum uint64 = 14695981039346656037
-	for {
-		msg, err := c.wc.Read()
-		if err != nil {
-			return total, err
+	err := c.stream(func(wc *wire.Conn) error {
+		if err := wc.Write(wire.KindReadFile, wire.ReadFile{File: file, ChunkSize: 128 * 1024}); err != nil {
+			return err
 		}
-		switch msg.Kind {
-		case wire.KindFileChunk:
-			chunk, ok := msg.Payload.(wire.FileChunk)
-			if !ok {
-				return total, fmt.Errorf("live: malformed FileChunk")
+		var sum uint64 = 14695981039346656037
+		for {
+			msg, err := wc.Read()
+			if err != nil {
+				return err
 			}
-			if chunk.Offset != total {
-				return total, fmt.Errorf("live: out-of-order chunk at %d, want %d", chunk.Offset, total)
+			switch msg.Kind {
+			case wire.KindFileChunk:
+				chunk, ok := msg.Payload.(wire.FileChunk)
+				if !ok {
+					return fmt.Errorf("live: malformed FileChunk")
+				}
+				if chunk.Offset != total {
+					return fmt.Errorf("live: out-of-order chunk at %d, want %d", chunk.Offset, total)
+				}
+				if _, err := w.Write(chunk.Data); err != nil {
+					return err
+				}
+				for _, b := range chunk.Data {
+					sum ^= uint64(b)
+					sum *= 1099511628211
+				}
+				total += int64(len(chunk.Data))
+			case wire.KindFileEnd:
+				end, ok := msg.Payload.(wire.FileEnd)
+				if !ok {
+					return fmt.Errorf("live: malformed FileEnd")
+				}
+				if end.Size != total {
+					return fmt.Errorf("live: stream ended at %d bytes, server reports %d", total, end.Size)
+				}
+				if end.Checksum != sum {
+					return fmt.Errorf("live: checksum mismatch")
+				}
+				return nil
+			case wire.KindError:
+				if e, ok := msg.Payload.(wire.Error); ok {
+					return wire.RemoteError{Text: e.Text}
+				}
+				return wire.RemoteError{Text: "malformed error payload"}
+			default:
+				return fmt.Errorf("live: unexpected %v during stream", msg.Kind)
 			}
-			if _, err := w.Write(chunk.Data); err != nil {
-				return total, err
-			}
-			for _, b := range chunk.Data {
-				sum ^= uint64(b)
-				sum *= 1099511628211
-			}
-			total += int64(len(chunk.Data))
-		case wire.KindFileEnd:
-			end, ok := msg.Payload.(wire.FileEnd)
-			if !ok {
-				return total, fmt.Errorf("live: malformed FileEnd")
-			}
-			if end.Size != total {
-				return total, fmt.Errorf("live: stream ended at %d bytes, server reports %d", total, end.Size)
-			}
-			if end.Checksum != sum {
-				return total, fmt.Errorf("live: checksum mismatch")
-			}
-			return total, nil
-		case wire.KindError:
-			if e, ok := msg.Payload.(wire.Error); ok {
-				return total, fmt.Errorf("live: remote: %s", e.Text)
-			}
-			return total, fmt.Errorf("live: remote error")
-		default:
-			return total, fmt.Errorf("live: unexpected %v during stream", msg.Kind)
 		}
-	}
+	})
+	return total, err
 }
 
 // StoreFile implements ecnp.Provider: remote admission of a new file.
 // The data bytes follow separately via WriteFile.
 func (c *RMClient) StoreFile(req ecnp.StoreRequest) error {
-	_, err := c.call(wire.KindStoreFile, req)
+	_, err := c.call(context.Background(), wire.KindStoreFile, req)
 	return err
 }
 
 // WriteFile streams size bytes from r to the remote RM's disk under the
 // given file id (rep identifies the replication transfer, 0 for uploads).
-// It holds the connection for the duration of the stream and fails unless
-// the server acknowledges a checksum-verified store.
+// It holds a dedicated pooled connection for the duration of the stream
+// and fails unless the server acknowledges a checksum-verified store.
 func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64, r io.Reader) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.wc.Write(wire.KindWriteFile, wire.WriteFile{File: file, SizeBytes: size, Replication: rep}); err != nil {
-		return err
-	}
-	buf := make([]byte, 64*1024)
-	var off int64
-	var sum uint64 = 14695981039346656037
-	for off < size {
-		n, err := r.Read(buf)
-		if n > 0 {
-			if werr := c.wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
-				return werr
-			}
-			for _, b := range buf[:n] {
-				sum ^= uint64(b)
-				sum *= 1099511628211
-			}
-			off += int64(n)
+	return c.stream(func(wc *wire.Conn) error {
+		if err := wc.Write(wire.KindWriteFile, wire.WriteFile{File: file, SizeBytes: size, Replication: rep}); err != nil {
+			return err
 		}
-		if err == io.EOF {
-			break
+		buf := make([]byte, 64*1024)
+		var off int64
+		var sum uint64 = 14695981039346656037
+		for off < size {
+			n, err := r.Read(buf)
+			if n > 0 {
+				if werr := wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
+					return werr
+				}
+				for _, b := range buf[:n] {
+					sum ^= uint64(b)
+					sum *= 1099511628211
+				}
+				off += int64(n)
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
 		}
+		if off != size {
+			return fmt.Errorf("live: source delivered %d of %d bytes", off, size)
+		}
+		if err := wc.Write(wire.KindFileEnd, wire.FileEnd{Size: size, Checksum: sum}); err != nil {
+			return err
+		}
+		reply, err := wc.Read()
 		if err != nil {
 			return err
 		}
-	}
-	if off != size {
-		return fmt.Errorf("live: source delivered %d of %d bytes", off, size)
-	}
-	if err := c.wc.Write(wire.KindFileEnd, wire.FileEnd{Size: size, Checksum: sum}); err != nil {
-		return err
-	}
-	reply, err := c.wc.Read()
-	if err != nil {
-		return err
-	}
-	if reply.Kind == wire.KindError {
-		if e, ok := reply.Payload.(wire.Error); ok {
-			return fmt.Errorf("live: remote: %s", e.Text)
+		if reply.Kind == wire.KindError {
+			if e, ok := reply.Payload.(wire.Error); ok {
+				return wire.RemoteError{Text: e.Text}
+			}
+			return wire.RemoteError{Text: "malformed error payload"}
 		}
-		return fmt.Errorf("live: remote error")
-	}
-	if reply.Kind != wire.KindAck {
-		return fmt.Errorf("live: unexpected %v after upload", reply.Kind)
-	}
-	return nil
+		if reply.Kind != wire.KindAck {
+			return fmt.Errorf("live: unexpected %v after upload", reply.Kind)
+		}
+		return nil
+	})
 }
 
 var _ ecnp.Provider = (*RMClient)(nil)
+var _ ecnp.CtxBidder = (*RMClient)(nil)
 
 // Directory resolves providers by dialing the addresses the MM's resource
-// list advertises, caching one client per RM.
+// list advertises, caching one pooled client per RM.
 type Directory struct {
 	mapper ecnp.Mapper
+	cfg    transport.Config
 	mu     sync.Mutex
 	cache  map[ids.RMID]*RMClient
+	logf   func(string, ...any)
 }
 
-// NewDirectory builds a directory backed by the given mapper.
+// NewDirectory builds a directory backed by the given mapper with default
+// transport tuning.
 func NewDirectory(mapper ecnp.Mapper) *Directory {
-	return &Directory{mapper: mapper, cache: make(map[ids.RMID]*RMClient)}
+	return NewDirectoryConfig(mapper, transport.DefaultConfig())
+}
+
+// NewDirectoryConfig is NewDirectory with explicit transport tuning,
+// applied to every RM client it dials.
+func NewDirectoryConfig(mapper ecnp.Mapper, cfg transport.Config) *Directory {
+	return &Directory{
+		mapper: mapper,
+		cfg:    cfg,
+		cache:  make(map[ids.RMID]*RMClient),
+		logf:   func(string, ...any) {},
+	}
+}
+
+// SetLogger routes directory and client diagnostics (default: discard).
+// It applies to clients dialed after the call.
+func (d *Directory) SetLogger(logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	d.mu.Lock()
+	d.logf = logf
+	d.mu.Unlock()
 }
 
 // Provider implements ecnp.Directory. A cached client that has suffered a
-// transport failure is discarded and redialed at the address the MM
-// currently advertises, so an RM that crashed and re-registered (possibly
-// on a new port) becomes reachable again without manual intervention.
+// transport failure is re-resolved against the address the MM currently
+// advertises: if the address is unchanged the same client (and its pool,
+// with its backoff state) is re-armed and redials lazily; if the RM
+// re-registered on a new address the old client is discarded and the new
+// address dialed — so an RM that crashed and came back (possibly on a new
+// port) becomes reachable again without manual intervention.
 func (d *Directory) Provider(id ids.RMID) (ecnp.Provider, bool) {
 	d.mu.Lock()
-	if c, ok := d.cache[id]; ok {
-		if !c.Broken() {
-			d.mu.Unlock()
-			return c, true
-		}
-		delete(d.cache, id)
-		d.mu.Unlock()
-		c.Disconnect()
-	} else {
-		d.mu.Unlock()
+	cached, ok := d.cache[id]
+	logf := d.logf
+	d.mu.Unlock()
+	if ok && !cached.Broken() {
+		return cached, true
 	}
 
 	var info ecnp.RMInfo
@@ -559,11 +634,25 @@ func (d *Directory) Provider(id ids.RMID) (ecnp.Provider, bool) {
 	if !found {
 		return nil, false
 	}
-	c, err := DialRM(info)
+	if ok && cached.Info().Addr == info.Addr {
+		// Same advertised address: keep the client, let its pool redial
+		// under backoff.
+		cached.ClearBroken()
+		return cached, true
+	}
+	if ok {
+		d.mu.Lock()
+		delete(d.cache, id)
+		d.mu.Unlock()
+		cached.Disconnect()
+	}
+
+	c, err := DialRMConfig(info, d.cfg)
 	if err != nil {
-		log.Printf("live: directory: %v", err)
+		logf("live: directory: %v", err)
 		return nil, false
 	}
+	c.SetLogger(logf)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if existing, ok := d.cache[id]; ok {

@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"context"
+	"flag"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"dfsqos/internal/wire"
+)
+
+// Config tunes a transport client. The zero value means "all defaults";
+// see DefaultConfig for the values.
+type Config struct {
+	// DialTimeout bounds one TCP connection attempt.
+	DialTimeout time.Duration
+	// CallTimeout bounds one RPC round trip (write + reply read),
+	// including any dial it triggers. Zero disables the bound. Streams
+	// opened through Get are NOT subject to it — the data plane is paced
+	// by the disk throttle, not the control-plane deadline.
+	CallTimeout time.Duration
+	// PoolSize bounds the idle connections kept per peer. Checkouts
+	// beyond the pool dial extra connections lazily; returning them past
+	// the bound closes them.
+	PoolSize int
+	// BackoffBase is the redial delay after the first consecutive dial
+	// failure; it doubles per failure up to BackoffMax, with ±50% jitter.
+	BackoffBase time.Duration
+	// BackoffMax caps the redial delay.
+	BackoffMax time.Duration
+}
+
+// DefaultConfig returns the stock tuning: 2s dials, 5s calls, 4 pooled
+// connections, 25ms→2s backoff.
+func DefaultConfig() Config {
+	return Config{
+		DialTimeout: 2 * time.Second,
+		CallTimeout: 5 * time.Second,
+		PoolSize:    4,
+		BackoffBase: 25 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+	}
+}
+
+// withDefaults fills unset fields from DefaultConfig. A negative
+// CallTimeout explicitly disables the call bound.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DialTimeout == 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = d.CallTimeout
+	}
+	if c.CallTimeout < 0 {
+		c.CallTimeout = 0
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = d.PoolSize
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = d.BackoffMax
+	}
+	return c
+}
+
+// RegisterFlags binds the standard transport tuning flags on fs
+// (-dial-timeout, -call-timeout, -pool-size) and returns the Config they
+// populate, pre-filled with defaults. Call flag.Parse before using it.
+func RegisterFlags(fs *flag.FlagSet) *Config {
+	cfg := DefaultConfig()
+	fs.DurationVar(&cfg.DialTimeout, "dial-timeout", cfg.DialTimeout, "budget for one TCP connection attempt")
+	fs.DurationVar(&cfg.CallTimeout, "call-timeout", cfg.CallTimeout, "deadline for one control-plane RPC round trip (0 disables)")
+	fs.IntVar(&cfg.PoolSize, "pool-size", cfg.PoolSize, "max pooled connections kept per peer")
+	return &cfg
+}
+
+// Conn is one checked-out pooled connection: the raw socket plus its wire
+// codec. Holders use W for framed I/O and must hand the Conn back with
+// Client.Put when done.
+type Conn struct {
+	nc net.Conn
+	W  *wire.Conn
+}
+
+// healthy probes a pooled connection at checkout with a non-blocking
+// MSG_PEEK: a closed or reset peer yields EOF/error (unhealthy), a live
+// idle one yields EAGAIN (healthy). Readable bytes on an idle
+// request/response connection mean protocol desync, which also counts as
+// unhealthy. No byte is consumed and no deadline is armed, so the check
+// costs one syscall and zero latency.
+func (pc *Conn) healthy() bool {
+	sc, ok := pc.nc.(syscall.Conn)
+	if !ok {
+		return true // no raw access (tests with pipes): assume alive
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	rerr := raw.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, _, serr := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case n > 0:
+			alive = false // unsolicited bytes: protocol desync
+		case serr == syscall.EAGAIN || serr == syscall.EWOULDBLOCK:
+			alive = true // nothing to read: idle and open
+		default:
+			alive = false // EOF (n==0, serr==nil) or a real error
+		}
+		return true // never block waiting for readability
+	})
+	return rerr == nil && alive
+}
+
+// Client is a pooled, deadline-aware RPC client to one peer address. It is
+// safe for concurrent use: independent calls proceed on independent
+// connections instead of serializing behind one mutex.
+type Client struct {
+	addr string
+	cfg  Config
+
+	mu      sync.Mutex
+	idle    []*Conn
+	closed  bool
+	fails   int       // consecutive dial failures
+	nextTry time.Time // backoff gate for the next dial
+}
+
+// NewClient builds a client without touching the network; the first call
+// dials lazily. cfg zero-fields take defaults.
+func NewClient(addr string, cfg Config) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
+}
+
+// Dial builds a client and eagerly verifies connectivity by dialing (and
+// pooling) one connection, so an unreachable peer fails fast at
+// construction like a plain net.Dial would.
+func Dial(addr string, cfg Config) (*Client, error) {
+	c := NewClient(addr, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.DialTimeout)
+	defer cancel()
+	conn, err := c.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(conn, nil)
+	return c, nil
+}
+
+// Addr returns the peer address.
+func (c *Client) Addr() string { return c.addr }
+
+// Config returns the effective (default-filled) configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+// FailureCount returns the consecutive dial-failure count (diagnostics
+// and backoff tests).
+func (c *Client) FailureCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fails
+}
+
+// Get checks a connection out of the pool, health-checking pooled ones
+// and dialing a fresh one (backoff-gated) when none survive. The caller
+// must return it with Put. Get respects ctx for both the backoff wait and
+// the dial itself.
+func (c *Client) Get(ctx context.Context) (*Conn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, &ConnError{Op: "checkout", Peer: c.addr, Err: ErrClosed}
+		}
+		var pc *Conn
+		if n := len(c.idle); n > 0 {
+			pc = c.idle[n-1]
+			c.idle = c.idle[:n-1]
+		}
+		c.mu.Unlock()
+		if pc == nil {
+			return c.dial(ctx)
+		}
+		if pc.healthy() {
+			return pc, nil
+		}
+		pc.nc.Close() // stale pooled conn: discard and try the next
+	}
+}
+
+// Put returns a checked-out connection. err is the outcome of whatever
+// the holder did with it: nil or a RemoteError keeps the connection
+// pooled; any transport-level failure (or pool overflow) closes it.
+func (c *Client) Put(conn *Conn, err error) {
+	if conn == nil {
+		return
+	}
+	if err != nil && !IsRemote(err) {
+		conn.nc.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.cfg.PoolSize {
+		c.mu.Unlock()
+		conn.nc.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// dial opens a fresh connection, honoring the exponential-backoff gate
+// left by previous failures: if a redial is not due yet, it waits out the
+// remainder (or the context, whichever ends first) instead of hammering a
+// down peer.
+func (c *Client) dial(ctx context.Context) (*Conn, error) {
+	c.mu.Lock()
+	wait := time.Until(c.nextTry)
+	c.mu.Unlock()
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, Classify("dial", c.addr, ctx.Err())
+		case <-t.C:
+		}
+	}
+	dctx := ctx
+	if c.cfg.DialTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, c.cfg.DialTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	nc, err := d.DialContext(dctx, "tcp", c.addr)
+	if err != nil {
+		c.mu.Lock()
+		c.fails++
+		c.nextTry = time.Now().Add(c.backoffLocked())
+		c.mu.Unlock()
+		return nil, Classify("dial", c.addr, err)
+	}
+	c.mu.Lock()
+	c.fails = 0
+	c.nextTry = time.Time{}
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		nc.Close()
+		return nil, &ConnError{Op: "dial", Peer: c.addr, Err: ErrClosed}
+	}
+	return &Conn{nc: nc, W: wire.NewConn(nc)}, nil
+}
+
+// backoffLocked computes the next redial delay: BackoffBase doubled per
+// consecutive failure, capped at BackoffMax, jittered ±50% so a fleet of
+// clients does not probe a recovering peer in lockstep. Caller holds c.mu.
+func (c *Client) backoffLocked() time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 1; i < c.fails && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	jitter := 0.5 + rand.Float64() // in [0.5, 1.5)
+	return time.Duration(float64(d) * jitter)
+}
+
+// Call performs one RPC round trip on a pooled connection, bounded by
+// CallTimeout (and any tighter ctx deadline). Errors come back classified:
+// RemoteError, *TimeoutError or *ConnError. The connection returns to the
+// pool unless the call failed at the transport level.
+func (c *Client) Call(ctx context.Context, kind wire.Kind, payload any) (wire.Msg, error) {
+	if c.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
+		defer cancel()
+	}
+	conn, err := c.Get(ctx)
+	if err != nil {
+		return wire.Msg{}, err
+	}
+	msg, err := conn.W.CallContext(ctx, kind, payload)
+	err = Classify("call "+kind.String(), c.addr, err)
+	c.Put(conn, err)
+	return msg, err
+}
+
+// IdleConns returns the current pooled-connection count (tests).
+func (c *Client) IdleConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}
+
+// Close closes every pooled connection and rejects future checkouts.
+// Connections currently checked out are closed by their holders' Put.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, pc := range idle {
+		pc.nc.Close()
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestCallContextDeadlineUnblocksStalledRead verifies a CallContext
+// against a peer that never replies returns promptly at the context
+// deadline instead of blocking forever.
+func TestCallContextDeadlineUnblocksStalledRead(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		// Drain the request, then stall: never reply.
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := srv.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	wc := NewConn(cli)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := wc.CallContext(ctx, KindRMs, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a silent peer succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline-bounded call returned after %v", elapsed)
+	}
+}
+
+// TestCallContextCancelUnblocksStalledRead verifies early cancellation
+// (not just deadline expiry) aborts a pending call.
+func TestCallContextCancelUnblocksStalledRead(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := srv.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	wc := NewConn(cli)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := wc.CallContext(ctx, KindRMs, nil)
+	if err == nil {
+		t.Fatal("canceled call succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled call returned after %v", elapsed)
+	}
+}
+
+// TestCallContextPlainSuccess verifies the deadline plumbing leaves a
+// healthy round trip untouched and clears the connection deadline after.
+func TestCallContextPlainSuccess(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		swc := NewConn(srv)
+		for {
+			if _, err := swc.Read(); err != nil {
+				return
+			}
+			if err := swc.Write(KindAck, Ack{}); err != nil {
+				return
+			}
+		}
+	}()
+
+	wc := NewConn(cli)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	// Two calls through the same conn: the first must not leave a stale
+	// deadline that kills the second.
+	for i := 0; i < 2; i++ {
+		reply, err := wc.CallContext(ctx, KindRMs, nil)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if reply.Kind != KindAck {
+			t.Fatalf("call %d: reply %v", i, reply.Kind)
+		}
+	}
+}
+
+// TestCallRemoteErrorIsTyped verifies a served error surfaces as
+// RemoteError, matchable with errors.As — never by substring.
+func TestCallRemoteErrorIsTyped(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		swc := NewConn(srv)
+		if _, err := swc.Read(); err != nil {
+			return
+		}
+		swc.WriteError(errors.New("boom"))
+	}()
+
+	wc := NewConn(cli)
+	_, err := wc.Call(KindRMs, nil)
+	var re RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want RemoteError", err, err)
+	}
+	if re.Text != "boom" {
+		t.Fatalf("RemoteError.Text = %q", re.Text)
+	}
+}

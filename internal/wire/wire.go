@@ -7,11 +7,15 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
+	"time"
 
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
@@ -201,6 +205,33 @@ func init() {
 	gob.Register(selection.Bid{})
 }
 
+// RemoteError is an error the peer *served* as a KindError reply: the RPC
+// round trip itself completed, so the connection stays healthy and
+// reusable. Callers distinguish it from transport failures with
+//
+//	var re wire.RemoteError
+//	if errors.As(err, &re) { ... }
+//
+// (or transport.IsRemote), never by matching the error text.
+type RemoteError struct {
+	// Text is the peer's diagnostic message.
+	Text string
+}
+
+// Error implements error. The "wire: remote error:" prefix is kept stable
+// for log readability only; programmatic classification must use errors.As.
+func (e RemoteError) Error() string { return "wire: remote error: " + e.Text }
+
+// deadliner is the deadline surface of net.Conn (and net.Pipe).
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// writeDeadliner is the write-side deadline surface of net.Conn.
+type writeDeadliner interface {
+	SetWriteDeadline(time.Time) error
+}
+
 // Conn frames messages over a reliable byte stream. Reads and writes are
 // independently serialized, so one goroutine may stream reads while another
 // writes.
@@ -208,10 +239,33 @@ type Conn struct {
 	wmu sync.Mutex
 	rmu sync.Mutex
 	rw  io.ReadWriter
+	// wt, guarded by wmu, arms a fresh write deadline per frame (servers
+	// use it so a stalled reader cannot wedge a handler goroutine).
+	wt time.Duration
 }
 
 // NewConn wraps a byte stream (normally a *net.TCPConn).
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// SetDeadline forwards an absolute deadline to the underlying stream when
+// it supports one (net.Conn does; an in-memory buffer does not). It
+// reports whether a deadline was applied. A zero time clears the deadline.
+func (c *Conn) SetDeadline(t time.Time) bool {
+	if d, ok := c.rw.(deadliner); ok {
+		return d.SetDeadline(t) == nil
+	}
+	return false
+}
+
+// SetWriteTimeout arms a rolling per-frame write deadline: every Write
+// gets d from its start to reach the kernel, independent of how long the
+// connection has been open. Zero (the default) disables it. It is a no-op
+// on streams without deadline support.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.wmu.Lock()
+	c.wt = d
+	c.wmu.Unlock()
+}
 
 // Write sends one message.
 func (c *Conn) Write(kind Kind, payload any) error {
@@ -226,6 +280,11 @@ func (c *Conn) Write(kind Kind, payload any) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.wt > 0 {
+		if wd, ok := c.rw.(writeDeadliner); ok {
+			wd.SetWriteDeadline(time.Now().Add(c.wt))
+		}
+	}
 	if _, err := c.rw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: writing header: %w", err)
 	}
@@ -259,7 +318,7 @@ func (c *Conn) Read() (Msg, error) {
 }
 
 // Call performs a synchronous request/response round trip. A KindError
-// reply is surfaced as a Go error.
+// reply is surfaced as a RemoteError.
 func (c *Conn) Call(kind Kind, payload any) (Msg, error) {
 	if err := c.Write(kind, payload); err != nil {
 		return Msg{}, err
@@ -270,11 +329,52 @@ func (c *Conn) Call(kind Kind, payload any) (Msg, error) {
 	}
 	if reply.Kind == KindError {
 		if e, ok := reply.Payload.(Error); ok {
-			return Msg{}, fmt.Errorf("wire: remote error: %s", e.Text)
+			return Msg{}, RemoteError{Text: e.Text}
 		}
-		return Msg{}, fmt.Errorf("wire: remote error with malformed payload")
+		return Msg{}, RemoteError{Text: "malformed error payload"}
 	}
 	return reply, nil
+}
+
+// CallContext is Call bounded by ctx: the context's deadline and
+// cancellation are mapped onto the stream's I/O deadlines, so a stalled or
+// unreachable peer cannot block the caller past the context. With a
+// deadline-free, never-canceled context it degenerates to Call. The
+// connection is left with no deadline armed on return; a call aborted by
+// ctx leaves the stream desynchronized, so the caller must discard it
+// (the transport pool does exactly that).
+func (c *Conn) CallContext(ctx context.Context, kind Kind, payload any) (Msg, error) {
+	if err := ctx.Err(); err != nil {
+		return Msg{}, err
+	}
+	if _, ok := c.rw.(deadliner); ok && ctx.Done() != nil {
+		// Arm the deadline and also watch for early cancellation: an
+		// expired deadline makes the pending read/write return promptly.
+		if dl, hasDL := ctx.Deadline(); hasDL {
+			c.SetDeadline(dl)
+		}
+		stop := context.AfterFunc(ctx, func() { c.SetDeadline(time.Now()) })
+		defer func() {
+			stop()
+			c.SetDeadline(time.Time{})
+		}()
+	}
+	msg, err := c.Call(kind, payload)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// Prefer the context's verdict over the raw i/o timeout error.
+			return Msg{}, fmt.Errorf("wire: call %v: %w", kind, cerr)
+		}
+		// The socket deadline we armed from the context can fire a hair
+		// before the context's own timer observes expiry; attribute such
+		// an i/o timeout to the context deadline it came from.
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			if dl, hasDL := ctx.Deadline(); hasDL && !time.Now().Before(dl) {
+				return Msg{}, fmt.Errorf("wire: call %v: %w", kind, context.DeadlineExceeded)
+			}
+		}
+	}
+	return msg, err
 }
 
 // WriteError replies with a remote error message.
