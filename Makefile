@@ -1,10 +1,12 @@
 # Build/test entry points. `make tier1` is the acceptance gate every PR
 # must keep green; `make race` exercises the concurrent paths (transport
-# pool, CFP fan-out, live servers) under the race detector.
+# pool, CFP fan-out, live servers, telemetry scrapes) under the race
+# detector; `make cover` enforces the per-package coverage floor on the
+# observability packages.
 
 GO ?= go
 
-.PHONY: tier1 build test vet race all
+.PHONY: tier1 build test vet race cover fmt-check all
 
 all: tier1 vet
 
@@ -20,4 +22,19 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/...
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/...
+
+# cover writes one profile per gated package plus a merged coverage.out
+# for the CI artifact, then enforces the floor (60%) via the gate script.
+cover:
+	mkdir -p coverage
+	$(GO) test -coverprofile=coverage/telemetry.out ./internal/telemetry/
+	$(GO) test -coverprofile=coverage/monitor.out ./internal/monitor/
+	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
+	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

@@ -19,9 +19,11 @@ import (
 	"dfsqos/internal/cluster"
 	"dfsqos/internal/dfsc"
 	"dfsqos/internal/live"
+	"dfsqos/internal/monitor"
 	"dfsqos/internal/qos"
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
+	"dfsqos/internal/telemetry"
 	"dfsqos/internal/transport"
 )
 
@@ -39,6 +41,7 @@ func main() {
 		gapMS    = flag.Int("gap", 200, "milliseconds between requests")
 		scale    = flag.Float64("scale", 1, "virtual seconds per wall second")
 		negTO    = flag.Duration("negotiation-timeout", 2*time.Second, "deadline for collecting CFP bids; stalled RMs degrade to last-ranked zero bids")
+		monAddr  = flag.String("monitor", "", "HTTP stats/metrics address (e.g. 127.0.0.1:0); empty disables")
 		tcfg     = transport.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -57,6 +60,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	// One registry joins the requester's transport and negotiation
+	// telemetry on a single /metrics page.
+	reg := telemetry.NewRegistry()
+	tcfg.Metrics = transport.NewMetrics(reg)
 
 	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {
@@ -82,10 +90,19 @@ func main() {
 		// The live control path fans CFPs out concurrently, bounded by
 		// the negotiation deadline: one stalled RM costs at most -negotiation-timeout,
 		// not its share of a serial scan.
-		Fanout: dfsc.Fanout{Concurrent: true, BidTimeout: *negTO},
+		Fanout:  dfsc.Fanout{Concurrent: true, BidTimeout: *negTO},
+		Metrics: dfsc.NewMetrics(reg),
 	})
 	if err != nil {
 		fail(err)
+	}
+	if *monAddr != "" {
+		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewDFSCHandler(client, reg))
+		if err != nil {
+			fail(err)
+		}
+		defer monitor.Shutdown(monSrv, 3*time.Second)
+		log.Printf("dfsc: stats at http://%s/stats, metrics at http://%s/metrics", bound, bound)
 	}
 
 	picker := rng.New(uint64(time.Now().UnixNano()) | 1)

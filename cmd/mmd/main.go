@@ -14,16 +14,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/live"
 	"dfsqos/internal/mm"
 	"dfsqos/internal/monitor"
+	"dfsqos/internal/telemetry"
 	"dfsqos/internal/transport"
 )
+
+// shutdownTimeout bounds the monitor drain on SIGTERM.
+const shutdownTimeout = 3 * time.Second
 
 func main() {
 	var (
@@ -43,29 +49,35 @@ func main() {
 	if *shards > 1 {
 		mapper = mm.NewSharded(*shards)
 	}
+	reg := telemetry.NewRegistry()
 	srv, err := live.NewMMServer(mapper, *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
 		os.Exit(1)
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
+	srv.SetMetrics(live.NewServerMetrics(reg, "mm"))
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}
 	log.Printf("mmd: metadata manager listening on %s (%d shard(s))", srv.Addr(), *shards)
+	var monSrv *http.Server
 	if *monAddr != "" {
-		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewMMHandler(mapper))
+		var bound string
+		monSrv, bound, err = monitor.Serve(*monAddr, monitor.NewMMHandler(mapper, reg))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
 			os.Exit(1)
 		}
-		defer monSrv.Close()
-		log.Printf("mmd: stats at http://%s/stats", bound)
+		log.Printf("mmd: stats at http://%s/stats, metrics at http://%s/metrics", bound, bound)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("mmd: shutting down")
+	if err := monitor.Shutdown(monSrv, shutdownTimeout); err != nil {
+		log.Printf("mmd: monitor shutdown: %v", err)
+	}
 	srv.Close()
 }

@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dfsqos/internal/blkio"
 	"dfsqos/internal/catalog"
@@ -30,10 +32,14 @@ import (
 	"dfsqos/internal/replication"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/rng"
+	"dfsqos/internal/telemetry"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
 )
+
+// shutdownTimeout bounds the monitor drain on SIGTERM.
+const shutdownTimeout = 3 * time.Second
 
 func main() {
 	var (
@@ -99,12 +105,19 @@ func main() {
 		}
 	}
 
+	// One registry aggregates transport, server, RM core and replication
+	// telemetry on this daemon's /metrics page.
+	reg := telemetry.NewRegistry()
+	tcfg.Metrics = transport.NewMetrics(reg)
+
 	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {
 		fail(err)
 	}
 	sched := live.NewWallScheduler(*scale)
 	peers := live.NewDirectoryConfig(mapper, *tcfg)
+	copier := live.NewCopier(disk, peers, *scale)
+	copier.SetMetrics(live.NewCopierMetrics(reg))
 	node, err := rm.New(rm.Options{
 		Info:        ecnp.RMInfo{ID: rmID, Capacity: capacity, StorageBytes: storage},
 		Scheduler:   sched,
@@ -115,7 +128,8 @@ func main() {
 		Files:       fileMetas,
 		// Replication moves real bytes between daemons, paced at the
 		// replication rate scaled to wall time.
-		Copier: live.NewCopier(disk, peers, *scale),
+		Copier:  copier,
+		Metrics: rm.NewMetrics(reg),
 	})
 	if err != nil {
 		fail(err)
@@ -125,6 +139,7 @@ func main() {
 		fail(err)
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
+	srv.SetMetrics(live.NewServerMetrics(reg, "rm"))
 	if *verbose {
 		srv.SetLogger(log.Printf)
 		mapper.SetLogger(log.Printf)
@@ -145,19 +160,23 @@ func main() {
 	node.SetDirectory(peers)
 	log.Printf("rmd: %v (%v, %d files, %v) listening on %s, registered at %s",
 		rmID, capacity, len(fileMetas), strat, srv.Addr(), *mmAddr)
+	var monSrv *http.Server
 	if *monAddr != "" {
-		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewRMHandler(node, disk, sched))
+		var bound string
+		monSrv, bound, err = monitor.Serve(*monAddr, monitor.NewRMHandler(node, disk, sched, reg))
 		if err != nil {
 			fail(err)
 		}
-		defer monSrv.Close()
-		log.Printf("rmd: %v stats at http://%s/stats", rmID, bound)
+		log.Printf("rmd: %v stats at http://%s/stats, metrics at http://%s/metrics", rmID, bound, bound)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("rmd: %v shutting down", rmID)
+	if err := monitor.Shutdown(monSrv, shutdownTimeout); err != nil {
+		log.Printf("rmd: monitor shutdown: %v", err)
+	}
 	srv.Close()
 	sched.Stop()
 	mapper.Close()

@@ -90,6 +90,7 @@ type Client struct {
 	src       *rng.Source
 	broadcast bool
 	fanout    Fanout
+	met       *Metrics
 
 	reqSeq int64
 	stats  Stats
@@ -114,12 +115,19 @@ type Options struct {
 	// Fanout selects serial (simulation) or concurrent deadline-bounded
 	// (live) CFP bid collection.
 	Fanout Fanout
+	// Metrics routes client telemetry to a registry (nil means no-op; the
+	// discrete-event simulation pays a few uncollected atomic ops).
+	Metrics *Metrics
 }
 
 // New constructs a client.
 func New(opt Options) (*Client, error) {
 	if opt.Mapper == nil || opt.Directory == nil || opt.Scheduler == nil || opt.Catalog == nil || opt.Rand == nil {
 		return nil, fmt.Errorf("dfsc: DFSC%d: Mapper, Directory, Scheduler, Catalog and Rand are required", opt.ID)
+	}
+	met := opt.Metrics
+	if met == nil {
+		met = NewMetrics(nil)
 	}
 	return &Client{
 		id:        opt.ID,
@@ -132,6 +140,7 @@ func New(opt Options) (*Client, error) {
 		src:       opt.Rand,
 		broadcast: opt.BroadcastCNP,
 		fanout:    opt.Fanout,
+		met:       met,
 	}, nil
 }
 
@@ -254,6 +263,9 @@ func (c *Client) Store(file ids.FileID) Outcome {
 // negotiate performs phases 1-3 and returns the outcome plus the serving
 // provider (nil on failure).
 func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
+	start := time.Now()
+	defer func() { c.met.NegotiationLatency.Observe(time.Since(start).Seconds()) }()
+
 	req := c.nextRequestID()
 	c.mu.Lock()
 	c.stats.Requests++
@@ -280,6 +292,7 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 		c.stats.NoReplica++
 		c.stats.Failed++
 		c.mu.Unlock()
+		c.met.NoReplica.Inc()
 		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}, nil
 	}
 
@@ -308,6 +321,7 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 		c.mu.Lock()
 		c.stats.Failed++
 		c.mu.Unlock()
+		c.met.Failed.Inc()
 		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}, nil
 	}
 
@@ -344,6 +358,7 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 		c.addMessages(2) // open + result
 		if !res.OK {
 			if firm {
+				c.met.Fallbacks.Inc()
 				continue
 			}
 			// A soft open can only fail on a duplicate request id, which
@@ -351,14 +366,17 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 			c.mu.Lock()
 			c.stats.Failed++
 			c.mu.Unlock()
+			c.met.Failed.Inc()
 			return Outcome{Request: req, File: file, RM: rmID, OK: false, Reason: res.Reason}, nil
 		}
+		c.met.Admitted.Inc()
 		return Outcome{Request: req, File: file, RM: rmID, OK: true}, p
 	}
 
 	c.mu.Lock()
 	c.stats.Failed++
 	c.mu.Unlock()
+	c.met.Failed.Inc()
 	return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}, nil
 }
 
@@ -455,6 +473,7 @@ func (c *Client) collectBids(candidates []ids.RMID, cfp ecnp.CFP, count bool) ([
 			// bid: a zero bid ranks it last and the negotiation proceeds
 			// with the live bidders (paper's "always bid" preserved).
 			bids[i] = ecnp.ZeroBid(candidates[i], cfp)
+			c.met.FanoutStalls.Inc()
 		}
 		out = append(out, bids[i])
 	}

@@ -43,10 +43,10 @@ func (p *stallProvider) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	return ecnp.OpenResult{OK: true}
 }
 
-func (p *stallProvider) Close(ids.RequestID)                  {}
-func (p *stallProvider) OfferReplica(ecnp.ReplicaOffer) bool  { return false }
+func (p *stallProvider) Close(ids.RequestID)                   {}
+func (p *stallProvider) OfferReplica(ecnp.ReplicaOffer) bool   { return false }
 func (p *stallProvider) FinishReplica(ids.ReplicationID, bool) {}
-func (p *stallProvider) StoreFile(ecnp.StoreRequest) error    { return nil }
+func (p *stallProvider) StoreFile(ecnp.StoreRequest) error     { return nil }
 
 var _ ecnp.Provider = (*stallProvider)(nil)
 

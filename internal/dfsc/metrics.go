@@ -1,0 +1,49 @@
+package dfsc
+
+import (
+	"dfsqos/internal/telemetry"
+)
+
+// Metrics instruments the client side of the three-phase flow:
+// negotiation latency (exploration + CFP fan-out + open), fan-out stalls
+// (providers that missed the bid deadline and degraded to zero bids),
+// and selection outcomes. Nil in Options means no-op, so the
+// discrete-event simulation pays nothing observable.
+type Metrics struct {
+	// NegotiationLatency observes the wall-clock seconds from request
+	// start to open outcome
+	// (dfsqos_dfsc_negotiation_latency_seconds).
+	NegotiationLatency *telemetry.Histogram
+	// FanoutStalls counts providers whose bid missed the negotiation
+	// deadline and were synthesized as last-ranked zero bids
+	// (dfsqos_dfsc_fanout_stalls_total).
+	FanoutStalls *telemetry.Counter
+	// Admitted / Failed / NoReplica count request outcomes
+	// (dfsqos_dfsc_requests_total{outcome}).
+	Admitted  *telemetry.Counter
+	Failed    *telemetry.Counter
+	NoReplica *telemetry.Counter
+	// Fallbacks counts firm-scenario opens refused by a ranked RM
+	// before a lower-ranked one (or none) admitted the access
+	// (dfsqos_dfsc_open_fallbacks_total).
+	Fallbacks *telemetry.Counter
+}
+
+// NewMetrics registers the DFSC metric families on reg (nil reg yields a
+// live no-op sink).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	outcomes := reg.NewCounterVec("dfsqos_dfsc_requests_total",
+		"Access attempts by outcome.", "outcome")
+	return &Metrics{
+		NegotiationLatency: reg.NewHistogram("dfsqos_dfsc_negotiation_latency_seconds",
+			"Three-phase negotiation latency (MM query, CFP fan-out, open).",
+			telemetry.DefBuckets),
+		FanoutStalls: reg.NewCounter("dfsqos_dfsc_fanout_stalls_total",
+			"Providers that missed the bid deadline (degraded to zero bids)."),
+		Admitted:  outcomes.With("admitted"),
+		Failed:    outcomes.With("failed"),
+		NoReplica: outcomes.With("no_replica"),
+		Fallbacks: reg.NewCounter("dfsqos_dfsc_open_fallbacks_total",
+			"Firm opens refused by a ranked RM, falling through to the next."),
+	}
+}

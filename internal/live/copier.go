@@ -8,6 +8,7 @@ import (
 	"dfsqos/internal/blkio"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
+	"dfsqos/internal/telemetry"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
 )
@@ -23,7 +24,8 @@ type Copier struct {
 	// scale multiplies the pacing rate, so a deployment running its
 	// WallScheduler at N virtual seconds per wall second replicates
 	// N× faster in wall time and the virtual-time dynamics match the DES.
-	scale float64
+	scale   float64
+	metrics *CopierMetrics
 }
 
 // NewCopier builds a copier for one RM. scale must match the deployment's
@@ -32,22 +34,40 @@ func NewCopier(disk *vdisk.Disk, dir *Directory, scale float64) *Copier {
 	if scale <= 0 {
 		panic("live: non-positive copier scale")
 	}
-	return &Copier{disk: disk, dir: dir, scale: scale}
+	return &Copier{disk: disk, dir: dir, scale: scale, metrics: NewCopierMetrics(nil)}
+}
+
+// SetMetrics routes replication data-plane telemetry (default: no-op).
+func (c *Copier) SetMetrics(m *CopierMetrics) {
+	if m == nil {
+		m = NewCopierMetrics(nil)
+	}
+	c.metrics = m
 }
 
 // CopyReplica implements rm.DataCopier.
 func (c *Copier) CopyReplica(dst ids.RMID, rep ids.ReplicationID, file ids.FileID, meta rm.FileMeta, rate units.BytesPerSec) error {
 	cli, ok := c.dir.RMClient(dst)
 	if !ok {
+		c.metrics.TransfersFailed.Inc()
 		return fmt.Errorf("live: copier: %v unreachable", dst)
 	}
 	src := &pacedFileReader{
-		disk: c.disk,
-		name: FileName(file),
-		size: int64(meta.Size),
-		pace: newPacer(units.BytesPerSec(float64(rate) * c.scale)),
+		disk:  c.disk,
+		name:  FileName(file),
+		size:  int64(meta.Size),
+		pace:  newPacer(units.BytesPerSec(float64(rate) * c.scale)),
+		bytes: c.metrics.Bytes,
 	}
-	return cli.WriteFile(file, rep, int64(meta.Size), src)
+	c.metrics.ActiveTransfers.Inc()
+	err := cli.WriteFile(file, rep, int64(meta.Size), src)
+	c.metrics.ActiveTransfers.Dec()
+	if err != nil {
+		c.metrics.TransfersFailed.Inc()
+	} else {
+		c.metrics.TransfersOK.Inc()
+	}
+	return err
 }
 
 var _ rm.DataCopier = (*Copier)(nil)
@@ -55,11 +75,12 @@ var _ rm.DataCopier = (*Copier)(nil)
 // pacedFileReader streams a vdisk file through a private token bucket
 // (raw reads: the replication reserve, not the VM's QoS throttle).
 type pacedFileReader struct {
-	disk *vdisk.Disk
-	name string
-	size int64
-	off  int64
-	pace *pacer
+	disk  *vdisk.Disk
+	name  string
+	size  int64
+	off   int64
+	pace  *pacer
+	bytes *telemetry.Counter
 }
 
 func (r *pacedFileReader) Read(p []byte) (int, error) {
@@ -73,6 +94,7 @@ func (r *pacedFileReader) Read(p []byte) (int, error) {
 	if n > 0 {
 		r.pace.wait(n)
 		r.off += int64(n)
+		r.bytes.Add(uint64(n))
 	}
 	return n, err
 }

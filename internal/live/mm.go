@@ -28,6 +28,7 @@ type MMServer struct {
 	wg      sync.WaitGroup
 	logf    func(string, ...any)
 	replyTO time.Duration
+	metrics *ServerMetrics
 }
 
 // NewMMServer starts listening on addr ("127.0.0.1:0" for an ephemeral
@@ -38,10 +39,11 @@ func NewMMServer(mgr ecnp.Mapper, addr string) (*MMServer, error) {
 		return nil, fmt.Errorf("live: mm listen: %w", err)
 	}
 	s := &MMServer{
-		mgr:   mgr,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
-		logf:  func(string, ...any) {},
+		mgr:     mgr,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		logf:    func(string, ...any) {},
+		metrics: nopServerMetrics("mm"),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -62,6 +64,17 @@ func (s *MMServer) SetLogger(logf func(string, ...any)) {
 func (s *MMServer) SetReplyTimeout(d time.Duration) {
 	s.mu.Lock()
 	s.replyTO = d
+	s.mu.Unlock()
+}
+
+// SetMetrics routes request/error/deadline telemetry (default: no-op).
+// It applies to requests handled after the call.
+func (s *MMServer) SetMetrics(m *ServerMetrics) {
+	if m == nil {
+		m = nopServerMetrics("mm")
+	}
+	s.mu.Lock()
+	s.metrics = m
 	s.mu.Unlock()
 }
 
@@ -112,6 +125,7 @@ func (s *MMServer) serveConn(conn net.Conn) {
 	wc := wire.NewConn(conn)
 	s.mu.Lock()
 	wc.SetWriteTimeout(s.replyTO)
+	m := s.metrics
 	s.mu.Unlock()
 	for {
 		msg, err := wc.Read()
@@ -121,7 +135,9 @@ func (s *MMServer) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		m.request(msg.Kind)
 		if err := s.handle(wc, msg); err != nil {
+			m.failure(msg.Kind, err)
 			s.logf("mm: handle %v: %v", msg.Kind, err)
 			return
 		}

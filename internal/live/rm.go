@@ -36,6 +36,7 @@ type RMServer struct {
 	wg      sync.WaitGroup
 	logf    func(string, ...any)
 	replyTO time.Duration
+	metrics *ServerMetrics
 }
 
 // NewRMServer starts serving node and disk on addr.
@@ -45,11 +46,12 @@ func NewRMServer(node *rm.RM, disk *vdisk.Disk, addr string) (*RMServer, error) 
 		return nil, fmt.Errorf("live: rm listen: %w", err)
 	}
 	s := &RMServer{
-		node:  node,
-		disk:  disk,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
-		logf:  func(string, ...any) {},
+		node:    node,
+		disk:    disk,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		logf:    func(string, ...any) {},
+		metrics: nopServerMetrics("rm"),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -69,6 +71,17 @@ func (s *RMServer) SetLogger(logf func(string, ...any)) {
 func (s *RMServer) SetReplyTimeout(d time.Duration) {
 	s.mu.Lock()
 	s.replyTO = d
+	s.mu.Unlock()
+}
+
+// SetMetrics routes request/error/deadline telemetry (default: no-op).
+// It applies to requests handled after the call.
+func (s *RMServer) SetMetrics(m *ServerMetrics) {
+	if m == nil {
+		m = nopServerMetrics("rm")
+	}
+	s.mu.Lock()
+	s.metrics = m
 	s.mu.Unlock()
 }
 
@@ -122,6 +135,7 @@ func (s *RMServer) serveConn(conn net.Conn) {
 	wc := wire.NewConn(conn)
 	s.mu.Lock()
 	wc.SetWriteTimeout(s.replyTO)
+	m := s.metrics
 	s.mu.Unlock()
 	for {
 		msg, err := wc.Read()
@@ -131,7 +145,9 @@ func (s *RMServer) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		m.request(msg.Kind)
 		if err := s.handle(wc, msg); err != nil {
+			m.failure(msg.Kind, err)
 			s.logf("rm%d: handle %v: %v", s.node.Info().ID, msg.Kind, err)
 			return
 		}

@@ -8,18 +8,22 @@
 // Endpoints:
 //
 //	GET /healthz     → 200 "ok"
-//	GET /stats       → JSON snapshot (RM or MM flavour)
+//	GET /stats       → JSON snapshot (RM, MM, or DFSC flavour)
+//	GET /metrics     → Prometheus text exposition (telemetry registry)
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"time"
 
+	"dfsqos/internal/dfsc"
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/rm"
+	"dfsqos/internal/telemetry"
 	"dfsqos/internal/vdisk"
 )
 
@@ -46,10 +50,12 @@ type RMStats struct {
 	VirtualTimeSecs float64 `json:"virtualTimeSecs"`
 }
 
-// NewRMHandler builds the HTTP handler for one RM daemon. disk may be nil.
-func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler) http.Handler {
+// NewRMHandler builds the HTTP handler for one RM daemon. disk may be
+// nil; reg may be nil, in which case /metrics serves an empty exposition.
+func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", healthz)
+	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		now := sched.Now()
 		snap := node.Snapshot(now)
@@ -96,10 +102,12 @@ type MMRMEntry struct {
 	Addr        string  `json:"addr"`
 }
 
-// NewMMHandler builds the HTTP handler for the MM daemon.
-func NewMMHandler(mapper ecnp.Mapper) http.Handler {
+// NewMMHandler builds the HTTP handler for the MM daemon. reg may be
+// nil, in which case /metrics serves an empty exposition.
+func NewMMHandler(mapper ecnp.Mapper, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", healthz)
+	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		var out MMStats
 		for _, info := range mapper.RMs() {
@@ -110,6 +118,38 @@ func NewMMHandler(mapper ecnp.Mapper) http.Handler {
 			})
 		}
 		writeJSON(w, out)
+	})
+	return mux
+}
+
+// DFSCStats is the JSON shape of a client's /stats reply.
+type DFSCStats struct {
+	ID        string `json:"id"`
+	Requests  int64  `json:"requests"`
+	Failed    int64  `json:"failed"`
+	NoReplica int64  `json:"noReplica"`
+	Completed int64  `json:"completed"`
+	Messages  int64  `json:"messages"`
+}
+
+// NewDFSCHandler builds the HTTP handler for a client daemon: the same
+// /healthz + /stats + /metrics triple the server daemons expose, so one
+// scrape config covers the requester side of the three-phase flow too.
+// reg may be nil, in which case /metrics serves an empty exposition.
+func NewDFSCHandler(client *dfsc.Client, reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", healthz)
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := client.Stats()
+		writeJSON(w, DFSCStats{
+			ID:        client.ID().String(),
+			Requests:  st.Requests,
+			Failed:    st.Failed,
+			NoReplica: st.NoReplica,
+			Completed: st.Completed,
+			Messages:  st.Messages,
+		})
 	})
 	return mux
 }
@@ -138,4 +178,23 @@ func Serve(addr string, h http.Handler) (*http.Server, string, error) {
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
+}
+
+// Shutdown stops a server started by Serve, waiting up to timeout for
+// in-flight scrapes to drain before force-closing. The listener is gone
+// when Shutdown returns (no leaked socket across daemon SIGTERM), even
+// if a handler is still stuck past the deadline.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline passed with connections still open: drop them. The
+		// listener itself was already closed by Shutdown.
+		srv.Close()
+	}
+	return err
 }

@@ -84,6 +84,11 @@ type RM struct {
 
 	active map[ids.RequestID]units.BytesPerSec
 
+	// met mirrors stats onto the telemetry registry and keeps the
+	// runtime gauges (remaining bandwidth, active streams, storage)
+	// current; never nil (no-op by default).
+	met *Metrics
+
 	// Replication state.
 	incomings     map[ids.ReplicationID]incoming
 	incomingFiles map[ids.FileID]int
@@ -113,6 +118,9 @@ type Options struct {
 	Copier DataCopier
 	// Files seeds the RM's local file table with its static replicas.
 	Files map[ids.FileID]FileMeta
+	// Metrics receives live telemetry (nil: no-op — the DES stays
+	// untouched). See NewMetrics.
+	Metrics *Metrics
 }
 
 // New constructs an RM. The Directory is injected later via SetDirectory
@@ -134,9 +142,14 @@ func New(opt Options) (*RM, error) {
 	if err != nil {
 		return nil, err
 	}
+	met := opt.Metrics
+	if met == nil {
+		met = NewMetrics(nil)
+	}
 	r := &RM{
 		info:          opt.Info,
 		sched:         opt.Scheduler,
+		met:           met,
 		mapper:        opt.Mapper,
 		led:           ledger.New(opt.Info.Capacity, opt.Scheduler.Now()),
 		hist:          hist,
@@ -160,7 +173,19 @@ func New(opt Options) (*RM, error) {
 		return nil, fmt.Errorf("rm: %v seeded with %v of replicas exceeding %v disk",
 			opt.Info.ID, r.storageUsed, opt.Info.StorageBytes)
 	}
+	r.met.RemainingBandwidth.Set(float64(opt.Info.Capacity))
+	r.met.StorageUsed.Set(float64(r.storageUsed))
+	r.met.Files.Set(float64(len(r.files)))
 	return r, nil
+}
+
+// refreshGaugesLocked re-derives the runtime gauges from the current
+// state. Caller holds r.mu.
+func (r *RM) refreshGaugesLocked() {
+	r.met.RemainingBandwidth.Set(float64(r.led.Remaining()))
+	r.met.ActiveStreams.Set(float64(len(r.active)))
+	r.met.StorageUsed.Set(float64(r.storageUsed))
+	r.met.Files.Set(float64(len(r.files)))
 }
 
 // StorageUsed returns the bytes of committed and in-flight replicas.
@@ -238,6 +263,8 @@ func (r *RM) NumFiles() int {
 func (r *RM) HandleCFP(cfp ecnp.CFP) selection.Bid {
 	r.mu.Lock()
 	r.stats.CFPs++
+	r.met.CFPs.Inc()
+	r.met.Bids.Inc() // always-bid: every CFP is answered with a bid
 	now := r.sched.Now()
 
 	meta, known := r.files[cfp.File]
@@ -279,6 +306,7 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	}
 	if req.Firm && !r.led.Fits(req.Bitrate) {
 		r.stats.OpenRefusals++
+		r.met.Rejections.Inc()
 		return ecnp.OpenResult{OK: false, Reason: "insufficient bandwidth"}
 	}
 	now := r.sched.Now()
@@ -291,6 +319,8 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	r.led.AddAssignedBytes(size)
 	r.active[req.Request] = req.Bitrate
 	r.stats.Opens++
+	r.met.Admissions.Inc()
+	r.refreshGaugesLocked()
 	return ecnp.OpenResult{OK: true}
 }
 
@@ -305,6 +335,7 @@ func (r *RM) Close(request ids.RequestID) {
 	}
 	delete(r.active, request)
 	r.led.Release(r.sched.Now(), rate)
+	r.refreshGaugesLocked()
 }
 
 // StoreFile implements ecnp.Provider: it admits a brand-new file onto this
@@ -325,6 +356,7 @@ func (r *RM) StoreFile(req ecnp.StoreRequest) error {
 	r.files[req.File] = meta
 	r.sumDur += meta.DurationSec
 	r.storageUsed += meta.Size
+	r.refreshGaugesLocked()
 	return nil
 }
 
@@ -347,10 +379,12 @@ func (r *RM) OfferReplica(offer ecnp.ReplicaOffer) bool {
 	}
 	if !ok {
 		r.stats.OffersRejected++
+		r.met.OffersRejected.Inc()
 		return false
 	}
 	r.storageUsed += offer.SizeBytes
 	r.stats.OffersAccepted++
+	r.met.OffersAccepted.Inc()
 	if r.repCfg.ChargeTransfers {
 		r.led.Allocate(r.sched.Now(), offer.Rate)
 	}
@@ -361,6 +395,7 @@ func (r *RM) OfferReplica(offer ecnp.ReplicaOffer) bool {
 	}
 	r.incomingFiles[offer.File]++
 	r.dstActive++
+	r.refreshGaugesLocked()
 	return true
 }
 
@@ -393,6 +428,7 @@ func (r *RM) FinishReplica(rep ids.ReplicationID, committed bool) {
 		// Aborted (or duplicate) transfer: return the reserved space.
 		r.storageUsed -= in.meta.Size
 	}
+	r.refreshGaugesLocked()
 	r.mu.Unlock()
 	if commitOK {
 		// A landed replica may push storage past the high watermark; the
@@ -440,6 +476,8 @@ func (r *RM) collectGarbage() {
 			r.sumDur -= meta.DurationSec
 			r.storageUsed -= meta.Size
 			r.stats.GCEvictions++
+			r.met.GCEvictions.Inc()
+			r.refreshGaugesLocked()
 		}
 		r.mu.Unlock()
 	}
@@ -574,6 +612,7 @@ func (r *RM) tryReplicateFile(now simtime.Time, f ids.FileID, self ids.RMID) boo
 	// replication state and schedule the completions.
 	r.mu.Lock()
 	r.stats.RepTriggers++
+	r.met.RepTriggers.Inc()
 	r.srcActive += len(transfers)
 	r.outgoingFiles[f] += len(transfers)
 	r.lastRep = now
@@ -589,6 +628,7 @@ func (r *RM) tryReplicateFile(now simtime.Time, f ids.FileID, self ids.RMID) boo
 	// migrate applies only if the bound is actually exceeded once the
 	// accepted copies land.
 	doMigrate := migrate && nCur+len(transfers) > cfg.Strategy.NMaxR
+	r.refreshGaugesLocked()
 	r.mu.Unlock()
 
 	dur := simtime.Duration(units.DurationSec(meta.Size, cfg.Speed))
@@ -641,11 +681,13 @@ func (r *RM) completeTransfer(now simtime.Time, f ids.FileID, rep ids.Replicatio
 	}
 	if committed {
 		r.stats.RepTransfers++
+		r.met.RepTransfers.Inc()
 		state.committed++
 	}
 	state.remaining--
 	last := state.remaining == 0
 	anyCommitted := state.committed > 0
+	r.refreshGaugesLocked()
 	r.mu.Unlock()
 
 	if last && migrate && anyCommitted {
@@ -669,6 +711,8 @@ func (r *RM) migrateOut(f ids.FileID) {
 		r.sumDur -= meta.DurationSec
 		r.storageUsed -= meta.Size
 		r.stats.RepMigrations++
+		r.met.RepMigrations.Inc()
+		r.refreshGaugesLocked()
 	}
 	r.mu.Unlock()
 }

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkCounterInc proves the hot-path cost: one atomic add, zero
+// allocations.
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkHistogramObserve proves Observe is O(ns) and allocation-free:
+// a bounded linear scan plus three atomic operations.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatal("lost observations")
+	}
+}
+
+// BenchmarkGaugeSet measures the gauge store path.
+func BenchmarkGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+// BenchmarkCounterIncParallel measures contention across goroutines.
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkWritePrometheus measures a scrape of a modestly sized
+// registry (not a hot path; sanity only).
+func BenchmarkWritePrometheus(b *testing.B) {
+	reg := NewRegistry()
+	reg.NewCounter("dfsqos_bench_total", "c").Add(7)
+	reg.NewGauge("dfsqos_bench_gauge", "g").Set(1.5)
+	h := reg.NewHistogram("dfsqos_bench_seconds", "h", DefBuckets)
+	h.Observe(0.1)
+	vec := reg.NewCounterVec("dfsqos_bench_vec_total", "v", "k")
+	for _, k := range []string{"a", "b", "c"} {
+		vec.With(k).Inc()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

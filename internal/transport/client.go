@@ -31,6 +31,10 @@ type Config struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the redial delay.
 	BackoffMax time.Duration
+	// Metrics receives the transport's telemetry (dials, pool churn,
+	// call latency, error classes). Nil uses a process-wide no-op sink,
+	// so instrumentation costs a few uncollected atomic ops.
+	Metrics *Metrics
 }
 
 // DefaultConfig returns the stock tuning: 2s dials, 5s calls, 4 pooled
@@ -66,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackoffMax < c.BackoffBase {
 		c.BackoffMax = d.BackoffMax
+	}
+	if c.Metrics == nil {
+		c.Metrics = nopMetrics
 	}
 	return c
 }
@@ -190,9 +197,12 @@ func (c *Client) Get(ctx context.Context) (*Conn, error) {
 		if pc == nil {
 			return c.dial(ctx)
 		}
+		c.cfg.Metrics.PoolIdle.Dec()
 		if pc.healthy() {
+			c.cfg.Metrics.CheckoutsPool.Inc()
 			return pc, nil
 		}
+		c.cfg.Metrics.DiscardUnhealthy.Inc()
 		pc.nc.Close() // stale pooled conn: discard and try the next
 	}
 }
@@ -205,17 +215,25 @@ func (c *Client) Put(conn *Conn, err error) {
 		return
 	}
 	if err != nil && !IsRemote(err) {
+		c.cfg.Metrics.DiscardError.Inc()
 		conn.nc.Close()
 		return
 	}
 	c.mu.Lock()
 	if c.closed || len(c.idle) >= c.cfg.PoolSize {
+		closed := c.closed
 		c.mu.Unlock()
+		if closed {
+			c.cfg.Metrics.DiscardClosed.Inc()
+		} else {
+			c.cfg.Metrics.DiscardOverflow.Inc()
+		}
 		conn.nc.Close()
 		return
 	}
 	c.idle = append(c.idle, conn)
 	c.mu.Unlock()
+	c.cfg.Metrics.PoolIdle.Inc()
 }
 
 // dial opens a fresh connection, honoring the exponential-backoff gate
@@ -227,6 +245,7 @@ func (c *Client) dial(ctx context.Context) (*Conn, error) {
 	wait := time.Until(c.nextTry)
 	c.mu.Unlock()
 	if wait > 0 {
+		c.cfg.Metrics.RedialWaits.Inc()
 		t := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
@@ -244,12 +263,14 @@ func (c *Client) dial(ctx context.Context) (*Conn, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(dctx, "tcp", c.addr)
 	if err != nil {
+		c.cfg.Metrics.DialsFailed.Inc()
 		c.mu.Lock()
 		c.fails++
 		c.nextTry = time.Now().Add(c.backoffLocked())
 		c.mu.Unlock()
 		return nil, Classify("dial", c.addr, err)
 	}
+	c.cfg.Metrics.DialsOK.Inc()
 	c.mu.Lock()
 	c.fails = 0
 	c.nextTry = time.Time{}
@@ -259,6 +280,7 @@ func (c *Client) dial(ctx context.Context) (*Conn, error) {
 		nc.Close()
 		return nil, &ConnError{Op: "dial", Peer: c.addr, Err: ErrClosed}
 	}
+	c.cfg.Metrics.CheckoutsDial.Inc()
 	return &Conn{nc: nc, W: wire.NewConn(nc)}, nil
 }
 
@@ -287,13 +309,18 @@ func (c *Client) Call(ctx context.Context, kind wire.Kind, payload any) (wire.Ms
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
 		defer cancel()
 	}
+	start := time.Now()
 	conn, err := c.Get(ctx)
 	if err != nil {
+		c.cfg.Metrics.CallLatency.Observe(time.Since(start).Seconds())
+		c.cfg.Metrics.countError(err)
 		return wire.Msg{}, err
 	}
 	msg, err := conn.W.CallContext(ctx, kind, payload)
 	err = Classify("call "+kind.String(), c.addr, err)
 	c.Put(conn, err)
+	c.cfg.Metrics.CallLatency.Observe(time.Since(start).Seconds())
+	c.cfg.Metrics.countError(err)
 	return msg, err
 }
 
@@ -312,6 +339,10 @@ func (c *Client) Close() error {
 	idle := c.idle
 	c.idle = nil
 	c.mu.Unlock()
+	if n := len(idle); n > 0 {
+		c.cfg.Metrics.PoolIdle.Add(-float64(n))
+		c.cfg.Metrics.DiscardClosed.Add(uint64(n))
+	}
 	for _, pc := range idle {
 		pc.nc.Close()
 	}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"dfsqos/internal/telemetry"
+)
+
+// Metrics is the transport layer's instrumentation surface. One Metrics
+// value is shared by every Client built from a Config that carries it, so
+// the counters aggregate across peers (per-peer cardinality stays out of
+// the hot path). All fields are pre-resolved vector children: recording
+// is a single atomic operation with no label lookup.
+//
+// Build one with NewMetrics; a Config without Metrics uses a process-wide
+// no-op instance (live unregistered atomics), so the hot path never
+// branches on nil.
+type Metrics struct {
+	// DialsOK / DialsFailed count TCP connection attempts by outcome
+	// (dfsqos_transport_dials_total{result}).
+	DialsOK     *telemetry.Counter
+	DialsFailed *telemetry.Counter
+	// RedialWaits counts dials that sat out a backoff gate before
+	// attempting (dfsqos_transport_redial_backoff_waits_total).
+	RedialWaits *telemetry.Counter
+	// CheckoutsPool / CheckoutsDial count pool checkouts by source:
+	// a healthy pooled connection vs a fresh dial
+	// (dfsqos_transport_pool_checkouts_total{source}).
+	CheckoutsPool *telemetry.Counter
+	CheckoutsDial *telemetry.Counter
+	// Discard* count connections dropped instead of pooled, by reason
+	// (dfsqos_transport_pool_discards_total{reason}).
+	DiscardUnhealthy *telemetry.Counter
+	DiscardError     *telemetry.Counter
+	DiscardOverflow  *telemetry.Counter
+	DiscardClosed    *telemetry.Counter
+	// PoolIdle tracks the idle pooled connections across all clients
+	// sharing this Metrics (dfsqos_transport_pool_idle_connections).
+	PoolIdle *telemetry.Gauge
+	// CallLatency observes one full RPC round trip — checkout (possibly
+	// a dial) + write + reply read — in seconds
+	// (dfsqos_transport_call_latency_seconds).
+	CallLatency *telemetry.Histogram
+	// Err* count failed calls by error class
+	// (dfsqos_transport_errors_total{class}).
+	ErrRemote  *telemetry.Counter
+	ErrTimeout *telemetry.Counter
+	ErrConn    *telemetry.Counter
+}
+
+// NewMetrics registers the transport metric families on reg (nil reg
+// yields live but unexported metrics) and pre-resolves every labeled
+// child.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	dials := reg.NewCounterVec("dfsqos_transport_dials_total",
+		"TCP connection attempts by result.", "result")
+	checkouts := reg.NewCounterVec("dfsqos_transport_pool_checkouts_total",
+		"Pool checkouts by source (pooled connection vs fresh dial).", "source")
+	discards := reg.NewCounterVec("dfsqos_transport_pool_discards_total",
+		"Connections dropped instead of pooled, by reason.", "reason")
+	errs := reg.NewCounterVec("dfsqos_transport_errors_total",
+		"Failed calls by error class (remote, timeout, conn).", "class")
+	return &Metrics{
+		DialsOK:     dials.With("ok"),
+		DialsFailed: dials.With("error"),
+		RedialWaits: reg.NewCounter("dfsqos_transport_redial_backoff_waits_total",
+			"Dials that waited out an exponential-backoff gate first."),
+		CheckoutsPool:    checkouts.With("pool"),
+		CheckoutsDial:    checkouts.With("dial"),
+		DiscardUnhealthy: discards.With("unhealthy"),
+		DiscardError:     discards.With("error"),
+		DiscardOverflow:  discards.With("overflow"),
+		DiscardClosed:    discards.With("closed"),
+		PoolIdle: reg.NewGauge("dfsqos_transport_pool_idle_connections",
+			"Idle pooled connections across all clients sharing this registry."),
+		CallLatency: reg.NewHistogram("dfsqos_transport_call_latency_seconds",
+			"Control-plane RPC round-trip latency (checkout + write + reply).",
+			telemetry.DefBuckets),
+		ErrRemote:  errs.With("remote"),
+		ErrTimeout: errs.With("timeout"),
+		ErrConn:    errs.With("conn"),
+	}
+}
+
+// nopMetrics is the shared no-op sink for Configs without Metrics: real
+// atomics (so instrumentation sites need no nil checks) that no registry
+// ever exports.
+var nopMetrics = NewMetrics(nil)
+
+// countError classifies err into the error-class counters. nil is a
+// no-op.
+func (m *Metrics) countError(err error) {
+	switch {
+	case err == nil:
+	case IsRemote(err):
+		m.ErrRemote.Inc()
+	case IsTimeout(err):
+		m.ErrTimeout.Inc()
+	default:
+		m.ErrConn.Inc()
+	}
+}

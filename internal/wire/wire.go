@@ -381,3 +381,11 @@ func (c *Conn) CallContext(ctx context.Context, kind Kind, payload any) (Msg, er
 func (c *Conn) WriteError(err error) error {
 	return c.Write(KindError, Error{Text: err.Error()})
 }
+
+// IsWriteDeadline reports whether err is a reply-write deadline overrun —
+// the failure a server sees when SetWriteTimeout fires because the peer
+// stopped reading. Servers use it to count deadline hits separately from
+// ordinary disconnects.
+func IsWriteDeadline(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded)
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# cover_gate.sh FLOOR profile.out [profile.out ...]
+#
+# Fails (exit 1) if any of the given Go coverage profiles reports total
+# statement coverage below FLOOR percent. Used by `make cover` to hold
+# internal/telemetry and internal/monitor at or above the floor.
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 FLOOR profile.out [profile.out ...]" >&2
+    exit 2
+fi
+
+floor="$1"
+shift
+
+status=0
+for profile in "$@"; do
+    if [ ! -f "$profile" ]; then
+        echo "cover_gate: missing profile $profile" >&2
+        status=1
+        continue
+    fi
+    total="$(go tool cover -func="$profile" | tail -1 | awk '{gsub(/%/, "", $NF); print $NF}')"
+    if [ -z "$total" ]; then
+        echo "cover_gate: could not read total from $profile" >&2
+        status=1
+        continue
+    fi
+    ok="$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t+0 >= f+0) ? 1 : 0 }')"
+    if [ "$ok" -eq 1 ]; then
+        echo "cover_gate: $profile ${total}% >= ${floor}% ok"
+    else
+        echo "cover_gate: $profile ${total}% < ${floor}% FAIL" >&2
+        status=1
+    fi
+done
+exit $status
