@@ -2,11 +2,13 @@
 # must keep green; `make race` exercises the concurrent paths (transport
 # pool, CFP fan-out, live servers, telemetry scrapes) under the race
 # detector; `make cover` enforces the per-package coverage floor on the
-# observability packages.
+# observability packages; `make chaos` replays the deterministic
+# fault-injection drills (scripted kill/error/torn-frame incidents over
+# real TCP) plus the crash/liveness suites they build on.
 
 GO ?= go
 
-.PHONY: tier1 build test vet race cover fmt-check all
+.PHONY: tier1 build test vet race cover chaos fmt-check all
 
 all: tier1 vet
 
@@ -22,7 +24,15 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/...
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/... ./internal/mm/... ./internal/rm/... ./internal/faults/...
+
+# chaos replays the self-healing drills: deterministic fault scripts
+# (internal/faults) against live TCP deployments — mid-stream kill with
+# offset-resumed failover, crash-restart liveness epochs, scripted Open
+# errors, lease-sweeper keepalives — plus the older crash/redial suites.
+chaos:
+	$(GO) test -race -count=1 ./internal/faults/...
+	$(GO) test -race -count=1 -run 'Chaos|Crash|Failover|Lease|Liveness|Heartbeat|Torn' ./internal/live/... ./internal/mm/... ./internal/rm/... ./internal/dfsc/... ./internal/wire/...
 
 # cover writes one profile per gated package plus a merged coverage.out
 # for the CI artifact, then enforces the floor (60%) via the gate script.
@@ -30,8 +40,9 @@ cover:
 	mkdir -p coverage
 	$(GO) test -coverprofile=coverage/telemetry.out ./internal/telemetry/
 	$(GO) test -coverprofile=coverage/monitor.out ./internal/monitor/
+	$(GO) test -coverprofile=coverage/faults.out ./internal/faults/
 	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
-	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out
+	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

@@ -41,6 +41,7 @@ func main() {
 		gapMS    = flag.Int("gap", 200, "milliseconds between requests")
 		scale    = flag.Float64("scale", 1, "virtual seconds per wall second")
 		negTO    = flag.Duration("negotiation-timeout", 2*time.Second, "deadline for collecting CFP bids; stalled RMs degrade to last-ranked zero bids")
+		maxFO    = flag.Int("max-failovers", 2, "replicas a -read may fail over to after its serving RM dies mid-stream")
 		monAddr  = flag.String("monitor", "", "HTTP stats/metrics address (e.g. 127.0.0.1:0); empty disables")
 		tcfg     = transport.RegisterFlags(flag.CommandLine)
 	)
@@ -110,6 +111,26 @@ func main() {
 	for i := 0; i < *n; i++ {
 		file := cat.SamplePopular(picker)
 		meta := cat.File(file)
+		if *read {
+			// Streamed access with self-healing: the reservation rides the
+			// stream (chunks renew its lease) and a replica dying
+			// mid-stream fails over to the next-best bidder, resuming at
+			// the exact byte offset — bounded by -max-failovers.
+			start := time.Now()
+			res, err := client.ReadWithFailover(dir, file, io.Discard, dfsc.FailoverConfig{MaxFailovers: *maxFO})
+			if err != nil {
+				failed++
+				log.Printf("dfsc: %s (%v, %.1fs) FAILED: %v", meta.Name, meta.Bitrate, meta.DurationSec, err)
+			} else {
+				ok++
+				secs := time.Since(start).Seconds()
+				log.Printf("dfsc: %s (%v, %.1fs) -> %v: %d bytes in %.2fs (%.2f MB/s, %d failover(s), checksum ok)",
+					meta.Name, meta.Bitrate, meta.DurationSec, res.RMs, res.Bytes, secs,
+					float64(res.Bytes)/secs/1e6, res.Failovers)
+			}
+			time.Sleep(time.Duration(*gapMS) * time.Millisecond)
+			continue
+		}
 		out := client.Access(file)
 		if !out.OK {
 			failed++
@@ -117,19 +138,6 @@ func main() {
 		} else {
 			ok++
 			log.Printf("dfsc: %s (%v, %.1fs) -> %v", meta.Name, meta.Bitrate, meta.DurationSec, out.RM)
-			if *read {
-				if rmCli, found := dir.RMClient(out.RM); found {
-					start := time.Now()
-					nBytes, err := rmCli.ReadFile(file, io.Discard)
-					if err != nil {
-						log.Printf("dfsc:   read: %v", err)
-					} else {
-						secs := time.Since(start).Seconds()
-						log.Printf("dfsc:   read %d bytes in %.2fs (%.2f MB/s, checksum ok)",
-							nBytes, secs, float64(nBytes)/secs/1e6)
-					}
-				}
-			}
 		}
 		time.Sleep(time.Duration(*gapMS) * time.Millisecond)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dfsqos/internal/ecnp"
+	"dfsqos/internal/faults"
 	"dfsqos/internal/live"
 	"dfsqos/internal/mm"
 	"dfsqos/internal/monitor"
@@ -37,6 +38,9 @@ func main() {
 		shards  = flag.Int("shards", 1, "DHT shards for the replica map (1 = the paper's single MM)")
 		monAddr = flag.String("monitor", "", "HTTP stats address; empty disables")
 		verbose = flag.Bool("v", false, "log every connection error")
+		hbIv    = flag.Duration("heartbeat-interval", 0, "expected RM heartbeat period; 0 disables liveness tracking")
+		misses  = flag.Int("liveness-misses", 3, "consecutive missed heartbeats before an RM is considered dead")
+		faultsS = flag.String("faults", "", "fault-injection spec (chaos testing; see internal/faults)")
 		// -call-timeout bounds each reply write (a client that stops
 		// reading cannot wedge a handler); -dial-timeout and -pool-size
 		// are accepted for deployment-script symmetry and apply to any
@@ -45,11 +49,20 @@ func main() {
 	)
 	flag.Parse()
 
-	var mapper ecnp.Mapper = mm.New()
-	if *shards > 1 {
-		mapper = mm.NewSharded(*shards)
-	}
 	reg := telemetry.NewRegistry()
+	lcfg := mm.LivenessConfig{HeartbeatInterval: *hbIv, MissThreshold: *misses}
+	var mapper ecnp.Mapper
+	if *shards > 1 {
+		sm := mm.NewSharded(*shards)
+		sm.SetLiveness(lcfg)
+		sm.SetMetrics(mm.NewMetrics(reg))
+		mapper = sm
+	} else {
+		m := mm.New()
+		m.SetLiveness(lcfg)
+		m.SetMetrics(mm.NewMetrics(reg))
+		mapper = m
+	}
 	srv, err := live.NewMMServer(mapper, *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
@@ -57,6 +70,17 @@ func main() {
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
 	srv.SetMetrics(live.NewServerMetrics(reg, "mm"))
+	if script, err := faults.Parse(*faultsS); err != nil {
+		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+		os.Exit(1)
+	} else if script != nil {
+		script.SetMetrics(faults.NewMetrics(reg))
+		srv.SetFaults(script)
+		log.Printf("mmd: fault injection armed: %s", *faultsS)
+	}
+	if lcfg.Enabled() {
+		log.Printf("mmd: liveness armed: %v heartbeat, dead after %d misses", *hbIv, *misses)
+	}
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}

@@ -25,6 +25,7 @@ import (
 	"dfsqos/internal/catalog"
 	"dfsqos/internal/cluster"
 	"dfsqos/internal/ecnp"
+	"dfsqos/internal/faults"
 	"dfsqos/internal/history"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/live"
@@ -57,6 +58,9 @@ func main() {
 		scale   = flag.Float64("scale", 1, "virtual seconds per wall second")
 		monAddr = flag.String("monitor", "", "HTTP stats address (e.g. 127.0.0.1:0); empty disables")
 		verbose = flag.Bool("v", false, "log connection errors")
+		hbIv    = flag.Duration("heartbeat-interval", 0, "liveness beacon period to the MM; 0 disables")
+		leaseTT = flag.Duration("lease-ttl", 0, "reservation lease TTL (wall time); idle reservations past it are reclaimed; 0 disables")
+		faultsS = flag.String("faults", "", "fault-injection spec (chaos testing; see internal/faults)")
 		tcfg    = transport.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -130,6 +134,9 @@ func main() {
 		// replication rate scaled to wall time.
 		Copier:  copier,
 		Metrics: rm.NewMetrics(reg),
+		// The lease TTL is specified in wall time; the RM's scheduler
+		// runs virtual seconds at -scale× wall, so convert.
+		LeaseTTLSec: leaseTT.Seconds() * *scale,
 	})
 	if err != nil {
 		fail(err)
@@ -140,6 +147,13 @@ func main() {
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
 	srv.SetMetrics(live.NewServerMetrics(reg, "rm"))
+	if script, err := faults.Parse(*faultsS); err != nil {
+		fail(err)
+	} else if script != nil {
+		script.SetMetrics(faults.NewMetrics(reg))
+		srv.SetFaults(script)
+		log.Printf("rmd: %v fault injection armed: %s", rmID, *faultsS)
+	}
 	if *verbose {
 		srv.SetLogger(log.Printf)
 		mapper.SetLogger(log.Printf)
@@ -147,19 +161,32 @@ func main() {
 	}
 
 	// Register with the dialable address, then wire the peer directory
-	// for replication.
-	info := node.Info()
-	info.Addr = srv.Addr()
-	fileIDs := make([]ids.FileID, 0, len(fileMetas))
-	for f := range fileMetas {
-		fileIDs = append(fileIDs, f)
-	}
-	if err := mapper.RegisterRM(info, fileIDs); err != nil {
+	// for replication. The address is stamped onto the node itself so the
+	// heartbeat loop's self-heal re-registration advertises it too.
+	node.SetAddr(srv.Addr())
+	if err := node.Register(); err != nil {
 		fail(err)
 	}
 	node.SetDirectory(peers)
 	log.Printf("rmd: %v (%v, %d files, %v) listening on %s, registered at %s",
 		rmID, capacity, len(fileMetas), strat, srv.Addr(), *mmAddr)
+
+	// Self-healing layer: periodic liveness beacons to the MM (with
+	// automatic re-registration when the MM forgot us) and the lease
+	// sweeper that reclaims orphaned reservations.
+	var stopBeat, stopSweep func()
+	if *hbIv > 0 {
+		stopBeat = live.StartHeartbeats(node, mapper, *hbIv, log.Printf)
+		log.Printf("rmd: %v heartbeating every %v", rmID, *hbIv)
+	}
+	if *leaseTT > 0 {
+		period := *leaseTT / 2
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		stopSweep = live.StartLeaseSweeper(node, sched, period, log.Printf)
+		log.Printf("rmd: %v lease TTL %v (sweep every %v)", rmID, *leaseTT, period)
+	}
 	var monSrv *http.Server
 	if *monAddr != "" {
 		var bound string
@@ -174,6 +201,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("rmd: %v shutting down", rmID)
+	if stopBeat != nil {
+		stopBeat()
+	}
+	if stopSweep != nil {
+		stopSweep()
+	}
 	if err := monitor.Shutdown(monSrv, shutdownTimeout); err != nil {
 		log.Printf("rmd: monitor shutdown: %v", err)
 	}

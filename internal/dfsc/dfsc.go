@@ -38,6 +38,9 @@ type Stats struct {
 	NoReplica int64
 	// Completed counts accesses whose reservation has been released.
 	Completed int64
+	// Failovers counts mid-stream reads re-admitted on another replica
+	// after their serving RM died.
+	Failovers int64
 	// Messages counts control-plane messages this client exchanged:
 	// matchmaker queries and replies, CFPs and bids, opens and their
 	// results. It is the quantity behind the paper\'s claim that the ECNP
@@ -170,7 +173,15 @@ func (c *Client) Access(file ids.FileID) Outcome {
 // open/release callback pair needs (package fsapi). release is idempotent
 // and non-nil even on failure.
 func (c *Client) AccessHeld(file ids.FileID) (Outcome, func()) {
-	out, p := c.negotiate(file)
+	return c.AccessHeldExcluding(file, nil)
+}
+
+// AccessHeldExcluding is AccessHeld with an exclusion set: RMs in exclude
+// are dropped from the eligible holders before the CFP fan-out. The
+// failover reader uses it to re-negotiate around a replica that died
+// mid-stream without waiting for the MM's liveness window to catch up.
+func (c *Client) AccessHeldExcluding(file ids.FileID, exclude map[ids.RMID]bool) (Outcome, func()) {
+	out, p := c.negotiateExcluding(file, exclude)
 	if !out.OK {
 		return out, func() {}
 	}
@@ -263,6 +274,12 @@ func (c *Client) Store(file ids.FileID) Outcome {
 // negotiate performs phases 1-3 and returns the outcome plus the serving
 // provider (nil on failure).
 func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
+	return c.negotiateExcluding(file, nil)
+}
+
+// negotiateExcluding is negotiate minus the RMs in exclude (nil excludes
+// nothing).
+func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) (Outcome, ecnp.Provider) {
 	start := time.Now()
 	defer func() { c.met.NegotiationLatency.Observe(time.Since(start).Seconds()) }()
 
@@ -286,6 +303,15 @@ func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
 	} else {
 		holders = c.mapper.Lookup(file)
 		c.addMessages(2) // query + reply
+	}
+	if len(exclude) > 0 {
+		kept := make([]ids.RMID, 0, len(holders))
+		for _, id := range holders {
+			if !exclude[id] {
+				kept = append(kept, id)
+			}
+		}
+		holders = kept
 	}
 	if len(holders) == 0 {
 		c.mu.Lock()

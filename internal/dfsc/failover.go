@@ -1,0 +1,114 @@
+// Mid-stream read failover: when the replica serving a read dies, the
+// client re-resolves the replica set through the MM, excludes the failed
+// RM, re-runs admission on the next-best bidder, and resumes the stream
+// from the exact byte where the previous segment ended — bounded retries
+// with jittered backoff between attempts. The running FNV-1a checksum is
+// carried across segments, so the whole-file integrity check in the final
+// FileEnd frame still holds even though the bytes arrived from several
+// replicas.
+package dfsc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/wire"
+)
+
+// Streamer is the data plane the failover reader drives. The live
+// deployment's Directory implements it (resolving rm to a pooled TCP
+// client and streaming from offset); tests substitute fakes. sum is the
+// running checksum state threaded across segments; implementations must
+// report the bytes delivered even when they return an error — that is
+// the next segment's resume point.
+type Streamer interface {
+	StreamAt(rm ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error)
+}
+
+// FailoverConfig tunes ReadWithFailover.
+type FailoverConfig struct {
+	// MaxFailovers bounds how many times the read may move to another
+	// replica after the first RM fails (0: the read fails on the first
+	// stream error; negative is treated as 0).
+	MaxFailovers int
+	// Backoff is the base delay before each re-negotiation, jittered
+	// uniformly over [0.5×, 1.5×] so synchronized clients do not stampede
+	// the survivors. Zero defaults to 50ms.
+	Backoff time.Duration
+}
+
+// ReadResult describes one (possibly multi-segment) failover read.
+type ReadResult struct {
+	// Bytes is the total delivered to the writer across all segments.
+	Bytes int64
+	// Failovers is how many times the stream moved to another replica.
+	Failovers int
+	// RMs lists the serving RMs in segment order (the first entry is the
+	// original winner; each further entry is one failover).
+	RMs []ids.RMID
+}
+
+// ReadWithFailover reads file through s, failing over to another replica
+// when a segment dies mid-stream. Each segment rides a fresh QoS
+// reservation negotiated with the failed RMs excluded, resumes at the
+// exact byte offset the previous segment reached, and threads one running
+// checksum so the final segment's whole-file verification covers every
+// byte delivered. The reservation is released when its segment ends
+// (successfully or not); releasing on a dead RM is a best-effort no-op.
+func (c *Client) ReadWithFailover(s Streamer, file ids.FileID, w io.Writer, cfg FailoverConfig) (ReadResult, error) {
+	if cfg.MaxFailovers < 0 {
+		cfg.MaxFailovers = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	var res ReadResult
+	exclude := make(map[ids.RMID]bool)
+	sum := wire.ChecksumBasis
+
+	out, release := c.AccessHeldExcluding(file, exclude)
+	if !out.OK {
+		return res, fmt.Errorf("dfsc: read %v: %s", file, out.Reason)
+	}
+	var offset int64
+	for {
+		res.RMs = append(res.RMs, out.RM)
+		n, err := s.StreamAt(out.RM, file, out.Request, offset, w, &sum)
+		offset += n
+		res.Bytes = offset
+		release() // best effort on a dead RM; idempotent
+		if err == nil {
+			return res, nil
+		}
+		exclude[out.RM] = true
+		if res.Failovers >= cfg.MaxFailovers {
+			return res, fmt.Errorf("dfsc: read %v: %d byte(s), %d failover(s) exhausted: %w",
+				file, offset, res.Failovers, err)
+		}
+		res.Failovers++
+		c.sleepJittered(cfg.Backoff)
+
+		start := time.Now()
+		out, release = c.AccessHeldExcluding(file, exclude)
+		if !out.OK {
+			return res, fmt.Errorf("dfsc: read %v: failover %d found no replica: %s (after: %w)",
+				file, res.Failovers, out.Reason, err)
+		}
+		c.met.Failovers.Inc()
+		c.met.FailoverLatency.Observe(time.Since(start).Seconds())
+		c.mu.Lock()
+		c.stats.Failovers++
+		c.mu.Unlock()
+	}
+}
+
+// sleepJittered sleeps for base scaled uniformly into [0.5, 1.5), drawn
+// from the client's seeded stream so chaos runs stay reproducible.
+func (c *Client) sleepJittered(base time.Duration) {
+	c.mu.Lock()
+	f := c.src.Float64()
+	c.mu.Unlock()
+	time.Sleep(time.Duration(float64(base) * (0.5 + f)))
+}

@@ -27,6 +27,14 @@ type Metrics struct {
 	// before a lower-ranked one (or none) admitted the access
 	// (dfsqos_dfsc_open_fallbacks_total).
 	Fallbacks *telemetry.Counter
+	// Failovers counts mid-stream reads successfully re-admitted on
+	// another replica after their serving RM died
+	// (dfsqos_dfsc_failovers_total).
+	Failovers *telemetry.Counter
+	// FailoverLatency observes the seconds from the failover decision to
+	// the replacement reservation being admitted
+	// (dfsqos_dfsc_failover_latency_seconds).
+	FailoverLatency *telemetry.Histogram
 }
 
 // NewMetrics registers the DFSC metric families on reg (nil reg yields a
@@ -45,5 +53,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		NoReplica: outcomes.With("no_replica"),
 		Fallbacks: reg.NewCounter("dfsqos_dfsc_open_fallbacks_total",
 			"Firm opens refused by a ranked RM, falling through to the next."),
+		Failovers: reg.NewCounter("dfsqos_dfsc_failovers_total",
+			"Mid-stream reads re-admitted on another replica after RM failure."),
+		FailoverLatency: reg.NewHistogram("dfsqos_dfsc_failover_latency_seconds",
+			"Seconds from failover decision to replacement admission.",
+			telemetry.DefBuckets),
 	}
 }

@@ -1,0 +1,54 @@
+package live
+
+import (
+	"errors"
+	"time"
+
+	"dfsqos/internal/faults"
+	"dfsqos/internal/wire"
+)
+
+// Sentinel errors surfaced by injected faults; the serve loops treat any
+// non-nil handler error as "drop this connection", which is exactly the
+// blast radius these actions want.
+var (
+	errFaultDrop = errors.New("live: injected connection drop")
+	errFaultTorn = errors.New("live: injected torn frame")
+	errFaultKill = errors.New("live: injected server kill")
+)
+
+// applyFault enacts one fault decision on a connection. It returns
+// (handled, err): handled true means the real handler must not run; a
+// non-nil err additionally tells the serve loop to drop the connection.
+//
+//   - None proceeds (false, nil); Delay stalls, then proceeds.
+//   - Drop returns an error so the peer sees EOF/reset mid-exchange.
+//   - Error serves d.Err as a remote error; the connection stays healthy.
+//   - PartialWrite sends a torn (kind, payload) frame — header promising
+//     more bytes than follow — then drops the connection: the shape of a
+//     crash mid-write.
+//   - Kill invokes kill in its own goroutine (it closes the whole server,
+//     which waits for this very handler to unwind) and drops the
+//     connection.
+func applyFault(wc *wire.Conn, d faults.Decision, kind wire.Kind, payload any, kill func()) (bool, error) {
+	switch d.Action {
+	case faults.None:
+		return false, nil
+	case faults.Delay:
+		time.Sleep(d.Delay)
+		return false, nil
+	case faults.Drop:
+		return true, errFaultDrop
+	case faults.Error:
+		return true, wc.WriteError(d.Err)
+	case faults.PartialWrite:
+		wc.WriteTorn(kind, payload) // best effort: the conn drops either way
+		return true, errFaultTorn
+	case faults.Kill:
+		if kill != nil {
+			go kill()
+		}
+		return true, errFaultKill
+	}
+	return false, nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dfsqos/internal/ecnp"
+	"dfsqos/internal/faults"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/wire"
@@ -29,6 +30,7 @@ type MMServer struct {
 	logf    func(string, ...any)
 	replyTO time.Duration
 	metrics *ServerMetrics
+	inj     faults.Injector
 }
 
 // NewMMServer starts listening on addr ("127.0.0.1:0" for an ephemeral
@@ -76,6 +78,20 @@ func (s *MMServer) SetMetrics(m *ServerMetrics) {
 	s.mu.Lock()
 	s.metrics = m
 	s.mu.Unlock()
+}
+
+// SetFaults arms a fault injector at faults.PointMMHandle (before each
+// request handler; detail is the message kind). Nil disables injection.
+func (s *MMServer) SetFaults(inj faults.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+func (s *MMServer) injector() faults.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj
 }
 
 // Addr returns the listening address.
@@ -144,7 +160,19 @@ func (s *MMServer) serveConn(conn net.Conn) {
 	}
 }
 
+// beater is the optional liveness surface of a mapper. mm.Manager and
+// mm.ShardedManager implement it; a mapper that does not (or a deployment
+// with liveness disabled) simply accepts and ignores beacons, keeping
+// ecnp.Mapper untouched.
+type beater interface {
+	Heartbeat(id ids.RMID) error
+}
+
 func (s *MMServer) handle(wc *wire.Conn, msg wire.Msg) error {
+	d := faults.Decide(s.injector(), faults.PointMMHandle, msg.Kind.String())
+	if handled, err := applyFault(wc, d, wire.KindAck, wire.Ack{}, func() { s.Close() }); handled || err != nil {
+		return err
+	}
 	switch msg.Kind {
 	case wire.KindRegisterRM:
 		req, ok := msg.Payload.(wire.RegisterRM)
@@ -211,6 +239,17 @@ func (s *MMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 		return wc.Write(wire.KindCount, wire.Count{N: s.mgr.ReplicaCount(req.File)})
 	case wire.KindRMs:
 		return wc.Write(wire.KindRMInfoList, wire.RMInfoList{Infos: s.mgr.RMs()})
+	case wire.KindHeartbeat:
+		hb, ok := msg.Payload.(wire.Heartbeat)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad Heartbeat payload"))
+		}
+		if b, ok := s.mgr.(beater); ok {
+			if err := b.Heartbeat(hb.RM); err != nil {
+				return wc.WriteError(err)
+			}
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
 	default:
 		return wc.WriteError(fmt.Errorf("mm: unexpected message %v", msg.Kind))
 	}
@@ -322,6 +361,15 @@ func (c *MMClient) ReplicaCount(file ids.FileID) int {
 		return n.N
 	}
 	return 0
+}
+
+// Heartbeat sends one liveness beacon for id. A remote error means the MM
+// does not know the RM (e.g. the MM restarted and lost the resource
+// list): the caller must re-register, which also reconciles its file
+// list.
+func (c *MMClient) Heartbeat(id ids.RMID) error {
+	_, err := c.call(wire.KindHeartbeat, wire.Heartbeat{RM: id})
+	return err
 }
 
 // RMs implements ecnp.Mapper.

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dfsqos/internal/ecnp"
+	"dfsqos/internal/faults"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/selection"
@@ -37,6 +39,7 @@ type RMServer struct {
 	logf    func(string, ...any)
 	replyTO time.Duration
 	metrics *ServerMetrics
+	inj     faults.Injector
 }
 
 // NewRMServer starts serving node and disk on addr.
@@ -83,6 +86,22 @@ func (s *RMServer) SetMetrics(m *ServerMetrics) {
 	s.mu.Lock()
 	s.metrics = m
 	s.mu.Unlock()
+}
+
+// SetFaults arms a fault injector on the server's hook sites
+// (faults.PointRMHandle before each control-plane handler,
+// faults.PointRMChunk before each data-plane chunk write). Nil (the
+// default) disables injection entirely.
+func (s *RMServer) SetFaults(inj faults.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+func (s *RMServer) injector() faults.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj
 }
 
 // Addr returns the listening address.
@@ -155,6 +174,10 @@ func (s *RMServer) serveConn(conn net.Conn) {
 }
 
 func (s *RMServer) handle(wc *wire.Conn, msg wire.Msg) error {
+	d := faults.Decide(s.injector(), faults.PointRMHandle, msg.Kind.String())
+	if handled, err := applyFault(wc, d, wire.KindAck, wire.Ack{}, func() { s.Close() }); handled || err != nil {
+		return err
+	}
 	switch msg.Kind {
 	case wire.KindCFP:
 		cfp, ok := msg.Payload.(ecnp.CFP)
@@ -223,12 +246,29 @@ func (s *RMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 			return wc.WriteError(fmt.Errorf("bad WriteFile payload"))
 		}
 		return s.ingestFile(wc, req)
+	case wire.KindKeepalive:
+		ka, ok := msg.Payload.(wire.Keepalive)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad Keepalive payload"))
+		}
+		// Renew (not Touch): a client whose lease already expired must
+		// learn that and re-negotiate rather than stream into a closed
+		// reservation.
+		if err := s.node.Renew(ka.Request); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
 	default:
 		return wc.WriteError(fmt.Errorf("rm: unexpected message %v", msg.Kind))
 	}
 }
 
-// streamFile sends the file as FileChunk frames followed by FileEnd.
+// streamFile sends the file from req.Offset as FileChunk frames followed
+// by FileEnd. A non-zero req.Request names the QoS reservation the stream
+// serves: every chunk write touches its lease, so an active stream never
+// expires under the sweeper. Each chunk also passes the rm.stream.chunk
+// fault point (detail: decimal absolute offset), which is where chaos
+// tests tear connections mid-read.
 func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
 	if s.disk == nil {
 		return wc.WriteError(fmt.Errorf("rm: no data plane configured"))
@@ -238,25 +278,38 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
 	if chunk <= 0 || chunk > 256*1024 {
 		chunk = 64 * 1024
 	}
-	r, size, err := s.disk.Reader(context.Background(), name, chunk)
+	size, err := s.disk.Stat(name)
 	if err != nil {
 		return wc.WriteError(err)
 	}
+	if req.Offset < 0 || req.Offset > int64(size) {
+		return wc.WriteError(fmt.Errorf("rm: offset %d outside %q (%d bytes)", req.Offset, name, int64(size)))
+	}
+	inj := s.injector()
+	ctx := context.Background()
 	buf := make([]byte, chunk)
-	var off int64
-	for {
-		n, err := r.Read(buf)
+	off := req.Offset
+	for off < int64(size) {
+		n, rerr := s.disk.ReadAt(ctx, name, buf, off)
 		if n > 0 {
-			if werr := wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
+			fc := wire.FileChunk{Offset: off, Data: buf[:n]}
+			d := faults.Decide(inj, faults.PointRMChunk, strconv.FormatInt(off, 10))
+			if handled, ferr := applyFault(wc, d, wire.KindFileChunk, fc, func() { s.Close() }); handled || ferr != nil {
+				return ferr
+			}
+			if werr := wc.Write(wire.KindFileChunk, fc); werr != nil {
 				return werr
 			}
 			off += int64(n)
+			if req.Request != 0 {
+				s.node.Touch(req.Request)
+			}
 		}
-		if err == io.EOF {
+		if rerr == io.EOF {
 			break
 		}
-		if err != nil {
-			return wc.WriteError(err)
+		if rerr != nil {
+			return wc.WriteError(rerr)
 		}
 	}
 	sum, err := s.disk.Checksum(name)
@@ -277,7 +330,7 @@ func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile) error {
 		return wc.WriteError(fmt.Errorf("rm: implausible inbound size %d", req.SizeBytes))
 	}
 	data := make([]byte, 0, req.SizeBytes)
-	var sum uint64 = 14695981039346656037
+	sum := wire.ChecksumBasis
 	for {
 		msg, err := wc.Read()
 		if err != nil {
@@ -293,10 +346,7 @@ func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile) error {
 				return wc.WriteError(fmt.Errorf("rm: out-of-order chunk at %d, want %d", chunk.Offset, len(data)))
 			}
 			data = append(data, chunk.Data...)
-			for _, b := range chunk.Data {
-				sum ^= uint64(b)
-				sum *= 1099511628211
-			}
+			sum = wire.ChecksumUpdate(sum, chunk.Data)
 			if int64(len(data)) > req.SizeBytes {
 				return wc.WriteError(fmt.Errorf("rm: stream exceeds declared size %d", req.SizeBytes))
 			}
@@ -468,12 +518,27 @@ func (c *RMClient) stream(fn func(wc *wire.Conn) error) error {
 // ReadFile streams the whole file into w, verifying size and checksum.
 // It holds a dedicated pooled connection for the duration of the stream.
 func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
-	var total int64
+	sum := wire.ChecksumBasis
+	return c.ReadFileAt(file, 0, 0, w, &sum)
+}
+
+// ReadFileAt streams the file from offset into w, returning the bytes
+// delivered by this segment. A non-zero req names the QoS reservation the
+// stream rides (the server renews its lease per chunk). sum is the
+// running FNV-1a state carried across failover segments: the caller seeds
+// it with wire.ChecksumBasis before the first segment, and because resumed
+// segments are byte-contiguous with their predecessors, the whole-file
+// checksum in the final FileEnd still verifies. A nil sum skips
+// verification (an offset read with no prior state cannot verify).
+// It holds a dedicated pooled connection for the duration of the stream.
+func (c *RMClient) ReadFileAt(file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
+	pos := offset
 	err := c.stream(func(wc *wire.Conn) error {
-		if err := wc.Write(wire.KindReadFile, wire.ReadFile{File: file, ChunkSize: 128 * 1024}); err != nil {
+		if err := wc.Write(wire.KindReadFile, wire.ReadFile{
+			File: file, ChunkSize: 128 * 1024, Offset: offset, Request: req,
+		}); err != nil {
 			return err
 		}
-		var sum uint64 = 14695981039346656037
 		for {
 			msg, err := wc.Read()
 			if err != nil {
@@ -485,26 +550,25 @@ func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
 				if !ok {
 					return fmt.Errorf("live: malformed FileChunk")
 				}
-				if chunk.Offset != total {
-					return fmt.Errorf("live: out-of-order chunk at %d, want %d", chunk.Offset, total)
+				if chunk.Offset != pos {
+					return fmt.Errorf("live: out-of-order chunk at %d, want %d", chunk.Offset, pos)
 				}
 				if _, err := w.Write(chunk.Data); err != nil {
 					return err
 				}
-				for _, b := range chunk.Data {
-					sum ^= uint64(b)
-					sum *= 1099511628211
+				if sum != nil {
+					*sum = wire.ChecksumUpdate(*sum, chunk.Data)
 				}
-				total += int64(len(chunk.Data))
+				pos += int64(len(chunk.Data))
 			case wire.KindFileEnd:
 				end, ok := msg.Payload.(wire.FileEnd)
 				if !ok {
 					return fmt.Errorf("live: malformed FileEnd")
 				}
-				if end.Size != total {
-					return fmt.Errorf("live: stream ended at %d bytes, server reports %d", total, end.Size)
+				if end.Size != pos {
+					return fmt.Errorf("live: stream ended at %d bytes, server reports %d", pos, end.Size)
 				}
-				if end.Checksum != sum {
+				if sum != nil && end.Checksum != *sum {
 					return fmt.Errorf("live: checksum mismatch")
 				}
 				return nil
@@ -518,7 +582,15 @@ func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
 			}
 		}
 	})
-	return total, err
+	return pos - offset, err
+}
+
+// Keepalive explicitly renews a reservation lease at the RM. It fails
+// with a remote error when the lease already expired, telling the caller
+// to re-negotiate.
+func (c *RMClient) Keepalive(req ids.RequestID) error {
+	_, err := c.call(context.Background(), wire.KindKeepalive, wire.Keepalive{Request: req})
+	return err
 }
 
 // StoreFile implements ecnp.Provider: remote admission of a new file.
@@ -539,17 +611,14 @@ func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64,
 		}
 		buf := make([]byte, 64*1024)
 		var off int64
-		var sum uint64 = 14695981039346656037
+		sum := wire.ChecksumBasis
 		for off < size {
 			n, err := r.Read(buf)
 			if n > 0 {
 				if werr := wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
 					return werr
 				}
-				for _, b := range buf[:n] {
-					sum ^= uint64(b)
-					sum *= 1099511628211
-				}
+				sum = wire.ChecksumUpdate(sum, buf[:n])
 				off += int64(n)
 			}
 			if err == io.EOF {
@@ -688,6 +757,19 @@ func (d *Directory) RMClient(id ids.RMID) (*RMClient, bool) {
 	}
 	c, ok := p.(*RMClient)
 	return c, ok
+}
+
+// StreamAt implements the dfsc failover reader's data plane: it resolves
+// rmID and streams file from offset into w under reservation req,
+// threading the caller's running checksum state across segments (see
+// RMClient.ReadFileAt). It reports the bytes this segment delivered even
+// on error — that is the resume point.
+func (d *Directory) StreamAt(rmID ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
+	c, ok := d.RMClient(rmID)
+	if !ok {
+		return 0, fmt.Errorf("live: directory cannot resolve %v", rmID)
+	}
+	return c.ReadFileAt(file, req, offset, w, sum)
 }
 
 // Close releases all cached connections.

@@ -1,0 +1,51 @@
+package mm
+
+import (
+	"dfsqos/internal/telemetry"
+)
+
+// Metrics is the Metadata Manager's telemetry surface: the size and
+// health of the global resource list (the liveness layer's live-RM gauge
+// is the headline number) plus the reconciliation and heartbeat
+// counters. Nil means no-op, so the DES and pre-liveness deployments pay
+// a few uncollected atomic ops and nothing else.
+type Metrics struct {
+	// RegisteredRMs gauges the resource-list size including dead entries
+	// (dfsqos_mm_registered_rms).
+	RegisteredRMs *telemetry.Gauge
+	// LiveRMs gauges the RMs currently within their liveness window
+	// (dfsqos_mm_live_rms). With liveness disabled it equals
+	// RegisteredRMs.
+	LiveRMs *telemetry.Gauge
+	// Heartbeats counts accepted liveness beacons
+	// (dfsqos_mm_heartbeats_total).
+	Heartbeats *telemetry.Counter
+	// Deaths counts RMs observed crossing their miss threshold
+	// (dfsqos_mm_rm_transitions_total{direction="dead"}).
+	Deaths *telemetry.Counter
+	// Revivals counts dead RMs healed by a heartbeat or re-registration
+	// (dfsqos_mm_rm_transitions_total{direction="live"}).
+	Revivals *telemetry.Counter
+	// ReconciledReplicas counts stale replica-map entries pruned during
+	// RM re-registration (dfsqos_mm_reconciled_replicas_total).
+	ReconciledReplicas *telemetry.Counter
+}
+
+// NewMetrics registers the MM metric families on reg (nil reg yields a
+// live no-op sink).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	transitions := reg.NewCounterVec("dfsqos_mm_rm_transitions_total",
+		"RM liveness transitions observed by the MM, by direction.", "direction")
+	return &Metrics{
+		RegisteredRMs: reg.NewGauge("dfsqos_mm_registered_rms",
+			"RMs in the global resource list, live or dead."),
+		LiveRMs: reg.NewGauge("dfsqos_mm_live_rms",
+			"Registered RMs currently within their liveness window."),
+		Heartbeats: reg.NewCounter("dfsqos_mm_heartbeats_total",
+			"Liveness beacons accepted from registered RMs."),
+		Deaths:   transitions.With("dead"),
+		Revivals: transitions.With("live"),
+		ReconciledReplicas: reg.NewCounter("dfsqos_mm_reconciled_replicas_total",
+			"Stale replica-map entries pruned during RM re-registration."),
+	}
+}

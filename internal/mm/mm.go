@@ -13,11 +13,36 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dfsqos/internal/catalog"
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
 )
+
+// LivenessConfig arms failure detection on the global resource list: an
+// RM that has not heartbeated (or re-registered) within
+// MissThreshold × HeartbeatInterval is excluded from every query answer —
+// Lookup (the readdir answer), RMsWithout (replication destinations) and
+// RMs (the resource list) — until a beat or re-registration heals it.
+// The zero value disables liveness entirely, which keeps the DES and all
+// pre-liveness behavior byte-identical.
+type LivenessConfig struct {
+	// HeartbeatInterval is the cadence RMs are expected to beat at.
+	HeartbeatInterval time.Duration
+	// MissThreshold is how many consecutive missed beats mark an RM dead.
+	MissThreshold int
+}
+
+// Enabled reports whether the config actually tracks liveness.
+func (c LivenessConfig) Enabled() bool {
+	return c.HeartbeatInterval > 0 && c.MissThreshold > 0
+}
+
+// Deadline is the silence beyond which an RM is considered dead.
+func (c LivenessConfig) Deadline() time.Duration {
+	return time.Duration(c.MissThreshold) * c.HeartbeatInterval
+}
 
 // Manager is the Metadata Manager.
 type Manager struct {
@@ -32,6 +57,20 @@ type Manager struct {
 	// version increments on every mutation, providing the consistency
 	// token that resource registration is validated against.
 	version uint64
+
+	// Liveness state (inert unless liveCfg.Enabled()).
+	liveCfg  LivenessConfig
+	now      func() time.Time
+	lastBeat map[ids.RMID]time.Time
+	// epochs counts each RM's dead→live transitions; a heartbeat or
+	// registration that revives a dead RM bumps its epoch, so observers
+	// can distinguish "still the same incarnation" from "came back".
+	epochs map[ids.RMID]uint64
+	// deadSeen marks RMs already observed (and counted) as dead, so the
+	// death counter fires once per transition, not once per query.
+	deadSeen map[ids.RMID]bool
+
+	met *Metrics
 }
 
 // New returns an empty Metadata Manager.
@@ -40,6 +79,11 @@ func New() *Manager {
 		rms:       make(map[ids.RMID]ecnp.RMInfo),
 		placement: catalog.NewPlacement(),
 		pending:   make(map[ids.FileID]map[ids.RMID]bool),
+		now:       time.Now,
+		lastBeat:  make(map[ids.RMID]time.Time),
+		epochs:    make(map[ids.RMID]uint64),
+		deadSeen:  make(map[ids.RMID]bool),
+		met:       NewMetrics(nil),
 	}
 }
 
@@ -52,16 +96,146 @@ func NewWithPlacement(p *catalog.Placement) *Manager {
 	return m
 }
 
+// SetLiveness arms failure detection (see LivenessConfig). Call before
+// traffic; a zero config disables tracking again.
+func (m *Manager) SetLiveness(cfg LivenessConfig) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.liveCfg = cfg
+}
+
+// SetClock overrides the wall-clock source (tests drive liveness with a
+// fake clock for determinism). nil restores time.Now.
+func (m *Manager) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}
+
+// SetMetrics routes MM telemetry (default: no-op).
+func (m *Manager) SetMetrics(met *Metrics) {
+	if met == nil {
+		met = NewMetrics(nil)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = met
+}
+
+// aliveLocked reports whether id is within its liveness deadline; with
+// liveness disabled every registered RM is alive. It also latches the
+// first observation of a death so the transition counters fire exactly
+// once per incident. Caller holds m.mu (write for the latch; callers
+// under RLock pass latch=false).
+func (m *Manager) aliveLocked(id ids.RMID, now time.Time, latch bool) bool {
+	if !m.liveCfg.Enabled() {
+		return true
+	}
+	last, ok := m.lastBeat[id]
+	if ok && now.Sub(last) <= m.liveCfg.Deadline() {
+		return true
+	}
+	if latch && !m.deadSeen[id] {
+		m.deadSeen[id] = true
+		m.met.Deaths.Inc()
+	}
+	return false
+}
+
+// reviveLocked stamps a fresh beat for id and, when the RM had actually
+// died (latched by a query, or silently — detected by timestamp), bumps
+// its liveness epoch. A first registration or an in-window beat leaves
+// the epoch alone: epoch 0 means "never seen dead". Caller holds m.mu
+// for writing.
+func (m *Manager) reviveLocked(id ids.RMID, now time.Time) {
+	if last, known := m.lastBeat[id]; known && m.liveCfg.Enabled() &&
+		(m.deadSeen[id] || now.Sub(last) > m.liveCfg.Deadline()) {
+		m.epochs[id]++
+		delete(m.deadSeen, id)
+		m.met.Revivals.Inc()
+	}
+	m.lastBeat[id] = now
+	m.refreshLiveGaugesLocked(now)
+}
+
+// refreshLiveGaugesLocked re-derives the registered/live gauges. Caller
+// holds m.mu.
+func (m *Manager) refreshLiveGaugesLocked(now time.Time) {
+	live := 0
+	for id := range m.rms {
+		if m.aliveLocked(id, now, true) {
+			live++
+		}
+	}
+	m.met.RegisteredRMs.Set(float64(len(m.rms)))
+	m.met.LiveRMs.Set(float64(live))
+}
+
+// Heartbeat records a liveness beacon from id. An unknown RM is refused —
+// the beat cannot resurrect a registration the MM never saw (or dropped),
+// which forces the RM through RegisterRM and the file-list reconcile that
+// comes with it.
+func (m *Manager) Heartbeat(id ids.RMID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rms[id]; !ok {
+		return fmt.Errorf("mm: heartbeat from unregistered %v", id)
+	}
+	m.met.Heartbeats.Inc()
+	m.reviveLocked(id, m.now())
+	return nil
+}
+
+// Epoch returns id's liveness epoch: how many times the MM has seen it
+// come back from the dead (0 for a continuously-live RM).
+func (m *Manager) Epoch(id ids.RMID) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epochs[id]
+}
+
+// LiveCount returns the number of currently-live registered RMs.
+func (m *Manager) LiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	live := 0
+	for id := range m.rms {
+		if m.aliveLocked(id, now, true) {
+			live++
+		}
+	}
+	return live
+}
+
+// Alive reports whether id is registered and within its liveness window.
+func (m *Manager) Alive(id ids.RMID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rms[id]; !ok {
+		return false
+	}
+	return m.aliveLocked(id, m.now(), true)
+}
+
 // RegisterRM implements ecnp.Mapper. Registering an already-known RM
-// refreshes its info; the files it reports are merged into the replica map
-// (the paper's "maintain the integrity and consistency of the global
-// resource list" during registration).
+// refreshes its info, resets its liveness state (a crashed RM that comes
+// back starts a fresh epoch) and RECONCILES the reported file list: files
+// the MM still attributes to this RM but the RM no longer reports are
+// pruned from the replica map instead of lingering as stale entries that
+// would route requests at a replica that is gone. (The placement layer
+// refuses to drop a file's last replica — that entry is kept so the file
+// stays reachable for a future re-upload or manual repair.)
 func (m *Manager) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
 	if err := info.Validate(); err != nil {
 		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	_, known := m.rms[info.ID]
 	m.rms[info.ID] = info
 	for _, f := range files {
 		if !m.placement.Has(f, info.ID) {
@@ -70,22 +244,59 @@ func (m *Manager) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
 			}
 		}
 	}
+	if known {
+		// Re-registration: prune replica entries the RM no longer reports.
+		reported := make(map[ids.FileID]bool, len(files))
+		for _, f := range files {
+			reported[f] = true
+		}
+		for _, f := range m.placement.FilesOn(info.ID) {
+			if reported[f] {
+				continue
+			}
+			if err := m.placement.Remove(f, info.ID); err == nil {
+				m.met.ReconciledReplicas.Inc()
+			}
+		}
+	}
+	m.reviveLocked(info.ID, m.now())
 	m.version++
 	return nil
 }
 
-// Lookup implements ecnp.Mapper: the RMs holding a replica of file, in
-// ascending RM order for determinism.
+// Lookup implements ecnp.Mapper: the live RMs holding a replica of file,
+// in ascending RM order for determinism. With liveness enabled, dead
+// holders are excluded — the readdir answer never routes a requester at a
+// crashed RM, so negotiations stop burning their deadline on it.
 func (m *Manager) Lookup(file ids.FileID) []ids.RMID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	hs := m.placement.Holders(file)
+	hs = m.filterLiveLocked(hs)
 	sortRMs(hs)
 	return hs
 }
 
-// RMsWithout implements ecnp.Mapper: registered RMs with neither a
-// committed nor a pending replica of file, in ascending RM order.
+// filterLiveLocked drops dead RMs from s in place (no-op with liveness
+// disabled). Caller holds m.mu (read suffices: no latching here).
+func (m *Manager) filterLiveLocked(s []ids.RMID) []ids.RMID {
+	if !m.liveCfg.Enabled() {
+		return s
+	}
+	now := m.now()
+	out := s[:0]
+	for _, id := range s {
+		if m.aliveLocked(id, now, false) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RMsWithout implements ecnp.Mapper: live registered RMs with neither a
+// committed nor a pending replica of file, in ascending RM order. Dead
+// RMs are excluded — offering a replica to a crashed destination would
+// only waste the source's transfer budget.
 func (m *Manager) RMsWithout(file ids.FileID) []ids.RMID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -95,6 +306,7 @@ func (m *Manager) RMsWithout(file ids.FileID) []ids.RMID {
 			out = append(out, id)
 		}
 	}
+	out = m.filterLiveLocked(out)
 	sortRMs(out)
 	return out
 }
@@ -183,7 +395,32 @@ func (m *Manager) PendingCount(file ids.FileID) int {
 }
 
 // RMs implements ecnp.Mapper: the resource list in ascending RM order.
+// With liveness enabled only live RMs appear — a crashed RM falls out of
+// the union "of the resource information provided by all of the
+// registered RMs" within the miss threshold and returns on re-registration
+// or a late heartbeat.
 func (m *Manager) RMs() []ecnp.RMInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	live := !m.liveCfg.Enabled()
+	var now time.Time
+	if !live {
+		now = m.now()
+	}
+	out := make([]ecnp.RMInfo, 0, len(m.rms))
+	for id, info := range m.rms {
+		if !live && !m.aliveLocked(id, now, false) {
+			continue
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllRMs returns every registered RM regardless of liveness (diagnostics
+// and the monitor's resource-list page, which annotates aliveness).
+func (m *Manager) AllRMs() []ecnp.RMInfo {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([]ecnp.RMInfo, 0, len(m.rms))

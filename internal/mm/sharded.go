@@ -2,6 +2,7 @@ package mm
 
 import (
 	"fmt"
+	"time"
 
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
@@ -99,6 +100,55 @@ func (m *ShardedManager) ReplicaCount(file ids.FileID) int {
 func (m *ShardedManager) RMs() []ecnp.RMInfo {
 	return m.shards[0].RMs()
 }
+
+// AllRMs returns every registered RM regardless of liveness (shard 0 is
+// canonical).
+func (m *ShardedManager) AllRMs() []ecnp.RMInfo {
+	return m.shards[0].AllRMs()
+}
+
+// SetLiveness arms failure detection on every shard (the resource list,
+// and therefore the liveness table, is replicated).
+func (m *ShardedManager) SetLiveness(cfg LivenessConfig) {
+	for _, shard := range m.shards {
+		shard.SetLiveness(cfg)
+	}
+}
+
+// SetClock overrides the wall-clock source on every shard (tests).
+func (m *ShardedManager) SetClock(now func() time.Time) {
+	for _, shard := range m.shards {
+		shard.SetClock(now)
+	}
+}
+
+// SetMetrics routes MM telemetry. Shard 0 carries the gauges (the
+// resource list is replicated, so any shard's view is canonical); the
+// other shards keep no-op sinks so per-incident counters are not
+// multiplied by the shard count.
+func (m *ShardedManager) SetMetrics(met *Metrics) {
+	m.shards[0].SetMetrics(met)
+}
+
+// Heartbeat fans an RM's liveness beacon to every shard so each replica
+// of the resource list heals and expires in step.
+func (m *ShardedManager) Heartbeat(id ids.RMID) error {
+	for i, shard := range m.shards {
+		if err := shard.Heartbeat(id); err != nil {
+			return fmt.Errorf("mm: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Epoch returns id's liveness epoch (shard 0 is canonical).
+func (m *ShardedManager) Epoch(id ids.RMID) uint64 { return m.shards[0].Epoch(id) }
+
+// LiveCount returns the live-RM count (shard 0 is canonical).
+func (m *ShardedManager) LiveCount() int { return m.shards[0].LiveCount() }
+
+// Alive reports shard 0's view of id's liveness.
+func (m *ShardedManager) Alive(id ids.RMID) bool { return m.shards[0].Alive(id) }
 
 // FilesOn merges the per-shard file lists of one RM.
 func (m *ShardedManager) FilesOn(rm ids.RMID) []ids.FileID {

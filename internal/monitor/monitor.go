@@ -22,6 +22,7 @@ import (
 
 	"dfsqos/internal/dfsc"
 	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/telemetry"
 	"dfsqos/internal/vdisk"
@@ -47,6 +48,8 @@ type RMStats struct {
 	OffersAccepted  int64   `json:"offersAccepted"`
 	OffersRejected  int64   `json:"offersRejected"`
 	GCEvictions     int64   `json:"gcEvictions"`
+	LeaseTTLSec     float64 `json:"leaseTTLSec"`
+	LeaseExpiries   int64   `json:"leaseExpiries"`
 	VirtualTimeSecs float64 `json:"virtualTimeSecs"`
 }
 
@@ -80,6 +83,8 @@ func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler, reg *tele
 			OffersAccepted:  st.OffersAccepted,
 			OffersRejected:  st.OffersRejected,
 			GCEvictions:     st.GCEvictions,
+			LeaseTTLSec:     node.LeaseTTL(),
+			LeaseExpiries:   st.LeaseExpiries,
 			VirtualTimeSecs: now.Seconds(),
 		}
 		if disk != nil {
@@ -93,6 +98,9 @@ func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler, reg *tele
 // MMStats is the JSON shape of the MM's /stats reply.
 type MMStats struct {
 	RMs []MMRMEntry `json:"rms"`
+	// LiveRMs counts the RMs currently within their liveness window
+	// (equals len(RMs) when the mapper has no liveness layer).
+	LiveRMs int `json:"liveRMs"`
 }
 
 // MMRMEntry is one row of the global resource list.
@@ -100,22 +108,56 @@ type MMRMEntry struct {
 	ID          string  `json:"id"`
 	CapacityBps float64 `json:"capacityBps"`
 	Addr        string  `json:"addr"`
+	// Alive reports the liveness verdict (always true without a liveness
+	// layer: an RM the MM would answer with is by definition advertised).
+	Alive bool `json:"alive"`
+	// Epoch is the RM's liveness epoch: how many times the MM has seen it
+	// die and come back.
+	Epoch uint64 `json:"epoch"`
+}
+
+// livenessSource is the optional liveness surface of a mapper.
+// mm.Manager and mm.ShardedManager implement it; the thin MMClient stub
+// and liveness-free mappers do not, and degrade to the plain resource
+// list.
+type livenessSource interface {
+	AllRMs() []ecnp.RMInfo
+	Alive(id ids.RMID) bool
+	Epoch(id ids.RMID) uint64
+	LiveCount() int
 }
 
 // NewMMHandler builds the HTTP handler for the MM daemon. reg may be
-// nil, in which case /metrics serves an empty exposition.
+// nil, in which case /metrics serves an empty exposition. A mapper with a
+// liveness layer additionally reports dead RMs (rows with alive=false)
+// and the live count.
 func NewMMHandler(mapper ecnp.Mapper, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", healthz)
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		var out MMStats
-		for _, info := range mapper.RMs() {
-			out.RMs = append(out.RMs, MMRMEntry{
-				ID:          info.ID.String(),
-				CapacityBps: float64(info.Capacity),
-				Addr:        info.Addr,
-			})
+		if ls, ok := mapper.(livenessSource); ok {
+			for _, info := range ls.AllRMs() {
+				out.RMs = append(out.RMs, MMRMEntry{
+					ID:          info.ID.String(),
+					CapacityBps: float64(info.Capacity),
+					Addr:        info.Addr,
+					Alive:       ls.Alive(info.ID),
+					Epoch:       ls.Epoch(info.ID),
+				})
+			}
+			out.LiveRMs = ls.LiveCount()
+		} else {
+			for _, info := range mapper.RMs() {
+				out.RMs = append(out.RMs, MMRMEntry{
+					ID:          info.ID.String(),
+					CapacityBps: float64(info.Capacity),
+					Addr:        info.Addr,
+					Alive:       true,
+				})
+			}
+			out.LiveRMs = len(out.RMs)
 		}
 		writeJSON(w, out)
 	})
@@ -129,6 +171,7 @@ type DFSCStats struct {
 	Failed    int64  `json:"failed"`
 	NoReplica int64  `json:"noReplica"`
 	Completed int64  `json:"completed"`
+	Failovers int64  `json:"failovers"`
 	Messages  int64  `json:"messages"`
 }
 
@@ -148,6 +191,7 @@ func NewDFSCHandler(client *dfsc.Client, reg *telemetry.Registry) http.Handler {
 			Failed:    st.Failed,
 			NoReplica: st.NoReplica,
 			Completed: st.Completed,
+			Failovers: st.Failovers,
 			Messages:  st.Messages,
 		})
 	})

@@ -35,6 +35,9 @@ type Metrics struct {
 	RepTransfers  *telemetry.Counter
 	RepMigrations *telemetry.Counter
 	GCEvictions   *telemetry.Counter
+	// LeasesExpired counts orphaned reservations reclaimed by the lease
+	// sweeper (dfsqos_rm_leases_expired_total).
+	LeasesExpired *telemetry.Counter
 	// RemainingBandwidth gauges the current remained storage bandwidth
 	// in bytes/sec — the quantity every selection policy and evaluation
 	// figure is built on
@@ -77,6 +80,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Own-replica deletions after exceeding N_MAXR."),
 		GCEvictions: reg.NewCounter("dfsqos_rm_gc_evictions_total",
 			"Cold replicas deleted by the storage collector."),
+		LeasesExpired: reg.NewCounter("dfsqos_rm_leases_expired_total",
+			"Orphaned reservations reclaimed by the lease sweeper."),
 		RemainingBandwidth: reg.NewGauge("dfsqos_rm_remaining_bandwidth_bytes_per_second",
 			"Current remained storage bandwidth (capacity - allocated)."),
 		ActiveStreams: reg.NewGauge("dfsqos_rm_active_streams",

@@ -43,6 +43,7 @@ type Stats struct {
 	OffersAccepted int64 // incoming offers accepted (as destination)
 	OffersRejected int64 // incoming offers rejected (as destination)
 	GCEvictions    int64 // cold replicas deleted by the storage collector
+	LeaseExpiries  int64 // orphaned reservations reclaimed by the sweeper
 }
 
 // incoming tracks one accepted inbound replication transfer.
@@ -50,6 +51,18 @@ type incoming struct {
 	file ids.FileID
 	meta FileMeta
 	rate units.BytesPerSec
+}
+
+// reservation is one admitted QoS access and its lease state. The epoch
+// is a per-RM admission sequence number: a sweeper that decided to expire
+// reservation (req, epoch) re-checks the epoch before acting, so a
+// request ID recycled between the decision and the kill is never
+// collateral damage, and a late client Close after expiry finds nothing
+// and stays the no-op it always was.
+type reservation struct {
+	rate         units.BytesPerSec
+	lastActivity simtime.Time
+	epoch        uint64
 }
 
 // DataCopier moves real replica bytes during dynamic replication. The DES
@@ -82,7 +95,9 @@ type RM struct {
 	counts      map[ids.FileID]int64
 	gcCfg       replication.GCConfig
 
-	active map[ids.RequestID]units.BytesPerSec
+	active   map[ids.RequestID]*reservation
+	leaseTTL float64 // seconds; <=0 disables lease expiry
+	leaseSeq uint64  // admission epoch counter
 
 	// met mirrors stats onto the telemetry registry and keeps the
 	// runtime gauges (remaining bandwidth, active streams, storage)
@@ -121,6 +136,11 @@ type Options struct {
 	// Metrics receives live telemetry (nil: no-op — the DES stays
 	// untouched). See NewMetrics.
 	Metrics *Metrics
+	// LeaseTTLSec bounds how long an admitted reservation may sit with no
+	// stream activity and no keepalive before the sweeper reclaims its
+	// bandwidth. Zero (the default) disables leases entirely, so the DES
+	// and existing deployments are untouched.
+	LeaseTTLSec float64
 }
 
 // New constructs an RM. The Directory is injected later via SetDirectory
@@ -159,7 +179,8 @@ func New(opt Options) (*RM, error) {
 		copier:        opt.Copier,
 		files:         make(map[ids.FileID]FileMeta, len(opt.Files)),
 		counts:        make(map[ids.FileID]int64),
-		active:        make(map[ids.RequestID]units.BytesPerSec),
+		active:        make(map[ids.RequestID]*reservation),
+		leaseTTL:      opt.LeaseTTLSec,
 		incomings:     make(map[ids.ReplicationID]incoming),
 		incomingFiles: make(map[ids.FileID]int),
 		outgoingFiles: make(map[ids.FileID]int),
@@ -217,7 +238,23 @@ func (r *RM) Register() error {
 }
 
 // Info implements ecnp.Provider.
-func (r *RM) Info() ecnp.RMInfo { return r.info }
+func (r *RM) Info() ecnp.RMInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.info
+}
+
+// SetAddr records the RM's dialable network address so self-initiated
+// (re-)registrations — Register called directly or from the heartbeat
+// loop's self-heal path — advertise it. Live deployments call it once the
+// server socket is bound, before the first registration; without it a
+// heartbeat-triggered re-register would wipe the MM's record of where to
+// dial this RM.
+func (r *RM) SetAddr(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.info.Addr = addr
+}
 
 // Stats returns a copy of the RM's event counters.
 func (r *RM) Stats() Stats {
@@ -317,7 +354,8 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	r.hist.Record(now, size)
 	r.led.Allocate(now, req.Bitrate)
 	r.led.AddAssignedBytes(size)
-	r.active[req.Request] = req.Bitrate
+	r.leaseSeq++
+	r.active[req.Request] = &reservation{rate: req.Bitrate, lastActivity: now, epoch: r.leaseSeq}
 	r.stats.Opens++
 	r.met.Admissions.Inc()
 	r.refreshGaugesLocked()
@@ -325,17 +363,101 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 }
 
 // Close implements ecnp.Provider. Closing an unknown request is a no-op so
-// a requester retrying after a lost reply cannot corrupt the ledger.
+// a requester retrying after a lost reply — or arriving after the lease
+// sweeper already reclaimed the reservation — cannot corrupt the ledger.
 func (r *RM) Close(request ids.RequestID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rate, ok := r.active[request]
+	res, ok := r.active[request]
 	if !ok {
 		return
 	}
 	delete(r.active, request)
-	r.led.Release(r.sched.Now(), rate)
+	r.led.Release(r.sched.Now(), res.rate)
 	r.refreshGaugesLocked()
+}
+
+// Touch renews a reservation's lease implicitly: the live data plane
+// calls it once per streamed chunk, so an active stream never expires.
+// Touching an unknown request is a no-op (the stream's own error path
+// will surface the expiry).
+func (r *RM) Touch(request ids.RequestID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if res, ok := r.active[request]; ok {
+		res.lastActivity = r.sched.Now()
+	}
+}
+
+// Renew is the explicit keepalive: a client holding a reservation open
+// without streaming (e.g. between chunks of a slow consumer) beats the
+// TTL by renewing. Unlike Touch it reports an unknown request as an
+// error so the client learns its lease already expired and can
+// re-negotiate instead of streaming into a closed reservation.
+func (r *RM) Renew(request ids.RequestID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.active[request]
+	if !ok {
+		return fmt.Errorf("rm: %v: no active reservation %v (lease expired or never admitted)", r.info.ID, request)
+	}
+	res.lastActivity = r.sched.Now()
+	return nil
+}
+
+// LeaseTTL returns the configured lease TTL in seconds (0: disabled).
+func (r *RM) LeaseTTL() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaseTTL
+}
+
+// ActiveReservations returns the number of admitted, unexpired accesses.
+func (r *RM) ActiveReservations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// SweepLeases expires every reservation whose lease has been idle longer
+// than the TTL as of now, returning the reclaimed bandwidth to the
+// ledger. It reports how many reservations were expired. The sweep is
+// two-phase: victims are collected first, then each is re-checked by
+// (request, epoch) before the kill, so a reservation re-admitted under a
+// recycled request ID between the phases survives. Expiry is idempotent
+// with the client's Close: whichever side arrives second finds nothing.
+func (r *RM) SweepLeases(now simtime.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leaseTTL <= 0 {
+		return 0
+	}
+	type victim struct {
+		req   ids.RequestID
+		epoch uint64
+	}
+	var victims []victim
+	for req, res := range r.active {
+		if now.Sub(res.lastActivity).Seconds() > r.leaseTTL {
+			victims = append(victims, victim{req: req, epoch: res.epoch})
+		}
+	}
+	expired := 0
+	for _, v := range victims {
+		res, ok := r.active[v.req]
+		if !ok || res.epoch != v.epoch {
+			continue // closed or re-admitted since collection
+		}
+		delete(r.active, v.req)
+		r.led.Release(now, res.rate)
+		r.stats.LeaseExpiries++
+		r.met.LeasesExpired.Inc()
+		expired++
+	}
+	if expired > 0 {
+		r.refreshGaugesLocked()
+	}
+	return expired
 }
 
 // StoreFile implements ecnp.Provider: it admits a brand-new file onto this

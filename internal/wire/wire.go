@@ -62,6 +62,9 @@ const (
 	KindFileChunk
 	KindFileEnd
 	KindWriteFile
+	// Liveness (RM → MM) and reservation-lease keepalive (DFSC → RM).
+	KindHeartbeat
+	KindKeepalive
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -79,6 +82,7 @@ func (k Kind) String() string {
 		KindStoreFile: "StoreFile",
 		KindReadFile:  "ReadFile", KindFileChunk: "FileChunk", KindFileEnd: "FileEnd",
 		KindWriteFile: "WriteFile",
+		KindHeartbeat: "Heartbeat", KindKeepalive: "Keepalive",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -150,6 +154,13 @@ type (
 		File ids.FileID
 		// ChunkSize is the server's streaming granularity hint in bytes.
 		ChunkSize int
+		// Offset is the byte position the stream starts at: 0 reads the
+		// whole file; a failover resume picks up exactly where the
+		// previous replica's stream died.
+		Offset int64
+		// Request, when non-zero, names the QoS reservation this stream
+		// serves; the server treats each chunk as implicit lease renewal.
+		Request ids.RequestID
 	}
 	// WriteFile opens an inbound data stream: the sender follows with
 	// FileChunk frames and a FileEnd, and the receiver stores the bytes
@@ -176,6 +187,14 @@ type (
 	Error struct {
 		Text string
 	}
+	// Heartbeat is an RM's periodic liveness beacon to the MM.
+	Heartbeat struct {
+		RM ids.RMID
+	}
+	// Keepalive explicitly renews a reservation lease at the serving RM.
+	Keepalive struct {
+		Request ids.RequestID
+	}
 )
 
 func init() {
@@ -196,6 +215,8 @@ func init() {
 	gob.Register(FileEnd{})
 	gob.Register(Ack{})
 	gob.Register(Error{})
+	gob.Register(Heartbeat{})
+	gob.Register(Keepalive{})
 	gob.Register(ecnp.CFP{})
 	gob.Register(ecnp.OpenRequest{})
 	gob.Register(ecnp.OpenResult{})
@@ -203,6 +224,26 @@ func init() {
 	gob.Register(ecnp.StoreRequest{})
 	gob.Register(ecnp.RMInfo{})
 	gob.Register(selection.Bid{})
+}
+
+// ChecksumBasis is the FNV-1a offset basis: the initial state of the
+// running checksum every data stream carries. A failover client threads
+// one running state across segments served by different replicas; since
+// an offset resume is byte-contiguous with its predecessor, the final
+// FileEnd's whole-file checksum still verifies.
+const ChecksumBasis uint64 = 14695981039346656037
+
+// checksumPrime is the FNV-1a prime.
+const checksumPrime uint64 = 1099511628211
+
+// ChecksumUpdate folds data into an FNV-1a running state and returns the
+// new state.
+func ChecksumUpdate(sum uint64, data []byte) uint64 {
+	for _, b := range data {
+		sum ^= uint64(b)
+		sum *= checksumPrime
+	}
+	return sum
 }
 
 // RemoteError is an error the peer *served* as a KindError reply: the RPC
@@ -221,6 +262,36 @@ type RemoteError struct {
 // Error implements error. The "wire: remote error:" prefix is kept stable
 // for log readability only; programmatic classification must use errors.As.
 func (e RemoteError) Error() string { return "wire: remote error: " + e.Text }
+
+// FrameTooLargeError reports a frame-size cap violation: an outgoing
+// message that encoded past MaxFrame, or an incoming header announcing a
+// body past the cap (a malformed or hostile peer). Match it with
+//
+//	var fe *wire.FrameTooLargeError
+//	if errors.As(err, &fe) { ... }
+//
+// so transport and telemetry can classify cap violations apart from
+// generic connection failures.
+type FrameTooLargeError struct {
+	// Kind is the message kind for outgoing violations; outgoing is
+	// false (and Kind zero) for incoming ones, where the frame was
+	// rejected before decoding.
+	Kind Kind
+	// Size is the offending frame's body size in bytes.
+	Size int64
+	// Cap is the limit that was exceeded (MaxFrame).
+	Cap int64
+	// Outgoing distinguishes encode-side from read-side violations.
+	Outgoing bool
+}
+
+// Error implements error.
+func (e *FrameTooLargeError) Error() string {
+	if e.Outgoing {
+		return fmt.Sprintf("wire: %v frame of %d bytes exceeds cap %d", e.Kind, e.Size, e.Cap)
+	}
+	return fmt.Sprintf("wire: incoming frame of %d bytes exceeds cap %d", e.Size, e.Cap)
+}
 
 // deadliner is the deadline surface of net.Conn (and net.Pipe).
 type deadliner interface {
@@ -274,7 +345,7 @@ func (c *Conn) Write(kind Kind, payload any) error {
 		return fmt.Errorf("wire: encoding %v: %w", kind, err)
 	}
 	if body.Len() > MaxFrame {
-		return fmt.Errorf("wire: %v frame of %d bytes exceeds cap %d", kind, body.Len(), MaxFrame)
+		return &FrameTooLargeError{Kind: kind, Size: int64(body.Len()), Cap: MaxFrame, Outgoing: true}
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
@@ -294,6 +365,31 @@ func (c *Conn) Write(kind Kind, payload any) error {
 	return nil
 }
 
+// WriteTorn writes a deliberately truncated frame: a header declaring the
+// full body length followed by only half the body bytes. The peer blocks
+// on the missing bytes until the connection drops, then surfaces an EOF
+// mid-frame — the exact shape of a server crashing mid-write. It exists
+// for the fault-injection substrate (faults.PartialWrite) and its tests;
+// no production path calls it. The caller must drop the connection
+// afterwards: the stream is unframeable from here on.
+func (c *Conn) WriteTorn(kind Kind, payload any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(Msg{Kind: kind, Payload: payload}); err != nil {
+		return fmt.Errorf("wire: encoding %v: %w", kind, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if _, err := c.rw.Write(body.Bytes()[:body.Len()/2]); err != nil {
+		return fmt.Errorf("wire: writing torn body: %w", err)
+	}
+	return nil
+}
+
 // Read receives one message.
 func (c *Conn) Read() (Msg, error) {
 	c.rmu.Lock()
@@ -304,7 +400,7 @@ func (c *Conn) Read() (Msg, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return Msg{}, fmt.Errorf("wire: incoming frame of %d bytes exceeds cap %d", n, MaxFrame)
+		return Msg{}, &FrameTooLargeError{Size: int64(n), Cap: MaxFrame}
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(c.rw, body); err != nil {

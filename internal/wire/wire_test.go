@@ -212,3 +212,70 @@ func TestConcurrentWriters(t *testing.T) {
 		}
 	}
 }
+
+func TestFrameTooLargeErrorMatchable(t *testing.T) {
+	// Outgoing: an encode past MaxFrame surfaces a typed error carrying
+	// the kind and both sizes, classifiable with errors.As.
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	err := c.Write(KindFileChunk, FileChunk{Data: make([]byte, MaxFrame+1)})
+	var fe *FrameTooLargeError
+	if !errors.As(err, &fe) {
+		t.Fatalf("outgoing cap violation not a FrameTooLargeError: %v", err)
+	}
+	if !fe.Outgoing || fe.Kind != KindFileChunk || fe.Cap != MaxFrame || fe.Size <= MaxFrame {
+		t.Fatalf("outgoing violation misreported: %+v", fe)
+	}
+	if !strings.Contains(fe.Error(), "exceeds cap") {
+		t.Fatalf("unhelpful message: %q", fe.Error())
+	}
+
+	// Incoming: a forged header past the cap is rejected before any body
+	// bytes are read, with Outgoing=false and no Kind (never decoded).
+	var in bytes.Buffer
+	in.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	_, err = NewConn(&in).Read()
+	fe = nil
+	if !errors.As(err, &fe) {
+		t.Fatalf("incoming cap violation not a FrameTooLargeError: %v", err)
+	}
+	if fe.Outgoing || fe.Kind != 0 || fe.Cap != MaxFrame {
+		t.Fatalf("incoming violation misreported: %+v", fe)
+	}
+}
+
+func TestWriteTornLeavesUnreadableStream(t *testing.T) {
+	// A torn frame (full-length header, half the body) must not decode:
+	// the reader blocks on the missing bytes and surfaces an error once
+	// the stream ends — the shape of a peer crashing mid-write.
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	if err := w.WriteTorn(KindCount, Count{N: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewConn(&buf).Read(); err == nil {
+		t.Fatal("torn frame decoded cleanly")
+	}
+}
+
+func TestChecksumUpdateMatchesSplitInput(t *testing.T) {
+	// The running FNV-1a state must be order-and-split invariant: hashing
+	// a buffer in one call equals hashing it in arbitrary segments. The
+	// failover path depends on this to verify a whole-file checksum
+	// accumulated across stream segments served by different RMs.
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	whole := ChecksumUpdate(ChecksumBasis, data)
+	split := ChecksumBasis
+	for _, cut := range [][2]int{{0, 1}, {1, 7}, {7, 512}, {512, 1024}} {
+		split = ChecksumUpdate(split, data[cut[0]:cut[1]])
+	}
+	if whole != split {
+		t.Fatalf("split checksum %x != whole %x", split, whole)
+	}
+	if whole == ChecksumBasis {
+		t.Fatal("checksum did not absorb input")
+	}
+}
