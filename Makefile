@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race cover chaos fmt-check all
+.PHONY: tier1 build test vet race cover chaos bench fuzz-smoke gobonly fmt-check all
 
 all: tier1 vet
 
@@ -43,6 +43,29 @@ cover:
 	$(GO) test -coverprofile=coverage/faults.out ./internal/faults/
 	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
 	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out
+
+# bench runs the data-plane benchmark harness: wire codec benchmarks plus
+# the live-TCP streaming benchmark, parsed into BENCH_4.json, with the
+# 0-allocs/op gate on the fast-path chunk codecs. BENCH_TIME tunes the
+# per-benchmark budget (CI uses a shorter one).
+bench:
+	./scripts/bench.sh BENCH_4.json
+
+# fuzz-smoke gives each wire codec fuzz target a short randomized run on
+# top of its seeded corpus — enough to catch decoder panics and checksum
+# divergence without CI-hostile runtimes. Targets must run one at a time
+# (go test allows a single -fuzz pattern per invocation).
+FUZZ_TIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzBinaryChunkRoundTrip$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzChecksumEquivalence$$' -fuzztime $(FUZZ_TIME)
+
+# gobonly builds the wire package with the binary fast path compiled out
+# (the interop escape hatch) and proves both that the build still passes
+# its suite and that it rejects binary frames with the typed error.
+gobonly:
+	$(GO) test -tags gobonly -count=1 ./internal/wire/
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

@@ -25,6 +25,7 @@ import (
 	"dfsqos/internal/selection"
 	"dfsqos/internal/telemetry"
 	"dfsqos/internal/transport"
+	"dfsqos/internal/wire"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	// telemetry on a single /metrics page.
 	reg := telemetry.NewRegistry()
 	tcfg.Metrics = transport.NewMetrics(reg)
+	wire.RegisterCodecMetrics(reg)
 
 	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"dfsqos/internal/monitor"
 	"dfsqos/internal/telemetry"
 	"dfsqos/internal/transport"
+	"dfsqos/internal/wire"
 )
 
 // shutdownTimeout bounds the monitor drain on SIGTERM.
@@ -50,6 +51,7 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
+	wire.RegisterCodecMetrics(reg)
 	lcfg := mm.LivenessConfig{HeartbeatInterval: *hbIv, MissThreshold: *misses}
 	var mapper ecnp.Mapper
 	if *shards > 1 {

@@ -37,6 +37,7 @@ import (
 	"dfsqos/internal/transport"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
+	"dfsqos/internal/wire"
 )
 
 // shutdownTimeout bounds the monitor drain on SIGTERM.
@@ -113,6 +114,7 @@ func main() {
 	// telemetry on this daemon's /metrics page.
 	reg := telemetry.NewRegistry()
 	tcfg.Metrics = transport.NewMetrics(reg)
+	wire.RegisterCodecMetrics(reg)
 
 	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {

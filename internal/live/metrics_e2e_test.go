@@ -25,6 +25,7 @@ import (
 	"dfsqos/internal/transport"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
+	"dfsqos/internal/wire"
 )
 
 // TestMetricsEndToEnd spins up a real TCP mini-cluster — MM server, two RM
@@ -38,6 +39,8 @@ import (
 func TestMetricsEndToEnd(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	tcfg := transport.Config{Metrics: transport.NewMetrics(reg)}
+	wire.RegisterCodecMetrics(reg)
+	defer wire.RegisterCodecMetrics(nil) // detach the process-wide sink from this test's registry
 
 	cfg := catalog.DefaultConfig()
 	cfg.NumFiles = 4
@@ -179,6 +182,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 		// Wire servers: request counters by kind.
 		`server="mm"`,
 		`server="rm"`,
+		// Wire codec split: control traffic moves as gob frames, data
+		// chunks on the binary fast path.
+		`dfsqos_wire_frames_total{dir="tx",codec="gob"}`,
+		`dfsqos_wire_frames_total{dir="rx",codec="gob"}`,
+		`dfsqos_wire_frames_total{dir="tx",codec="binary"}`,
+		`dfsqos_wire_frames_total{dir="rx",codec="binary"}`,
 		// RM core: the paper's remained-bandwidth runtime info plus the
 		// negotiation counters.
 		"dfsqos_rm_remaining_bandwidth_bytes_per_second",

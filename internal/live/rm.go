@@ -292,12 +292,19 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
 	for off < int64(size) {
 		n, rerr := s.disk.ReadAt(ctx, name, buf, off)
 		if n > 0 {
-			fc := wire.FileChunk{Offset: off, Data: buf[:n]}
-			d := faults.Decide(inj, faults.PointRMChunk, strconv.FormatInt(off, 10))
-			if handled, ferr := applyFault(wc, d, wire.KindFileChunk, fc, func() { s.Close() }); handled || ferr != nil {
-				return ferr
+			// The fault decision (and its detail string) is only built when
+			// an injector is armed: the production hot loop stays
+			// allocation-free per chunk.
+			if inj != nil {
+				fc := wire.FileChunk{Offset: off, Data: buf[:n]}
+				d := faults.Decide(inj, faults.PointRMChunk, strconv.FormatInt(off, 10))
+				if handled, ferr := applyFault(wc, d, wire.KindFileChunk, fc, func() { s.Close() }); handled || ferr != nil {
+					return ferr
+				}
 			}
-			if werr := wc.Write(wire.KindFileChunk, fc); werr != nil {
+			// WriteChunk is the zero-copy fast path: one writev per chunk,
+			// and buf is reusable as soon as it returns.
+			if werr := wc.WriteChunk(off, buf[:n]); werr != nil {
 				return werr
 			}
 			off += int64(n)
@@ -338,15 +345,20 @@ func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile) error {
 		}
 		switch msg.Kind {
 		case wire.KindFileChunk:
-			chunk, ok := msg.Payload.(wire.FileChunk)
+			chunk, ok := msg.Chunk()
 			if !ok {
 				return wc.WriteError(fmt.Errorf("rm: malformed FileChunk"))
 			}
 			if chunk.Offset != int64(len(data)) {
-				return wc.WriteError(fmt.Errorf("rm: out-of-order chunk at %d, want %d", chunk.Offset, len(data)))
+				off := chunk.Offset
+				msg.Release()
+				return wc.WriteError(fmt.Errorf("rm: out-of-order chunk at %d, want %d", off, len(data)))
 			}
+			// Copy out of the borrowed frame buffer, then hand it back so
+			// the next chunk reuses it instead of allocating.
 			data = append(data, chunk.Data...)
 			sum = wire.ChecksumUpdate(sum, chunk.Data)
+			msg.Release()
 			if int64(len(data)) > req.SizeBytes {
 				return wc.WriteError(fmt.Errorf("rm: stream exceeds declared size %d", req.SizeBytes))
 			}
@@ -546,20 +558,28 @@ func (c *RMClient) ReadFileAt(file ids.FileID, req ids.RequestID, offset int64, 
 			}
 			switch msg.Kind {
 			case wire.KindFileChunk:
-				chunk, ok := msg.Payload.(wire.FileChunk)
+				chunk, ok := msg.Chunk()
 				if !ok {
 					return fmt.Errorf("live: malformed FileChunk")
 				}
 				if chunk.Offset != pos {
-					return fmt.Errorf("live: out-of-order chunk at %d, want %d", chunk.Offset, pos)
+					off := chunk.Offset
+					msg.Release()
+					return fmt.Errorf("live: out-of-order chunk at %d, want %d", off, pos)
 				}
+				// chunk.Data borrows the pooled frame buffer: consume it
+				// (sink write + running checksum), then Release so the
+				// stream loop recycles instead of allocating per chunk.
+				n := len(chunk.Data)
 				if _, err := w.Write(chunk.Data); err != nil {
+					msg.Release()
 					return err
 				}
 				if sum != nil {
 					*sum = wire.ChecksumUpdate(*sum, chunk.Data)
 				}
-				pos += int64(len(chunk.Data))
+				msg.Release()
+				pos += int64(n)
 			case wire.KindFileEnd:
 				end, ok := msg.Payload.(wire.FileEnd)
 				if !ok {
@@ -615,7 +635,7 @@ func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64,
 		for off < size {
 			n, err := r.Read(buf)
 			if n > 0 {
-				if werr := wc.Write(wire.KindFileChunk, wire.FileChunk{Offset: off, Data: buf[:n]}); werr != nil {
+				if werr := wc.WriteChunk(off, buf[:n]); werr != nil {
 					return werr
 				}
 				sum = wire.ChecksumUpdate(sum, buf[:n])

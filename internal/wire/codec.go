@@ -1,0 +1,346 @@
+// Fast-path binary codec for the data plane and other high-frequency
+// frames. The frame header carries a one-byte codec tag, so every frame
+// independently declares how its body is encoded: gob (tag 0, the
+// stateless reflection codec every kind supports) or binary v1 (tag 1, a
+// hand-rolled fixed-layout encoding for the hot kinds). Both codecs can
+// interleave freely on one connection — the reader dispatches per frame,
+// and neither codec keeps cross-frame state, so the "stateless frame"
+// recovery property of the original gob framing is preserved.
+//
+// Binary v1 body layout (big-endian throughout):
+//
+//	[0:2]  uint16 kind
+//	[2:]   payload, fixed layout per kind:
+//	  FileChunk:  offset u64 | data (rest of body, length implicit)
+//	  FileEnd:    size u64 | checksum u64
+//	  ReadFile:   file i32 | chunkSize i64 | offset i64 | request i64
+//	  WriteFile:  file i32 | sizeBytes i64 | replication i64
+//	  Ack:        (empty)
+//	  Error:      text (rest of body, UTF-8)
+//	  Heartbeat:  rm i32
+//	  Keepalive:  request i64
+//
+// All other kinds stay on gob. To promote a kind to the fast path it must
+// be (a) high-frequency enough to matter, (b) fixed-layout (or
+// one-variable-tail like FileChunk/Error), and (c) versioned here: any
+// layout change bumps the codec tag (tag 2 = binary v2) rather than
+// mutating v1 in place, so mixed-version peers fail with a typed
+// CodecError instead of silently misparsing.
+//
+// Buffer ownership: encode and decode both borrow scratch buffers from a
+// sync.Pool. On the read side, a fast-path FileChunk's Data slice points
+// INTO the pooled frame buffer; the Msg carries the loan and Msg.Release
+// returns it. See Msg.Release for the contract.
+package wire
+
+import (
+	"dfsqos/internal/ids"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Codec identifies a frame-body encoding (the one-byte tag in the frame
+// header).
+type Codec uint8
+
+// The wire codecs. CodecGob is the universal fallback; CodecBinary is
+// fast-path binary v1.
+const (
+	CodecGob    Codec = 0
+	CodecBinary Codec = 1
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (c Codec) String() string {
+	switch c {
+	case CodecGob:
+		return "gob"
+	case CodecBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// CodecError reports a frame that could not be decoded — or would not be
+// accepted — under the codec its header declares: an unknown codec tag, a
+// binary frame sent to a gob-only endpoint, a kind the binary codec does
+// not cover, or a body whose length contradicts the kind's fixed layout.
+// Match it with
+//
+//	var ce *wire.CodecError
+//	if errors.As(err, &ce) { ... }
+//
+// The connection is still frame-synchronized after a CodecError (the
+// whole body was consumed), but callers should treat it as a protocol
+// mismatch and drop the connection.
+type CodecError struct {
+	// Codec is the tag the offending frame declared.
+	Codec Codec
+	// Kind is the message kind, when the decoder got far enough to read
+	// it (zero otherwise).
+	Kind Kind
+	// Reason is the human-readable diagnostic.
+	Reason string
+}
+
+// Error implements error.
+func (e *CodecError) Error() string {
+	if e.Kind != 0 {
+		return fmt.Sprintf("wire: codec %v, kind %v: %s", e.Codec, e.Kind, e.Reason)
+	}
+	return fmt.Sprintf("wire: codec %v: %s", e.Codec, e.Reason)
+}
+
+// defaultFastPath and defaultAcceptBinary seed every NewConn from the
+// build-tag default (see fastpath_on.go / fastpath_off.go). Tests and
+// benchmarks flip the write-side default to measure the gob baseline.
+var (
+	defaultFastPath     atomic.Bool
+	defaultAcceptBinary atomic.Bool
+)
+
+func init() {
+	defaultFastPath.Store(buildFastPath)
+	defaultAcceptBinary.Store(buildFastPath)
+}
+
+// SetDefaultFastPath sets whether connections created from now on encode
+// eligible frames with the binary codec (true, the non-gobonly build
+// default) or keep everything on gob (false). It returns the previous
+// default. Existing connections are unaffected; read-side acceptance is
+// untouched. It exists for baseline benchmarks and build-parity tests.
+func SetDefaultFastPath(on bool) (prev bool) {
+	return defaultFastPath.Swap(on)
+}
+
+// frame geometry.
+const (
+	// headerSize is the fixed frame prelude: 4-byte big-endian body
+	// length followed by the 1-byte codec tag. The length excludes the
+	// prelude itself.
+	headerSize = 5
+	// kindSize is the binary-codec kind field at the start of the body.
+	kindSize = 2
+	// chunkPrefixLen is everything in a binary FileChunk frame before
+	// the data bytes: header + kind + offset.
+	chunkPrefixLen = headerSize + kindSize + 8
+)
+
+// bufPool recycles frame-sized scratch buffers across Write and Read.
+// Entries are *[]byte so Put does not allocate a slice header.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// maxPooledBuf caps the capacity returned to the pool: data-plane frames
+// (≤ 256 KiB chunks) always recycle, while a rare near-MaxFrame frame is
+// left to the GC instead of pinning megabytes per P.
+const maxPooledBuf = 512 * 1024
+
+// getBuf returns a pooled buffer with capacity ≥ n and length 0.
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+// putBuf returns a buffer to the pool (oversized ones go to the GC).
+func putBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// chunkPool recycles the FileChunk payload structs the fast-path decoder
+// hands out, so a steady-state stream loop performs zero allocations per
+// chunk. Msg.Release feeds it.
+var chunkPool = sync.Pool{New: func() any { return new(FileChunk) }}
+
+// chunkFrame is the reusable scratch for a single-writev chunk write: the
+// 15-byte frame prefix plus a two-element net.Buffers that lets the data
+// slice go to the kernel without being copied into a contiguous frame.
+// bufs is rebuilt from arr on every use because Buffers.WriteTo consumes
+// the slice it writes (advancing it to zero length AND zero capacity) — an
+// append into the consumed slice would reallocate per call.
+type chunkFrame struct {
+	prefix [chunkPrefixLen]byte
+	arr    [2][]byte
+	bufs   net.Buffers
+}
+
+var chunkFramePool = sync.Pool{New: func() any { return new(chunkFrame) }}
+
+// WriteChunk sends one FileChunk frame. On the fast path it is the
+// zero-allocation hot loop of every data stream: the 15-byte prefix and
+// the caller's data slice go out as a single writev (net.Buffers), so
+// each chunk costs one syscall and zero copies. data is only read, never
+// retained, so the caller may reuse its buffer immediately. With the fast
+// path disabled it degrades to the gob frame Write would produce.
+func (c *Conn) WriteChunk(offset int64, data []byte) error {
+	if !c.fastWrite.Load() {
+		return c.writeGob(KindFileChunk, FileChunk{Offset: offset, Data: data})
+	}
+	body := kindSize + 8 + len(data)
+	if body > MaxFrame {
+		return &FrameTooLargeError{Kind: KindFileChunk, Size: int64(body), Cap: MaxFrame, Outgoing: true}
+	}
+	f := chunkFramePool.Get().(*chunkFrame)
+	binary.BigEndian.PutUint32(f.prefix[0:4], uint32(body))
+	f.prefix[4] = byte(CodecBinary)
+	binary.BigEndian.PutUint16(f.prefix[5:7], uint16(KindFileChunk))
+	binary.BigEndian.PutUint64(f.prefix[7:15], uint64(offset))
+	f.arr[0] = f.prefix[:]
+	f.arr[1] = data
+	f.bufs = net.Buffers(f.arr[:])
+	c.wmu.Lock()
+	c.armWriteDeadlineLocked()
+	_, err := f.bufs.WriteTo(c.rw)
+	c.wmu.Unlock()
+	// Drop the data references before pooling so the pool does not pin the
+	// caller's buffer (WriteTo consumes bufs but arr keeps the originals).
+	f.arr[0], f.arr[1] = nil, nil
+	f.bufs = nil
+	chunkFramePool.Put(f)
+	if err != nil {
+		return fmt.Errorf("wire: writing %v frame: %w", KindFileChunk, err)
+	}
+	codecMet.Load().txBinary.Inc()
+	return nil
+}
+
+// appendBinary appends the binary-v1 body (kind + payload) for one
+// eligible (kind, payload) pair to b. It reports false when the pair is
+// not fast-path encodable, leaving b's length unchanged.
+func appendBinary(b []byte, kind Kind, payload any) ([]byte, bool) {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, uint16(kind))
+	switch kind {
+	case KindFileEnd:
+		p, ok := payload.(FileEnd)
+		if !ok {
+			return b[:start], false
+		}
+		b = binary.BigEndian.AppendUint64(b, uint64(p.Size))
+		b = binary.BigEndian.AppendUint64(b, p.Checksum)
+	case KindReadFile:
+		p, ok := payload.(ReadFile)
+		if !ok {
+			return b[:start], false
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(p.File)))
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(p.ChunkSize)))
+		b = binary.BigEndian.AppendUint64(b, uint64(p.Offset))
+		b = binary.BigEndian.AppendUint64(b, uint64(p.Request))
+	case KindWriteFile:
+		p, ok := payload.(WriteFile)
+		if !ok {
+			return b[:start], false
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(p.File)))
+		b = binary.BigEndian.AppendUint64(b, uint64(p.SizeBytes))
+		b = binary.BigEndian.AppendUint64(b, uint64(p.Replication))
+	case KindAck:
+		if _, ok := payload.(Ack); !ok {
+			return b[:start], false
+		}
+	case KindError:
+		p, ok := payload.(Error)
+		if !ok {
+			return b[:start], false
+		}
+		b = append(b, p.Text...)
+	case KindHeartbeat:
+		p, ok := payload.(Heartbeat)
+		if !ok {
+			return b[:start], false
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(p.RM)))
+	case KindKeepalive:
+		p, ok := payload.(Keepalive)
+		if !ok {
+			return b[:start], false
+		}
+		b = binary.BigEndian.AppendUint64(b, uint64(p.Request))
+	default:
+		return b[:start], false
+	}
+	return b, true
+}
+
+// decodeBinary parses a binary-v1 body. bp is the pooled buffer backing
+// body; when the decoded payload borrows from it (FileChunk keeps its
+// Data in place instead of copying), the returned Msg carries the loan
+// and retained is true — the caller must NOT putBuf it, Msg.Release will.
+// Hostile input (short bodies, wrong fixed lengths, kinds the codec does
+// not cover) yields a typed *CodecError, never a panic.
+func decodeBinary(body []byte, bp *[]byte) (msg Msg, retained bool, err error) {
+	if len(body) < kindSize {
+		return Msg{}, false, &CodecError{Codec: CodecBinary, Reason: "body shorter than kind field"}
+	}
+	kind := Kind(binary.BigEndian.Uint16(body[:kindSize]))
+	p := body[kindSize:]
+	badLen := func() (Msg, bool, error) {
+		return Msg{}, false, &CodecError{Codec: CodecBinary, Kind: kind,
+			Reason: fmt.Sprintf("payload length %d contradicts fixed layout", len(p))}
+	}
+	switch kind {
+	case KindFileChunk:
+		if len(p) < 8 {
+			return badLen()
+		}
+		ch := chunkPool.Get().(*FileChunk)
+		ch.Offset = int64(binary.BigEndian.Uint64(p[:8]))
+		ch.Data = p[8:]
+		return Msg{Kind: kind, Payload: ch, pooled: bp, chunk: ch}, true, nil
+	case KindFileEnd:
+		if len(p) != 16 {
+			return badLen()
+		}
+		return Msg{Kind: kind, Payload: FileEnd{
+			Size:     int64(binary.BigEndian.Uint64(p[:8])),
+			Checksum: binary.BigEndian.Uint64(p[8:16]),
+		}}, false, nil
+	case KindReadFile:
+		if len(p) != 28 {
+			return badLen()
+		}
+		return Msg{Kind: kind, Payload: ReadFile{
+			File:      ids.FileID(int32(binary.BigEndian.Uint32(p[:4]))),
+			ChunkSize: int(int64(binary.BigEndian.Uint64(p[4:12]))),
+			Offset:    int64(binary.BigEndian.Uint64(p[12:20])),
+			Request:   ids.RequestID(int64(binary.BigEndian.Uint64(p[20:28]))),
+		}}, false, nil
+	case KindWriteFile:
+		if len(p) != 20 {
+			return badLen()
+		}
+		return Msg{Kind: kind, Payload: WriteFile{
+			File:        ids.FileID(int32(binary.BigEndian.Uint32(p[:4]))),
+			SizeBytes:   int64(binary.BigEndian.Uint64(p[4:12])),
+			Replication: ids.ReplicationID(int64(binary.BigEndian.Uint64(p[12:20]))),
+		}}, false, nil
+	case KindAck:
+		if len(p) != 0 {
+			return badLen()
+		}
+		return Msg{Kind: kind, Payload: Ack{}}, false, nil
+	case KindError:
+		return Msg{Kind: kind, Payload: Error{Text: string(p)}}, false, nil
+	case KindHeartbeat:
+		if len(p) != 4 {
+			return badLen()
+		}
+		return Msg{Kind: kind, Payload: Heartbeat{RM: ids.RMID(int32(binary.BigEndian.Uint32(p[:4])))}}, false, nil
+	case KindKeepalive:
+		if len(p) != 8 {
+			return badLen()
+		}
+		return Msg{Kind: kind, Payload: Keepalive{Request: ids.RequestID(int64(binary.BigEndian.Uint64(p[:8])))}}, false, nil
+	}
+	return Msg{}, false, &CodecError{Codec: CodecBinary, Kind: kind, Reason: "kind not covered by the binary codec"}
+}

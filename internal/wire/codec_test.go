@@ -1,0 +1,384 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/units"
+)
+
+// writeRawFrame forges a frame with an arbitrary codec tag and body,
+// bypassing the encoder (hostile-input plumbing for decoder tests).
+func writeRawFrame(buf *bytes.Buffer, codec Codec, body []byte) {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = byte(codec)
+	buf.Write(hdr[:])
+	buf.Write(body)
+}
+
+// binaryBody assembles a binary-v1 body: kind field plus raw payload bytes.
+func binaryBody(kind Kind, payload []byte) []byte {
+	b := binary.BigEndian.AppendUint16(nil, uint16(kind))
+	return append(b, payload...)
+}
+
+func TestFastPathFramesCarryBinaryTag(t *testing.T) {
+	// Every eligible kind must leave a fast-path connection with the
+	// binary codec tag and round-trip intact.
+	cases := []struct {
+		kind Kind
+		body any
+	}{
+		{KindFileEnd, FileEnd{Size: 1 << 40, Checksum: 0xfeedface}},
+		{KindReadFile, ReadFile{File: 7, ChunkSize: 65536, Offset: 1024, Request: 99}},
+		{KindWriteFile, WriteFile{File: 3, SizeBytes: 1 << 30, Replication: 12}},
+		{KindAck, Ack{}},
+		{KindError, Error{Text: "disk exploded"}},
+		{KindHeartbeat, Heartbeat{RM: 5}},
+		{KindKeepalive, Keepalive{Request: 41}},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		c.SetFastPath(true)
+		if err := c.Write(tc.kind, tc.body); err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if got := Codec(buf.Bytes()[4]); got != CodecBinary {
+			t.Errorf("%v went out as %v, want binary", tc.kind, got)
+		}
+		r := NewConn(&buf)
+		r.SetAcceptBinary(true) // decode must work even under a gobonly default
+		msg, err := r.Read()
+		if err != nil {
+			t.Fatalf("%v: decode: %v", tc.kind, err)
+		}
+		if msg.Kind != tc.kind {
+			t.Errorf("%v decoded as %v", tc.kind, msg.Kind)
+		}
+		if msg.Payload != tc.body {
+			t.Errorf("%v payload: got %+v want %+v", tc.kind, msg.Payload, tc.body)
+		}
+	}
+	// Negative offsets and ids survive the unsigned wire layout.
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	c.SetFastPath(true)
+	if err := c.WriteChunk(-1, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	r.SetAcceptBinary(true)
+	msg, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := msg.Chunk()
+	if !ok || ch.Offset != -1 || len(ch.Data) != 1 || ch.Data[0] != 9 {
+		t.Fatalf("negative-offset chunk mangled: %+v", msg.Payload)
+	}
+	msg.Release()
+}
+
+func TestIneligibleKindsStayOnGob(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	c.SetFastPath(true)
+	if err := c.Write(KindCFP, ecnp.CFP{Request: 1, File: 2, Bitrate: units.Mbps(2), DurationSec: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Codec(buf.Bytes()[4]); got != CodecGob {
+		t.Fatalf("control frame went out as %v, want gob", got)
+	}
+	if _, err := NewConn(&buf).Read(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastWriterRejectedByGobOnlyReader(t *testing.T) {
+	// Satellite interop contract: a fast-path writer talking to an
+	// endpoint that does not accept binary frames (a gobonly build) must
+	// fail with a typed *CodecError, not garbage or a panic.
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	w.SetFastPath(true)
+	if err := w.WriteChunk(0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	r.SetAcceptBinary(false)
+	_, err := r.Read()
+	var ce *CodecError
+	if !errors.As(err, &ce) {
+		t.Fatalf("rejection not a CodecError: %v", err)
+	}
+	if ce.Codec != CodecBinary {
+		t.Fatalf("rejected codec %v, want binary", ce.Codec)
+	}
+	if !strings.Contains(ce.Error(), "not accepted") {
+		t.Fatalf("unhelpful rejection: %q", ce.Error())
+	}
+}
+
+func TestGobWriterReadByFastReader(t *testing.T) {
+	// The reverse direction: a gob-pinned writer (legacy peer) must
+	// interoperate transparently with a fast-path reader, including for
+	// kinds that are binary-eligible.
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	w.SetFastPath(false)
+	data := []byte("gob-framed chunk")
+	if err := w.WriteChunk(512, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(KindFileEnd, FileEnd{Size: 16, Checksum: 0xabc}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Codec(buf.Bytes()[4]); got != CodecGob {
+		t.Fatalf("pinned writer emitted %v", got)
+	}
+	r := NewConn(&buf)
+	msg, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := msg.Chunk()
+	if !ok || ch.Offset != 512 || !bytes.Equal(ch.Data, data) {
+		t.Fatalf("gob chunk mangled: %+v", msg.Payload)
+	}
+	msg.Release() // no-op on gob messages, must be safe
+	end, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe, ok := end.Payload.(FileEnd); !ok || fe.Checksum != 0xabc {
+		t.Fatalf("gob FileEnd mangled: %+v", end.Payload)
+	}
+}
+
+func TestMixedCodecInterleave(t *testing.T) {
+	// Control frames (gob) and data frames (binary) interleaved on one
+	// stream must all decode: per-frame codec tags, no shared state, no
+	// decoder poisoning in either direction.
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	w.SetFastPath(true)
+	chunk0 := []byte("first chunk")
+	chunk1 := []byte("second chunk")
+	if err := w.Write(KindCFP, ecnp.CFP{Request: 1, File: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(0, chunk0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(KindOpen, ecnp.OpenRequest{Request: 1, File: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(int64(len(chunk0)), chunk1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(KindFileEnd, FileEnd{Size: int64(len(chunk0) + len(chunk1))}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewConn(&buf)
+	r.SetAcceptBinary(true)
+	wantKinds := []Kind{KindCFP, KindFileChunk, KindOpen, KindFileChunk, KindFileEnd}
+	var got []byte
+	for i, want := range wantKinds {
+		msg, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if msg.Kind != want {
+			t.Fatalf("frame %d: kind %v, want %v", i, msg.Kind, want)
+		}
+		if ch, ok := msg.Chunk(); ok {
+			got = append(got, ch.Data...)
+		}
+		msg.Release()
+	}
+	if want := string(chunk0) + string(chunk1); string(got) != want {
+		t.Fatalf("reassembled %q, want %q", got, want)
+	}
+}
+
+func TestUnknownCodecTagRejected(t *testing.T) {
+	var buf bytes.Buffer
+	writeRawFrame(&buf, Codec(7), []byte{1, 2, 3})
+	_, err := NewConn(&buf).Read()
+	var ce *CodecError
+	if !errors.As(err, &ce) {
+		t.Fatalf("unknown tag not a CodecError: %v", err)
+	}
+	if ce.Codec != Codec(7) || !strings.Contains(ce.Reason, "unknown codec") {
+		t.Fatalf("misreported: %+v", ce)
+	}
+}
+
+func TestBinaryMalformedBodiesRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+		kind Kind // expected in the CodecError, 0 when never decoded
+	}{
+		{"empty body", nil, 0},
+		{"one-byte body", []byte{0}, 0},
+		{"chunk shorter than offset", binaryBody(KindFileChunk, []byte{1, 2, 3}), KindFileChunk},
+		{"fileend short", binaryBody(KindFileEnd, make([]byte, 15)), KindFileEnd},
+		{"fileend long", binaryBody(KindFileEnd, make([]byte, 17)), KindFileEnd},
+		{"readfile wrong len", binaryBody(KindReadFile, make([]byte, 27)), KindReadFile},
+		{"writefile wrong len", binaryBody(KindWriteFile, make([]byte, 19)), KindWriteFile},
+		{"ack with payload", binaryBody(KindAck, []byte{1}), KindAck},
+		{"heartbeat wrong len", binaryBody(KindHeartbeat, make([]byte, 5)), KindHeartbeat},
+		{"keepalive wrong len", binaryBody(KindKeepalive, make([]byte, 7)), KindKeepalive},
+		{"uncovered kind", binaryBody(KindCFP, nil), KindCFP},
+		{"unknown kind", binaryBody(Kind(999), nil), Kind(999)},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		writeRawFrame(&buf, CodecBinary, tc.body)
+		r := NewConn(&buf)
+		r.SetAcceptBinary(true)
+		_, err := r.Read()
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: not a CodecError: %v", tc.name, err)
+			continue
+		}
+		if ce.Kind != tc.kind {
+			t.Errorf("%s: CodecError kind %v, want %v", tc.name, ce.Kind, tc.kind)
+		}
+	}
+}
+
+func TestWriteTornEnforcesCap(t *testing.T) {
+	// Satellite: WriteTorn must apply the same MaxFrame outgoing check as
+	// Write — a torn frame simulates "peer died mid-write", never "peer
+	// sent an oversized frame" — and must leave nothing on the stream.
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	err := c.WriteTorn(KindFileChunk, FileChunk{Data: make([]byte, MaxFrame+1)})
+	var fe *FrameTooLargeError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversize torn write not a FrameTooLargeError: %v", err)
+	}
+	if !fe.Outgoing || fe.Kind != KindFileChunk {
+		t.Fatalf("misreported: %+v", fe)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes leaked onto the stream before the cap check", buf.Len())
+	}
+}
+
+func TestReleaseIdempotentAndNilsPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	w.SetFastPath(true)
+	if err := w.WriteChunk(64, []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	r.SetAcceptBinary(true)
+	msg, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.Chunk(); !ok {
+		t.Fatalf("payload %T is not a chunk", msg.Payload)
+	}
+	msg.Release()
+	if msg.Payload != nil {
+		t.Fatal("Payload survives Release — use-after-release would read recycled bytes silently")
+	}
+	msg.Release() // second release must be a no-op, not a double-Put
+	var gobMsg Msg
+	gobMsg.Release() // zero Msg release is safe too
+}
+
+func TestCodecStatsObserveBothPaths(t *testing.T) {
+	tx0, txg0, rx0, rxg0 := CodecStats()
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	w.SetFastPath(true)
+	if err := w.WriteChunk(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(KindCFP, ecnp.CFP{}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	r.SetAcceptBinary(true)
+	for i := 0; i < 2; i++ {
+		msg, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.Release()
+	}
+	tx1, txg1, rx1, rxg1 := CodecStats()
+	if tx1 <= tx0 || txg1 <= txg0 || rx1 <= rx0 || rxg1 <= rxg0 {
+		t.Fatalf("counters did not all advance: tx %d→%d txGob %d→%d rx %d→%d rxGob %d→%d",
+			tx0, tx1, txg0, txg1, rx0, rx1, rxg0, rxg1)
+	}
+}
+
+func TestChecksumUnrolledMatchesScalar(t *testing.T) {
+	// The 8-way unrolled ChecksumUpdate must be bit-identical to the
+	// scalar FNV-1a definition at every length straddling the unroll
+	// boundary, and from arbitrary (non-basis) starting states.
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i*37 + 11)
+	}
+	for n := 0; n <= len(data); n++ {
+		if got, want := ChecksumUpdate(ChecksumBasis, data[:n]), checksumScalar(ChecksumBasis, data[:n]); got != want {
+			t.Fatalf("len %d: unrolled %x != scalar %x", n, got, want)
+		}
+	}
+	state := uint64(0x1234_5678_9abc_def0)
+	for _, n := range []int{7, 8, 9, 15, 16, 17, 63, 64, 65} {
+		if got, want := ChecksumUpdate(state, data[:n]), checksumScalar(state, data[:n]); got != want {
+			t.Fatalf("state %x len %d: unrolled %x != scalar %x", state, n, got, want)
+		}
+	}
+	if ChecksumBytesWire := ChecksumUpdate(ChecksumBasis, []byte("abc")); ChecksumBytesWire == ChecksumBasis {
+		t.Fatal("checksum did not absorb input")
+	}
+}
+
+func TestSetDefaultFastPathSeedsNewConns(t *testing.T) {
+	prev := SetDefaultFastPath(false)
+	defer SetDefaultFastPath(prev)
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteChunk(0, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got := Codec(buf.Bytes()[4]); got != CodecGob {
+		t.Fatalf("conn created under gob default emitted %v", got)
+	}
+	SetDefaultFastPath(true)
+	var buf2 bytes.Buffer
+	c2 := NewConn(&buf2)
+	if err := c2.WriteChunk(0, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got := Codec(buf2.Bytes()[4]); got != CodecBinary {
+		t.Fatalf("conn created under fast default emitted %v", got)
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	if CodecGob.String() != "gob" || CodecBinary.String() != "binary" {
+		t.Fatalf("codec names: %v %v", CodecGob, CodecBinary)
+	}
+	if got := Codec(9).String(); got != "codec(9)" {
+		t.Fatalf("unknown codec renders %q", got)
+	}
+}

@@ -1,0 +1,34 @@
+//go:build !gobonly
+
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDefaultBuildUsesFastPath pins the default build's behavior: eligible
+// frames go out binary and binary frames are accepted, with no opt-in
+// required. (The gobonly build's mirror-image test lives in
+// gobonly_test.go; `make gobonly` runs it.)
+func TestDefaultBuildUsesFastPath(t *testing.T) {
+	if !buildFastPath {
+		t.Fatal("buildFastPath false in a !gobonly build")
+	}
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteChunk(0, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if got := Codec(buf.Bytes()[4]); got != CodecBinary {
+		t.Fatalf("default-build chunk went out as %v", got)
+	}
+	msg, err := NewConn(&buf).Read()
+	if err != nil {
+		t.Fatalf("default build rejected its own binary frame: %v", err)
+	}
+	if ch, ok := msg.Chunk(); !ok || string(ch.Data) != "hot" {
+		t.Fatalf("chunk mangled: %+v", msg.Payload)
+	}
+	msg.Release()
+}

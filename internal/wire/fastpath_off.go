@@ -1,0 +1,9 @@
+//go:build gobonly
+
+package wire
+
+// buildFastPath is the compiled-in codec default: the gobonly build
+// neither emits binary fast-path frames nor accepts them on read —
+// incoming binary frames surface a typed *CodecError. It exists to prove
+// cross-codec interop failures are loud and typed, not silent corruption.
+const buildFastPath = false

@@ -1,0 +1,9 @@
+//go:build !gobonly
+
+package wire
+
+// buildFastPath is the compiled-in codec default: this build both emits
+// binary fast-path frames for eligible kinds and accepts them on read.
+// Build with -tags gobonly for a gob-only endpoint (compatibility probe:
+// such a reader rejects binary frames with a typed *CodecError).
+const buildFastPath = true

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frameBytes assembles a complete frame for the seed corpus.
+func frameBytes(codec Codec, body []byte) []byte {
+	out := make([]byte, headerSize, headerSize+len(body))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(body)))
+	out[4] = byte(codec)
+	return append(out, body...)
+}
+
+// gobFrame encodes (kind, payload) through the real writer for the corpus.
+func gobFrame(kind Kind, payload any) []byte {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	c.SetFastPath(false)
+	if err := c.Write(kind, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead feeds arbitrary byte streams to Conn.Read. The invariant under
+// hostile input is "typed error or valid message, never a panic": short
+// headers, truncated bodies, oversized declared lengths, unknown codec
+// tags, garbage gob, and malformed binary layouts must all surface as
+// errors while leaving the buffer pools consistent.
+func FuzzRead(f *testing.F) {
+	// Valid frames of both codecs.
+	f.Add(gobFrame(KindCount, Count{N: 7}))
+	f.Add(gobFrame(KindFileChunk, FileChunk{Offset: 8, Data: []byte("abc")}))
+	f.Add(frameBytes(CodecBinary, binaryBody(KindFileChunk,
+		append(binary.BigEndian.AppendUint64(nil, 16), "data bytes"...))))
+	f.Add(frameBytes(CodecBinary, binaryBody(KindFileEnd, make([]byte, 16))))
+	f.Add(frameBytes(CodecBinary, binaryBody(KindAck, nil)))
+	f.Add(frameBytes(CodecBinary, binaryBody(KindError, []byte("boom"))))
+	// Two valid frames back to back (multi-frame streams).
+	f.Add(append(gobFrame(KindAck, Ack{}),
+		frameBytes(CodecBinary, binaryBody(KindKeepalive, make([]byte, 8)))...))
+	// Hostile shapes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})                                                       // short header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})                                  // oversized declared length
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 2})                                        // truncated body
+	f.Add(frameBytes(Codec(200), []byte{1, 2, 3}))                            // unknown codec tag
+	f.Add(frameBytes(CodecGob, []byte{1, 2, 3, 4}))                           // garbage gob
+	f.Add(frameBytes(CodecBinary, nil))                                       // binary body shorter than kind
+	f.Add(frameBytes(CodecBinary, binaryBody(KindFileChunk, []byte{1})))      // short chunk
+	f.Add(frameBytes(CodecBinary, binaryBody(KindReadFile, make([]byte, 5)))) // wrong fixed len
+	f.Add(frameBytes(CodecBinary, binaryBody(Kind(60000), []byte("??"))))     // uncovered kind
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		c := NewConn(bytes.NewBuffer(stream))
+		for {
+			msg, err := c.Read()
+			if err != nil {
+				return // any error ends the stream; the invariant is no panic
+			}
+			if ch, ok := msg.Chunk(); ok {
+				_ = ChecksumUpdate(ChecksumBasis, ch.Data) // touch every borrowed byte
+			}
+			msg.Release()
+		}
+	})
+}
+
+// FuzzBinaryChunkRoundTrip drives the fast-path encoder and decoder
+// against each other: any (offset, data) pair must survive the writev
+// framing byte-for-byte.
+func FuzzBinaryChunkRoundTrip(f *testing.F) {
+	f.Add(int64(0), []byte(nil))
+	f.Add(int64(1), []byte("x"))
+	f.Add(int64(-1), []byte("negative offsets must survive the unsigned layout"))
+	f.Add(int64(1<<40), bytes.Repeat([]byte{0xa5}, 1024))
+
+	f.Fuzz(func(t *testing.T, offset int64, data []byte) {
+		var buf bytes.Buffer
+		w := NewConn(&buf)
+		w.SetFastPath(true)
+		if err := w.WriteChunk(offset, data); err != nil {
+			t.Fatalf("WriteChunk(%d, %d bytes): %v", offset, len(data), err)
+		}
+		r := NewConn(&buf)
+		r.SetAcceptBinary(true)
+		msg, err := r.Read()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		ch, ok := msg.Chunk()
+		if !ok {
+			t.Fatalf("payload %T is not a chunk", msg.Payload)
+		}
+		if ch.Offset != offset {
+			t.Fatalf("offset %d → %d", offset, ch.Offset)
+		}
+		if !bytes.Equal(ch.Data, data) {
+			t.Fatalf("%d data bytes mangled", len(data))
+		}
+		msg.Release()
+	})
+}
+
+// FuzzChecksumEquivalence pins the unrolled ChecksumUpdate to the scalar
+// FNV-1a definition for arbitrary inputs and split points.
+func FuzzChecksumEquivalence(f *testing.F) {
+	f.Add([]byte(nil), uint8(0))
+	f.Add([]byte("abcdefgh"), uint8(3))
+	f.Add(bytes.Repeat([]byte{7}, 100), uint8(50))
+
+	f.Fuzz(func(t *testing.T, data []byte, cutByte uint8) {
+		whole := ChecksumUpdate(ChecksumBasis, data)
+		if want := checksumScalar(ChecksumBasis, data); whole != want {
+			t.Fatalf("unrolled %x != scalar %x over %d bytes", whole, want, len(data))
+		}
+		cut := 0
+		if len(data) > 0 {
+			cut = int(cutByte) % (len(data) + 1)
+		}
+		split := ChecksumUpdate(ChecksumUpdate(ChecksumBasis, data[:cut]), data[cut:])
+		if split != whole {
+			t.Fatalf("split at %d: %x != whole %x", cut, split, whole)
+		}
+	})
+}

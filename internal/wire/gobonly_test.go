@@ -1,0 +1,60 @@
+//go:build gobonly
+
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// The gobonly build tag models a legacy peer compiled without the binary
+// fast path. Its contract: every outgoing frame (chunks included) is gob,
+// and incoming binary frames fail with a typed *CodecError instead of
+// being misparsed. `make gobonly` compiles and runs these.
+
+func TestGobOnlyBuildEmitsGobFrames(t *testing.T) {
+	if buildFastPath {
+		t.Fatal("buildFastPath true in a gobonly build")
+	}
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteChunk(128, []byte("legacy")); err != nil {
+		t.Fatal(err)
+	}
+	if got := Codec(buf.Bytes()[4]); got != CodecGob {
+		t.Fatalf("gobonly chunk went out as %v", got)
+	}
+	msg, err := NewConn(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := msg.Chunk()
+	if !ok || ch.Offset != 128 || string(ch.Data) != "legacy" {
+		t.Fatalf("chunk mangled: %+v", msg.Payload)
+	}
+	msg.Release()
+}
+
+func TestGobOnlyBuildRejectsBinaryFrames(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge the binary chunk frame a fast-path peer would send.
+	body := binary.BigEndian.AppendUint16(nil, uint16(KindFileChunk))
+	body = binary.BigEndian.AppendUint64(body, 0)
+	body = append(body, 'x')
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = byte(CodecBinary)
+	buf.Write(hdr[:])
+	buf.Write(body)
+
+	_, err := NewConn(&buf).Read()
+	var ce *CodecError
+	if !errors.As(err, &ce) {
+		t.Fatalf("binary frame in gobonly build: err = %v, want CodecError", err)
+	}
+	if ce.Codec != CodecBinary {
+		t.Fatalf("misreported codec: %+v", ce)
+	}
+}

@@ -1,8 +1,12 @@
 // Package wire frames the ECNP protocol messages for TCP transport: each
-// frame is a 4-byte big-endian length followed by a gob-encoded Msg. Frames
-// are independent (stateless gob per frame), so a connection can be taken
-// over after any message boundary and a corrupted frame cannot poison
-// decoder state. A frame-size cap bounds memory against malformed peers.
+// frame is a 4-byte big-endian body length, a 1-byte codec tag, and the
+// body. The tag selects how the body is encoded — gob (tag 0, every kind)
+// or the hand-rolled binary fast path (tag 1, the data-plane and other
+// high-frequency kinds; see codec.go). Frames are independent (stateless
+// codec per frame), so a connection can be taken over after any message
+// boundary, a corrupted frame cannot poison decoder state, and the two
+// codecs interleave freely on one connection. A frame-size cap bounds
+// memory against malformed peers.
 package wire
 
 import (
@@ -15,6 +19,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dfsqos/internal/ecnp"
@@ -67,25 +72,30 @@ const (
 	KindKeepalive
 )
 
-// String implements fmt.Stringer for diagnostics.
+// kindNames is the package-level name table: Kind.String sits on the
+// telemetry-label path of every request, so it must not rebuild (or
+// allocate) a map per call.
+var kindNames = [...]string{
+	KindError: "Error", KindRegisterRM: "RegisterRM", KindLookup: "Lookup",
+	KindRMsWithout: "RMsWithout", KindAddReplica: "AddReplica",
+	KindRemoveReplica: "RemoveReplica", KindReplicaCount: "ReplicaCount",
+	KindBeginReplication: "BeginReplication", KindEndReplication: "EndReplication",
+	KindRMs: "RMs", KindAck: "Ack", KindRMList: "RMList",
+	KindRMInfoList: "RMInfoList", KindCount: "Count", KindCFP: "CFP",
+	KindBid: "Bid", KindOpen: "Open", KindOpenResult: "OpenResult",
+	KindClose: "Close", KindOfferReplica: "OfferReplica",
+	KindOfferReply: "OfferReply", KindFinishReplica: "FinishReplica",
+	KindStoreFile: "StoreFile",
+	KindReadFile:  "ReadFile", KindFileChunk: "FileChunk", KindFileEnd: "FileEnd",
+	KindWriteFile: "WriteFile",
+	KindHeartbeat: "Heartbeat", KindKeepalive: "Keepalive",
+}
+
+// String implements fmt.Stringer for diagnostics. Known kinds return an
+// interned constant (zero allocations).
 func (k Kind) String() string {
-	names := map[Kind]string{
-		KindError: "Error", KindRegisterRM: "RegisterRM", KindLookup: "Lookup",
-		KindRMsWithout: "RMsWithout", KindAddReplica: "AddReplica",
-		KindRemoveReplica: "RemoveReplica", KindReplicaCount: "ReplicaCount",
-		KindBeginReplication: "BeginReplication", KindEndReplication: "EndReplication",
-		KindRMs: "RMs", KindAck: "Ack", KindRMList: "RMList",
-		KindRMInfoList: "RMInfoList", KindCount: "Count", KindCFP: "CFP",
-		KindBid: "Bid", KindOpen: "Open", KindOpenResult: "OpenResult",
-		KindClose: "Close", KindOfferReplica: "OfferReplica",
-		KindOfferReply: "OfferReply", KindFinishReplica: "FinishReplica",
-		KindStoreFile: "StoreFile",
-		KindReadFile:  "ReadFile", KindFileChunk: "FileChunk", KindFileEnd: "FileEnd",
-		KindWriteFile: "WriteFile",
-		KindHeartbeat: "Heartbeat", KindKeepalive: "Keepalive",
-	}
-	if n, ok := names[k]; ok {
-		return n
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("Kind(%d)", uint16(k))
 }
@@ -94,6 +104,56 @@ func (k Kind) String() string {
 type Msg struct {
 	Kind    Kind
 	Payload any
+
+	// pooled is the frame buffer this message's payload borrows from
+	// (fast-path FileChunk only: Data points into it); chunk is the
+	// pooled payload struct. Both are returned by Release.
+	pooled *[]byte
+	chunk  *FileChunk
+}
+
+// Chunk extracts a FileChunk payload regardless of codec: fast-path
+// frames carry a pooled *FileChunk, gob frames a FileChunk value. It
+// reports false for any other payload.
+func (m *Msg) Chunk() (*FileChunk, bool) {
+	switch p := m.Payload.(type) {
+	case *FileChunk:
+		return p, true
+	case FileChunk:
+		return &p, true
+	}
+	return nil, false
+}
+
+// Release returns a fast-path message's pooled resources (the frame
+// buffer its FileChunk Data points into, and the FileChunk struct
+// itself). The borrowed-buffer contract for stream loops:
+//
+//   - After Read returns a KindFileChunk Msg, the chunk's Data is only
+//     valid until Release — copy or consume it first, never retain it.
+//   - Call Release exactly once per received chunk when done; the Payload
+//     is nilled so use-after-release fails loudly instead of silently
+//     reading recycled bytes.
+//   - Release on a gob-decoded or non-chunk Msg is a safe no-op, so
+//     loops may release unconditionally.
+//
+// Skipping Release is a performance bug, not a correctness bug: the
+// buffers fall to the GC and the stream loop allocates per chunk again.
+func (m *Msg) Release() {
+	if m.chunk == nil && m.pooled == nil {
+		return
+	}
+	if m.chunk != nil {
+		m.chunk.Data = nil
+		m.chunk.Offset = 0
+		chunkPool.Put(m.chunk)
+		m.chunk = nil
+	}
+	if m.pooled != nil {
+		putBuf(m.pooled)
+		m.pooled = nil
+	}
+	m.Payload = nil
 }
 
 // Payload structs not already defined by the ecnp package.
@@ -237,8 +297,33 @@ const ChecksumBasis uint64 = 14695981039346656037
 const checksumPrime uint64 = 1099511628211
 
 // ChecksumUpdate folds data into an FNV-1a running state and returns the
-// new state.
+// new state. The body is 8-way unrolled: FNV-1a is a serial recurrence
+// (every step depends on the previous state), so the win is amortizing
+// loop control and bounds checks, not lane parallelism — the result is
+// bit-identical to the scalar definition (see checksumScalar and the
+// equivalence tests).
 func ChecksumUpdate(sum uint64, data []byte) uint64 {
+	for len(data) >= 8 {
+		d := data[:8] // one bounds check for the whole group
+		sum = (sum ^ uint64(d[0])) * checksumPrime
+		sum = (sum ^ uint64(d[1])) * checksumPrime
+		sum = (sum ^ uint64(d[2])) * checksumPrime
+		sum = (sum ^ uint64(d[3])) * checksumPrime
+		sum = (sum ^ uint64(d[4])) * checksumPrime
+		sum = (sum ^ uint64(d[5])) * checksumPrime
+		sum = (sum ^ uint64(d[6])) * checksumPrime
+		sum = (sum ^ uint64(d[7])) * checksumPrime
+		data = data[8:]
+	}
+	for _, b := range data {
+		sum = (sum ^ uint64(b)) * checksumPrime
+	}
+	return sum
+}
+
+// checksumScalar is the reference FNV-1a definition the unrolled
+// ChecksumUpdate must match byte-for-byte (kept for equivalence tests).
+func checksumScalar(sum uint64, data []byte) uint64 {
 	for _, b := range data {
 		sum ^= uint64(b)
 		sum *= checksumPrime
@@ -313,10 +398,36 @@ type Conn struct {
 	// wt, guarded by wmu, arms a fresh write deadline per frame (servers
 	// use it so a stalled reader cannot wedge a handler goroutine).
 	wt time.Duration
+	// fastWrite selects the binary codec for eligible outgoing kinds;
+	// acceptBinary gates incoming binary frames (false: typed
+	// *CodecError). Both default from the build (see fastpath_on.go).
+	fastWrite    atomic.Bool
+	acceptBinary atomic.Bool
+	// rhdr, guarded by rmu, is the frame-header scratch for Read: a local
+	// array would escape through the io.ReadFull interface call and cost
+	// one heap allocation per frame.
+	rhdr [headerSize]byte
 }
 
 // NewConn wraps a byte stream (normally a *net.TCPConn).
-func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+func NewConn(rw io.ReadWriter) *Conn {
+	c := &Conn{rw: rw}
+	c.fastWrite.Store(defaultFastPath.Load())
+	c.acceptBinary.Store(defaultAcceptBinary.Load())
+	return c
+}
+
+// SetFastPath overrides the write-side codec choice for this connection:
+// true routes eligible kinds through the binary fast path, false keeps
+// everything on gob. Safe to call concurrently with traffic; it applies
+// to frames written after the call.
+func (c *Conn) SetFastPath(on bool) { c.fastWrite.Store(on) }
+
+// SetAcceptBinary overrides whether this connection decodes incoming
+// binary fast-path frames; when false they surface a typed *CodecError
+// (the behavior of a gobonly-build endpoint). It applies to frames read
+// after the call.
+func (c *Conn) SetAcceptBinary(on bool) { c.acceptBinary.Store(on) }
 
 // SetDeadline forwards an absolute deadline to the underlying stream when
 // it supports one (net.Conn does; an in-memory buffer does not). It
@@ -338,29 +449,93 @@ func (c *Conn) SetWriteTimeout(d time.Duration) {
 	c.wmu.Unlock()
 }
 
-// Write sends one message.
-func (c *Conn) Write(kind Kind, payload any) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(Msg{Kind: kind, Payload: payload}); err != nil {
-		return fmt.Errorf("wire: encoding %v: %w", kind, err)
-	}
-	if body.Len() > MaxFrame {
-		return &FrameTooLargeError{Kind: kind, Size: int64(body.Len()), Cap: MaxFrame, Outgoing: true}
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
+// armWriteDeadlineLocked arms the rolling per-frame write deadline when
+// one is configured. Caller holds wmu.
+func (c *Conn) armWriteDeadlineLocked() {
 	if c.wt > 0 {
 		if wd, ok := c.rw.(writeDeadliner); ok {
 			wd.SetWriteDeadline(time.Now().Add(c.wt))
 		}
 	}
-	if _, err := c.rw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing header: %w", err)
+}
+
+// Write sends one message. Eligible kinds (the data plane and other
+// high-frequency messages) go out on the binary fast path unless the
+// connection is pinned to gob; everything else uses the stateless
+// per-frame gob codec. Either way the frame leaves as a single write —
+// header and body are assembled in one pooled buffer (chunks: one writev
+// via WriteChunk) — so a frame costs one syscall, not two.
+func (c *Conn) Write(kind Kind, payload any) error {
+	if c.fastWrite.Load() {
+		if kind == KindFileChunk {
+			switch p := payload.(type) {
+			case FileChunk:
+				return c.WriteChunk(p.Offset, p.Data)
+			case *FileChunk:
+				return c.WriteChunk(p.Offset, p.Data)
+			}
+		} else {
+			bp := getBuf(64)
+			b := append((*bp)[:0], 0, 0, 0, 0, byte(CodecBinary))
+			if b2, ok := appendBinary(b, kind, payload); ok {
+				*bp = b2
+				n := len(b2) - headerSize
+				if n > MaxFrame {
+					putBuf(bp)
+					return &FrameTooLargeError{Kind: kind, Size: int64(n), Cap: MaxFrame, Outgoing: true}
+				}
+				binary.BigEndian.PutUint32(b2[:4], uint32(n))
+				err := c.writeFrame(b2, kind)
+				putBuf(bp)
+				if err == nil {
+					codecMet.Load().txBinary.Inc()
+				}
+				return err
+			}
+			putBuf(bp)
+		}
 	}
-	if _, err := c.rw.Write(body.Bytes()); err != nil {
-		return fmt.Errorf("wire: writing body: %w", err)
+	return c.writeGob(kind, payload)
+}
+
+// writeGob sends one gob-framed message: the 5-byte header placeholder
+// and the gob body are built in a single pooled buffer (so the gob
+// encoder's output lands directly behind the header), then the whole
+// frame goes out as one write.
+func (c *Conn) writeGob(kind Kind, payload any) error {
+	bp := getBuf(512)
+	buf := bytes.NewBuffer((*bp)[:0])
+	buf.Write(make([]byte, headerSize))
+	if err := gob.NewEncoder(buf).Encode(Msg{Kind: kind, Payload: payload}); err != nil {
+		putBuf(bp)
+		return fmt.Errorf("wire: encoding %v: %w", kind, err)
+	}
+	b := buf.Bytes()
+	*bp = b[:0] // adopt the (possibly regrown) backing array for the pool
+	n := len(b) - headerSize
+	if n > MaxFrame {
+		putBuf(bp)
+		return &FrameTooLargeError{Kind: kind, Size: int64(n), Cap: MaxFrame, Outgoing: true}
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	b[4] = byte(CodecGob)
+	err := c.writeFrame(b, kind)
+	putBuf(bp)
+	if err == nil {
+		codecMet.Load().txGob.Inc()
+	}
+	return err
+}
+
+// writeFrame pushes one fully assembled frame to the stream under the
+// write lock and per-frame deadline.
+func (c *Conn) writeFrame(frame []byte, kind Kind) error {
+	c.wmu.Lock()
+	c.armWriteDeadlineLocked()
+	_, err := c.rw.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wire: writing %v frame: %w", kind, err)
 	}
 	return nil
 }
@@ -377,8 +552,15 @@ func (c *Conn) WriteTorn(kind Kind, payload any) error {
 	if err := gob.NewEncoder(&body).Encode(Msg{Kind: kind, Payload: payload}); err != nil {
 		return fmt.Errorf("wire: encoding %v: %w", kind, err)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	// Enforce the same outgoing cap as Write: a torn frame must still be
+	// one the reader would have accepted, so the fault it injects is
+	// "peer died mid-write", never "peer sent an oversized frame".
+	if body.Len() > MaxFrame {
+		return &FrameTooLargeError{Kind: kind, Size: int64(body.Len()), Cap: MaxFrame, Outgoing: true}
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()))
+	hdr[4] = byte(CodecGob)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if _, err := c.rw.Write(hdr[:]); err != nil {
@@ -390,27 +572,58 @@ func (c *Conn) WriteTorn(kind Kind, payload any) error {
 	return nil
 }
 
-// Read receives one message.
+// Read receives one message. The frame body lands in a pooled buffer:
+// gob frames decode out of it and return it immediately; fast-path
+// FileChunk frames lend it to the returned Msg (Data points into it)
+// until Msg.Release — see the borrowed-buffer contract there. Hostile
+// input surfaces typed errors (*FrameTooLargeError for an oversized
+// declared length, *CodecError for unknown tags or malformed binary
+// bodies), never a panic.
 func (c *Conn) Read() (Msg, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.rw, c.rhdr[:]); err != nil {
 		return Msg{}, err // io.EOF passes through for clean shutdown
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(c.rhdr[:4])
+	codec := Codec(c.rhdr[4])
 	if n > MaxFrame {
 		return Msg{}, &FrameTooLargeError{Size: int64(n), Cap: MaxFrame}
 	}
-	body := make([]byte, n)
+	bp := getBuf(int(n))
+	body := (*bp)[:n]
 	if _, err := io.ReadFull(c.rw, body); err != nil {
+		putBuf(bp)
 		return Msg{}, fmt.Errorf("wire: reading body: %w", err)
 	}
-	var msg Msg
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
-		return Msg{}, fmt.Errorf("wire: decoding frame: %w", err)
+	switch codec {
+	case CodecGob:
+		var msg Msg
+		err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg)
+		putBuf(bp)
+		if err != nil {
+			return Msg{}, fmt.Errorf("wire: decoding frame: %w", err)
+		}
+		codecMet.Load().rxGob.Inc()
+		return msg, nil
+	case CodecBinary:
+		if !c.acceptBinary.Load() {
+			putBuf(bp)
+			return Msg{}, &CodecError{Codec: codec, Reason: "binary fast path not accepted by this endpoint"}
+		}
+		msg, retained, err := decodeBinary(body, bp)
+		if !retained {
+			putBuf(bp)
+		}
+		if err != nil {
+			return Msg{}, err
+		}
+		codecMet.Load().rxBinary.Inc()
+		return msg, nil
+	default:
+		putBuf(bp)
+		return Msg{}, &CodecError{Codec: codec, Reason: "unknown codec tag"}
 	}
-	return msg, nil
 }
 
 // Call performs a synchronous request/response round trip. A KindError

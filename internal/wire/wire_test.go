@@ -54,7 +54,9 @@ func TestRoundTripAllPayloads(t *testing.T) {
 				done <- err
 				return
 			}
-			if err := server.Write(msg.Kind, msg.Payload); err != nil {
+			err = server.Write(msg.Kind, msg.Payload)
+			msg.Release() // WriteChunk never retains the data, so release after echo
+			if err != nil {
 				done <- err
 				return
 			}
@@ -69,9 +71,14 @@ func TestRoundTripAllPayloads(t *testing.T) {
 		if reply.Kind != p.kind {
 			t.Fatalf("echoed kind %v, want %v", reply.Kind, p.kind)
 		}
-		if fmt.Sprintf("%+v", reply.Payload) != fmt.Sprintf("%+v", p.body) {
-			t.Fatalf("%v payload mangled:\n got %+v\nwant %+v", p.kind, reply.Payload, p.body)
+		got := reply.Payload
+		if fc, ok := reply.Chunk(); ok {
+			got = *fc // fast-path chunks arrive as pooled pointers
 		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", p.body) {
+			t.Fatalf("%v payload mangled:\n got %+v\nwant %+v", p.kind, got, p.body)
+		}
+		reply.Release()
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -110,8 +117,8 @@ func TestOversizeFrameRefused(t *testing.T) {
 
 func TestOversizeIncomingFrameRefused(t *testing.T) {
 	var buf bytes.Buffer
-	// Forge a header claiming a gigantic frame.
-	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	// Forge a header claiming a gigantic frame (length + gob codec tag).
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0})
 	c := NewConn(&buf)
 	if _, err := c.Read(); err == nil {
 		t.Fatal("oversize incoming frame accepted")
@@ -120,8 +127,8 @@ func TestOversizeIncomingFrameRefused(t *testing.T) {
 
 func TestCorruptFrameRejected(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 4})
-	buf.Write([]byte{1, 2, 3, 4})
+	buf.Write([]byte{0, 0, 0, 4, 0}) // 4-byte gob body...
+	buf.Write([]byte{1, 2, 3, 4})    // ...of garbage
 	c := NewConn(&buf)
 	if _, err := c.Read(); err == nil {
 		t.Fatal("garbage frame decoded")
@@ -130,7 +137,7 @@ func TestCorruptFrameRejected(t *testing.T) {
 
 func TestTruncatedFrameRejected(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 1, 0}) // claims 256 bytes, provides 2
+	buf.Write([]byte{0, 0, 1, 0, 0}) // claims 256 gob bytes, provides 2
 	buf.Write([]byte{1, 2})
 	c := NewConn(&buf)
 	if _, err := c.Read(); err == nil {
@@ -173,15 +180,20 @@ func TestLargeChunkRoundTrip(t *testing.T) {
 	go func() {
 		msg, _ := server.Read()
 		server.Write(msg.Kind, msg.Payload)
+		msg.Release()
 	}()
 	reply, err := client.Call(KindFileChunk, FileChunk{Offset: 0, Data: data})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := reply.Payload.(FileChunk).Data
-	if !bytes.Equal(got, data) {
+	fc, ok := reply.Chunk()
+	if !ok {
+		t.Fatalf("payload is %T, not a chunk", reply.Payload)
+	}
+	if !bytes.Equal(fc.Data, data) {
 		t.Fatal("large chunk mangled")
 	}
+	reply.Release()
 }
 
 func TestConcurrentWriters(t *testing.T) {
@@ -233,7 +245,7 @@ func TestFrameTooLargeErrorMatchable(t *testing.T) {
 	// Incoming: a forged header past the cap is rejected before any body
 	// bytes are read, with Outgoing=false and no Kind (never decoded).
 	var in bytes.Buffer
-	in.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	in.Write([]byte{0xff, 0xff, 0xff, 0xff, 0})
 	_, err = NewConn(&in).Read()
 	fe = nil
 	if !errors.As(err, &fe) {

@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# bench.sh — reproducible data-plane benchmark run.
+#
+# Runs the wire codec benchmarks and the live-TCP streaming benchmark,
+# parses the `go test -bench` output into BENCH_4.json, and enforces the
+# fast-path allocation ceiling: BenchmarkEncodeChunk/fast and
+# BenchmarkDecodeChunk/fast must stay at (by default) 0 allocs/op — the
+# zero-allocation property is the point of the fast path, and a regression
+# here is a silent per-chunk cost on every data stream.
+#
+# Usage:
+#   ./scripts/bench.sh [out.json]
+# Env:
+#   BENCH_TIME     go test -benchtime value (default 2s; CI may lower it)
+#   ALLOC_CEILING  max allocs/op for the gated fast-path benchmarks (default 0)
+set -eu
+
+OUT="${1:-BENCH_4.json}"
+BENCH_TIME="${BENCH_TIME:-2s}"
+ALLOC_CEILING="${ALLOC_CEILING:-0}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== wire codec benchmarks (benchtime=$BENCH_TIME)"
+go test ./internal/wire/ -run '^$' \
+	-bench 'BenchmarkEncodeChunk|BenchmarkDecodeChunk|BenchmarkRoundTrip|BenchmarkStreamThroughput|BenchmarkChecksum' \
+	-benchmem -benchtime "$BENCH_TIME" | tee -a "$RAW"
+
+echo "== live TCP streaming benchmark (benchtime=$BENCH_TIME)"
+go test ./internal/live/ -run '^$' \
+	-bench 'BenchmarkLiveStreamThroughput' \
+	-benchmem -benchtime "$BENCH_TIME" | tee -a "$RAW"
+
+# Parse "BenchmarkName/sub-N  iters  ns/op  [MB/s]  [B/op]  [allocs/op]"
+# lines into a JSON array. MB/s is absent on benchmarks without SetBytes.
+awk -v out="$OUT" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	ns = ""; mbs = ""; bop = ""; aop = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")     ns  = $i
+		if ($(i+1) == "MB/s")      mbs = $i
+		if ($(i+1) == "B/op")      bop = $i
+		if ($(i+1) == "allocs/op") aop = $i
+	}
+	line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (mbs != "") line = line sprintf(", \"mb_per_s\": %s", mbs)
+	if (bop != "") line = line sprintf(", \"b_per_op\": %s", bop)
+	if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+	line = line "}"
+	lines[n++] = line
+}
+END {
+	print "[" > out
+	for (i = 0; i < n; i++) print lines[i] (i < n-1 ? "," : "") >> out
+	print "]" >> out
+}
+' "$RAW"
+
+echo "== wrote $OUT"
+cat "$OUT"
+
+# Alloc regression gate on the fast-path chunk codecs.
+fail=0
+for gated in "BenchmarkEncodeChunk/fast" "BenchmarkDecodeChunk/fast"; do
+	# The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so it is optional.
+	aop="$(awk -v b="$gated" '$1 ~ "^"b"(-[0-9]+)?$" && $(NF) == "allocs/op" { print $(NF-1) }' "$RAW")"
+	if [ -z "$aop" ]; then
+		echo "GATE: $gated did not run" >&2
+		fail=1
+	elif [ "$aop" -gt "$ALLOC_CEILING" ]; then
+		echo "GATE: $gated at $aop allocs/op exceeds ceiling $ALLOC_CEILING" >&2
+		fail=1
+	else
+		echo "GATE: $gated at $aop allocs/op (ceiling $ALLOC_CEILING) ok"
+	fi
+done
+exit $fail
