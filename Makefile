@@ -4,11 +4,13 @@
 # detector; `make cover` enforces the per-package coverage floor on the
 # observability packages; `make chaos` replays the deterministic
 # fault-injection drills (scripted kill/error/torn-frame incidents over
-# real TCP) plus the crash/liveness suites they build on.
+# real TCP) plus the crash/liveness suites they build on; `make docs`
+# keeps docs/OPERATIONS.md and the godoc surface in lock-step with the
+# code.
 
 GO ?= go
 
-.PHONY: tier1 build test vet race cover chaos bench fuzz-smoke gobonly fmt-check all
+.PHONY: tier1 build test vet race cover chaos bench fuzz-smoke gobonly fmt-check docs all
 
 all: tier1 vet
 
@@ -66,6 +68,14 @@ fuzz-smoke:
 # its suite and that it rejects binary frames with the typed error.
 gobonly:
 	$(GO) test -tags gobonly -count=1 ./internal/wire/
+
+# docs runs the documentation-consistency suite (internal/docscheck):
+# every flag the daemons register and every dfsqos_* telemetry series
+# the tree can construct must appear in docs/OPERATIONS.md, and the
+# godoc-surface packages must document every exported symbol (the
+# revive-style comment-presence check, implemented on go/ast).
+docs:
+	$(GO) test -count=1 ./internal/docscheck/
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

@@ -18,12 +18,14 @@ import (
 	"dfsqos/internal/catalog"
 	"dfsqos/internal/cluster"
 	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ids"
 	"dfsqos/internal/live"
 	"dfsqos/internal/monitor"
 	"dfsqos/internal/qos"
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/wire"
 )
@@ -44,6 +46,9 @@ func main() {
 		negTO    = flag.Duration("negotiation-timeout", 2*time.Second, "deadline for collecting CFP bids; stalled RMs degrade to last-ranked zero bids")
 		maxFO    = flag.Int("max-failovers", 2, "replicas a -read may fail over to after its serving RM dies mid-stream")
 		monAddr  = flag.String("monitor", "", "HTTP stats/metrics address (e.g. 127.0.0.1:0); empty disables")
+		dbgAddr  = flag.String("debug-addr", "", "standalone debug HTTP address (/traces + pprof); empty serves them on -monitor only")
+		traceN   = flag.Int("trace-ring", 4096, "span ring capacity for request tracing (rounded up to a power of two)")
+		sample   = flag.Float64("trace-sample", 1, "fraction of requests to trace (0 disables, 1 traces all)")
 		tcfg     = transport.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -68,6 +73,26 @@ func main() {
 	reg := telemetry.NewRegistry()
 	tcfg.Metrics = transport.NewMetrics(reg)
 	wire.RegisterCodecMetrics(reg)
+	tracer := trace.New(trace.Options{
+		Actor:    "dfsc1",
+		RingSize: *traceN,
+		Registry: reg,
+		// The sampling decision is a stateless hash of the request ID, so
+		// it is reproducible across runs and propagates implicitly: an
+		// unsampled request writes untraced frames and no daemon opens
+		// spans for it.
+		Sampler: func(r ids.RequestID) bool {
+			if *sample >= 1 {
+				return true
+			}
+			if *sample <= 0 {
+				return false
+			}
+			x := uint64(r) * 0x9e3779b97f4a7c15
+			x ^= x >> 32
+			return float64(x%(1<<20))/(1<<20) < *sample
+		},
+	})
 
 	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {
@@ -95,17 +120,26 @@ func main() {
 		// not its share of a serial scan.
 		Fanout:  dfsc.Fanout{Concurrent: true, BidTimeout: *negTO},
 		Metrics: dfsc.NewMetrics(reg),
+		Tracer:  tracer,
 	})
 	if err != nil {
 		fail(err)
 	}
 	if *monAddr != "" {
-		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewDFSCHandler(client, reg))
+		monSrv, bound, err := monitor.Serve(*monAddr, monitor.NewDFSCHandler(client, reg, tracer))
 		if err != nil {
 			fail(err)
 		}
 		defer monitor.Shutdown(monSrv, 3*time.Second)
-		log.Printf("dfsc: stats at http://%s/stats, metrics at http://%s/metrics", bound, bound)
+		log.Printf("dfsc: stats at http://%s/stats, metrics at http://%s/metrics, traces at http://%s/traces", bound, bound, bound)
+	}
+	if *dbgAddr != "" {
+		dbgSrv, bound, err := monitor.Serve(*dbgAddr, monitor.NewDebugHandler(tracer))
+		if err != nil {
+			fail(err)
+		}
+		defer monitor.Shutdown(dbgSrv, 3*time.Second)
+		log.Printf("dfsc: debug at http://%s/traces and http://%s/debug/pprof/", bound, bound)
 	}
 
 	picker := rng.New(uint64(time.Now().UnixNano()) | 1)

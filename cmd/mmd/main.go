@@ -26,6 +26,7 @@ import (
 	"dfsqos/internal/mm"
 	"dfsqos/internal/monitor"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/wire"
 )
@@ -38,6 +39,8 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
 		shards  = flag.Int("shards", 1, "DHT shards for the replica map (1 = the paper's single MM)")
 		monAddr = flag.String("monitor", "", "HTTP stats address; empty disables")
+		dbgAddr = flag.String("debug-addr", "", "standalone debug HTTP address (/traces + pprof); empty serves them on -monitor only")
+		traceN  = flag.Int("trace-ring", 4096, "span ring capacity for request tracing (rounded up to a power of two)")
 		verbose = flag.Bool("v", false, "log every connection error")
 		hbIv    = flag.Duration("heartbeat-interval", 0, "expected RM heartbeat period; 0 disables liveness tracking")
 		misses  = flag.Int("liveness-misses", 3, "consecutive missed heartbeats before an RM is considered dead")
@@ -52,6 +55,7 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	wire.RegisterCodecMetrics(reg)
+	tracer := trace.New(trace.Options{Actor: "mm", RingSize: *traceN, Registry: reg})
 	lcfg := mm.LivenessConfig{HeartbeatInterval: *hbIv, MissThreshold: *misses}
 	var mapper ecnp.Mapper
 	if *shards > 1 {
@@ -72,6 +76,7 @@ func main() {
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
 	srv.SetMetrics(live.NewServerMetrics(reg, "mm"))
+	srv.SetTracer(tracer)
 	if script, err := faults.Parse(*faultsS); err != nil {
 		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
 		os.Exit(1)
@@ -90,12 +95,22 @@ func main() {
 	var monSrv *http.Server
 	if *monAddr != "" {
 		var bound string
-		monSrv, bound, err = monitor.Serve(*monAddr, monitor.NewMMHandler(mapper, reg))
+		monSrv, bound, err = monitor.Serve(*monAddr, monitor.NewMMHandler(mapper, reg, tracer))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("mmd: stats at http://%s/stats, metrics at http://%s/metrics", bound, bound)
+		log.Printf("mmd: stats at http://%s/stats, metrics at http://%s/metrics, traces at http://%s/traces", bound, bound, bound)
+	}
+	var dbgSrv *http.Server
+	if *dbgAddr != "" {
+		var bound string
+		dbgSrv, bound, err = monitor.Serve(*dbgAddr, monitor.NewDebugHandler(tracer))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("mmd: debug at http://%s/traces and http://%s/debug/pprof/", bound, bound)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -104,6 +119,9 @@ func main() {
 	log.Printf("mmd: shutting down")
 	if err := monitor.Shutdown(monSrv, shutdownTimeout); err != nil {
 		log.Printf("mmd: monitor shutdown: %v", err)
+	}
+	if err := monitor.Shutdown(dbgSrv, shutdownTimeout); err != nil {
+		log.Printf("mmd: debug shutdown: %v", err)
 	}
 	srv.Close()
 }

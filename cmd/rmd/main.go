@@ -34,6 +34,7 @@ import (
 	"dfsqos/internal/rm"
 	"dfsqos/internal/rng"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
@@ -58,6 +59,8 @@ func main() {
 		destStr = flag.String("dest", "random", "destination selection: random, lbf, weighted")
 		scale   = flag.Float64("scale", 1, "virtual seconds per wall second")
 		monAddr = flag.String("monitor", "", "HTTP stats address (e.g. 127.0.0.1:0); empty disables")
+		dbgAddr = flag.String("debug-addr", "", "standalone debug HTTP address (/traces + pprof); empty serves them on -monitor only")
+		traceN  = flag.Int("trace-ring", 4096, "span ring capacity for request tracing (rounded up to a power of two)")
 		verbose = flag.Bool("v", false, "log connection errors")
 		hbIv    = flag.Duration("heartbeat-interval", 0, "liveness beacon period to the MM; 0 disables")
 		leaseTT = flag.Duration("lease-ttl", 0, "reservation lease TTL (wall time); idle reservations past it are reclaimed; 0 disables")
@@ -115,6 +118,7 @@ func main() {
 	reg := telemetry.NewRegistry()
 	tcfg.Metrics = transport.NewMetrics(reg)
 	wire.RegisterCodecMetrics(reg)
+	tracer := trace.New(trace.Options{Actor: fmt.Sprintf("rm%d", *id), RingSize: *traceN, Registry: reg})
 
 	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
 	if err != nil {
@@ -124,6 +128,7 @@ func main() {
 	peers := live.NewDirectoryConfig(mapper, *tcfg)
 	copier := live.NewCopier(disk, peers, *scale)
 	copier.SetMetrics(live.NewCopierMetrics(reg))
+	copier.SetTracer(tracer)
 	node, err := rm.New(rm.Options{
 		Info:        ecnp.RMInfo{ID: rmID, Capacity: capacity, StorageBytes: storage},
 		Scheduler:   sched,
@@ -149,6 +154,7 @@ func main() {
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
 	srv.SetMetrics(live.NewServerMetrics(reg, "rm"))
+	srv.SetTracer(tracer)
 	if script, err := faults.Parse(*faultsS); err != nil {
 		fail(err)
 	} else if script != nil {
@@ -192,11 +198,20 @@ func main() {
 	var monSrv *http.Server
 	if *monAddr != "" {
 		var bound string
-		monSrv, bound, err = monitor.Serve(*monAddr, monitor.NewRMHandler(node, disk, sched, reg))
+		monSrv, bound, err = monitor.Serve(*monAddr, monitor.NewRMHandler(node, disk, sched, reg, tracer))
 		if err != nil {
 			fail(err)
 		}
-		log.Printf("rmd: %v stats at http://%s/stats, metrics at http://%s/metrics", rmID, bound, bound)
+		log.Printf("rmd: %v stats at http://%s/stats, metrics at http://%s/metrics, traces at http://%s/traces", rmID, bound, bound, bound)
+	}
+	var dbgSrv *http.Server
+	if *dbgAddr != "" {
+		var bound string
+		dbgSrv, bound, err = monitor.Serve(*dbgAddr, monitor.NewDebugHandler(tracer))
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("rmd: %v debug at http://%s/traces and http://%s/debug/pprof/", rmID, bound, bound)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -211,6 +226,9 @@ func main() {
 	}
 	if err := monitor.Shutdown(monSrv, shutdownTimeout); err != nil {
 		log.Printf("rmd: monitor shutdown: %v", err)
+	}
+	if err := monitor.Shutdown(dbgSrv, shutdownTimeout); err != nil {
+		log.Printf("rmd: debug shutdown: %v", err)
 	}
 	srv.Close()
 	sched.Stop()

@@ -25,6 +25,7 @@ import (
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
 	"dfsqos/internal/simtime"
+	"dfsqos/internal/trace"
 )
 
 // Stats counts request outcomes and protocol traffic at one client.
@@ -94,6 +95,7 @@ type Client struct {
 	broadcast bool
 	fanout    Fanout
 	met       *Metrics
+	tracer    *trace.Tracer
 
 	reqSeq int64
 	stats  Stats
@@ -121,6 +123,12 @@ type Options struct {
 	// Metrics routes client telemetry to a registry (nil means no-op; the
 	// discrete-event simulation pays a few uncollected atomic ops).
 	Metrics *Metrics
+	// Tracer enables request-scoped span tracing: each access opens a
+	// "dfsc.access" root span (trace ID = the request ID) with child spans
+	// for the MM lookup, the CFP fan-out, and each open attempt, and the
+	// span contexts ride the wire to the MM and RM servers. Nil disables
+	// tracing at zero cost (all span operations no-op).
+	Tracer *trace.Tracer
 }
 
 // New constructs a client.
@@ -144,6 +152,7 @@ func New(opt Options) (*Client, error) {
 		broadcast: opt.BroadcastCNP,
 		fanout:    opt.Fanout,
 		met:       met,
+		tracer:    opt.Tracer,
 	}, nil
 }
 
@@ -181,7 +190,15 @@ func (c *Client) AccessHeld(file ids.FileID) (Outcome, func()) {
 // failover reader uses it to re-negotiate around a replica that died
 // mid-stream without waiting for the MM's liveness window to catch up.
 func (c *Client) AccessHeldExcluding(file ids.FileID, exclude map[ids.RMID]bool) (Outcome, func()) {
-	out, p := c.negotiateExcluding(file, exclude)
+	return c.accessHeldCtx(context.Background(), file, exclude)
+}
+
+// accessHeldCtx is AccessHeldExcluding with a caller-supplied context: a
+// span context attached via trace.NewContext makes the negotiation spans
+// children of the caller's trace (the failover reader threads its
+// "dfsc.read" root through here so every re-negotiation shares one trace).
+func (c *Client) accessHeldCtx(ctx context.Context, file ids.FileID, exclude map[ids.RMID]bool) (Outcome, func()) {
+	out, p := c.negotiateCtx(ctx, file, exclude)
 	if !out.OK {
 		return out, func() {}
 	}
@@ -220,7 +237,7 @@ func (c *Client) Store(file ids.FileID) Outcome {
 	for _, info := range c.mapper.RMs() {
 		candidates = append(candidates, info.ID)
 	}
-	bids, providers := c.collectBids(candidates, cfp, false)
+	bids, providers := c.collectBids(context.Background(), candidates, cfp, false)
 	if len(bids) == 0 {
 		c.mu.Lock()
 		c.stats.Failed++
@@ -274,12 +291,31 @@ func (c *Client) Store(file ids.FileID) Outcome {
 // negotiate performs phases 1-3 and returns the outcome plus the serving
 // provider (nil on failure).
 func (c *Client) negotiate(file ids.FileID) (Outcome, ecnp.Provider) {
-	return c.negotiateExcluding(file, nil)
+	return c.negotiateCtx(context.Background(), file, nil)
 }
 
-// negotiateExcluding is negotiate minus the RMs in exclude (nil excludes
-// nothing).
-func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) (Outcome, ecnp.Provider) {
+// ctxMapper is optionally implemented by Mappers whose Lookup round trip
+// can carry a context (the live MMClient): the lookup span rides the wire
+// to the MM, which opens a matching server span.
+type ctxMapper interface {
+	LookupContext(ctx context.Context, file ids.FileID) []ids.RMID
+}
+
+// ctxOpener is optionally implemented by Providers whose Open round trip
+// can carry a context (the live RMClient), so the admission decision joins
+// the request's trace on the RM side.
+type ctxOpener interface {
+	OpenContext(ctx context.Context, req ecnp.OpenRequest) ecnp.OpenResult
+}
+
+// negotiateCtx is negotiate minus the RMs in exclude (nil excludes
+// nothing), under a caller context. When tracing is enabled the whole
+// negotiation is spanned: a "dfsc.access" span (root, or a child of any
+// span already in ctx) covering phases 1-3, with children "dfsc.lookup"
+// (resource exploration), "dfsc.bid" (CFP fan-out), and one "dfsc.open"
+// per admission attempt — each propagated to the serving daemon over the
+// wire so the trace stitches client and server halves together.
+func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[ids.RMID]bool) (Outcome, ecnp.Provider) {
 	start := time.Now()
 	defer func() { c.met.NegotiationLatency.Observe(time.Since(start).Seconds()) }()
 
@@ -288,6 +324,15 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 	c.stats.Requests++
 	c.mu.Unlock()
 
+	var sp *trace.Span
+	if parent := trace.FromContext(ctx); parent.Valid() {
+		sp = c.tracer.StartChild(parent, "dfsc.access")
+	} else {
+		sp = c.tracer.StartRoot(req, "dfsc.access")
+	}
+	sp.SetFile(file).SetRequest(req)
+	defer sp.End()
+
 	f := c.cat.File(file)
 
 	// Phase 1 — resource exploration. Under ECNP the MM answers the list
@@ -295,15 +340,21 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 	// the paper): 1 query + 1 reply. Under plain-CNP broadcast there is
 	// no matchmaker: the CFP goes to every registered RM.
 	var holders []ids.RMID
+	lookupSp := c.tracer.StartChild(sp.Context(), "dfsc.lookup").SetFile(file)
 	if c.broadcast {
 		for _, info := range c.mapper.RMs() {
 			holders = append(holders, info.ID)
 		}
 		c.addMessages(2) // resource-list fetch + reply
 	} else {
-		holders = c.mapper.Lookup(file)
+		if cm, ok := c.mapper.(ctxMapper); ok {
+			holders = cm.LookupContext(trace.NewContext(ctx, lookupSp.Context()), file)
+		} else {
+			holders = c.mapper.Lookup(file)
+		}
 		c.addMessages(2) // query + reply
 	}
+	lookupSp.SetOutcome("ok").End()
 	if len(exclude) > 0 {
 		kept := make([]ids.RMID, 0, len(holders))
 		for _, id := range holders {
@@ -319,6 +370,7 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 		c.stats.Failed++
 		c.mu.Unlock()
 		c.met.NoReplica.Inc()
+		sp.SetOutcome("no-replica")
 		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}, nil
 	}
 
@@ -331,7 +383,9 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 		Bitrate:     f.Bitrate,
 		DurationSec: f.DurationSec,
 	}
-	collected, providers := c.collectBids(holders, cfp, true)
+	bidSp := c.tracer.StartChild(sp.Context(), "dfsc.bid").SetFile(file).SetRequest(req)
+	collected, providers := c.collectBids(trace.NewContext(ctx, bidSp.Context()), holders, cfp, true)
+	bidSp.SetOutcome("ok").End()
 	bids := collected
 	if c.broadcast {
 		// A CNP provider without the file refuses; its CFP and refusal
@@ -348,6 +402,7 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 		c.stats.Failed++
 		c.mu.Unlock()
 		c.met.Failed.Inc()
+		sp.SetOutcome("no-rm")
 		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}, nil
 	}
 
@@ -380,9 +435,17 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 	}
 	for _, rmID := range order {
 		p := providers[rmID]
-		res := p.Open(open)
+		openSp := c.tracer.StartChild(sp.Context(), "dfsc.open").
+			SetRM(rmID).SetFile(file).SetRequest(req)
+		var res ecnp.OpenResult
+		if co, ok := p.(ctxOpener); ok {
+			res = co.OpenContext(trace.NewContext(ctx, openSp.Context()), open)
+		} else {
+			res = p.Open(open)
+		}
 		c.addMessages(2) // open + result
 		if !res.OK {
+			openSp.SetOutcome("rejected").End()
 			if firm {
 				c.met.Fallbacks.Inc()
 				continue
@@ -393,9 +456,12 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 			c.stats.Failed++
 			c.mu.Unlock()
 			c.met.Failed.Inc()
+			sp.SetOutcome("error")
 			return Outcome{Request: req, File: file, RM: rmID, OK: false, Reason: res.Reason}, nil
 		}
+		openSp.SetOutcome("admitted").End()
 		c.met.Admitted.Inc()
+		sp.SetRM(rmID).SetOutcome("admitted")
 		return Outcome{Request: req, File: file, RM: rmID, OK: true}, p
 	}
 
@@ -403,6 +469,7 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 	c.stats.Failed++
 	c.mu.Unlock()
 	c.met.Failed.Inc()
+	sp.SetOutcome("firm-exhausted")
 	return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}, nil
 }
 
@@ -412,15 +479,17 @@ func (c *Client) negotiateExcluding(file ids.FileID, exclude map[ids.RMID]bool) 
 // CFP+bid pair per contacted provider; Store historically does not count.
 //
 // Serial mode (the default) calls each provider in turn — the
-// deterministic shape the discrete-event simulation requires. Concurrent
-// mode launches one goroutine per provider and waits at most BidTimeout:
-// providers implementing ecnp.CtxBidder receive the shared negotiation
+// deterministic shape the discrete-event simulation requires; providers
+// implementing ecnp.CtxBidder still receive ctx so a trace span attached
+// to it rides the CFP to the RM. Concurrent mode launches one goroutine
+// per provider and waits at most BidTimeout: providers implementing
+// ecnp.CtxBidder receive the shared negotiation
 // context, so their network round trip is cut off at the deadline too;
 // laggards are abandoned (their goroutines drain into a buffered channel,
 // bounded by the transport's own call deadline) and contribute a
 // synthesized zero bid that ranks last — the paper's always-bid deviation
 // preserved by degradation instead of blocking the open.
-func (c *Client) collectBids(candidates []ids.RMID, cfp ecnp.CFP, count bool) ([]selection.Bid, map[ids.RMID]ecnp.Provider) {
+func (c *Client) collectBids(ctx context.Context, candidates []ids.RMID, cfp ecnp.CFP, count bool) ([]selection.Bid, map[ids.RMID]ecnp.Provider) {
 	providers := make(map[ids.RMID]ecnp.Provider, len(candidates))
 	resolved := make([]ecnp.Provider, len(candidates)) // index-aligned; nil = skipped
 	n := 0
@@ -448,11 +517,14 @@ func (c *Client) collectBids(candidates []ids.RMID, cfp ecnp.CFP, count bool) ([
 			if p == nil {
 				continue
 			}
-			bids[i] = p.HandleCFP(cfp)
+			if cb, ok := p.(ecnp.CtxBidder); ok {
+				bids[i] = cb.HandleCFPContext(ctx, cfp)
+			} else {
+				bids[i] = p.HandleCFP(cfp)
+			}
 			have[i] = true
 		}
 	} else {
-		ctx := context.Background()
 		if c.fanout.BidTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, c.fanout.BidTimeout)

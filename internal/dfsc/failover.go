@@ -9,22 +9,26 @@
 package dfsc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"dfsqos/internal/ids"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/wire"
 )
 
 // Streamer is the data plane the failover reader drives. The live
 // deployment's Directory implements it (resolving rm to a pooled TCP
-// client and streaming from offset); tests substitute fakes. sum is the
-// running checksum state threaded across segments; implementations must
-// report the bytes delivered even when they return an error — that is
-// the next segment's resume point.
+// client and streaming from offset); tests substitute fakes. ctx may
+// carry a trace span context (trace.NewContext) that the implementation
+// propagates onto the stream's wire frames. sum is the running checksum
+// state threaded across segments; implementations must report the bytes
+// delivered even when they return an error — that is the next segment's
+// resume point.
 type Streamer interface {
-	StreamAt(rm ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error)
+	StreamAt(ctx context.Context, rm ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error)
 }
 
 // FailoverConfig tunes ReadWithFailover.
@@ -68,22 +72,39 @@ func (c *Client) ReadWithFailover(s Streamer, file ids.FileID, w io.Writer, cfg 
 	exclude := make(map[ids.RMID]bool)
 	sum := wire.ChecksumBasis
 
-	out, release := c.AccessHeldExcluding(file, exclude)
+	// One root span covers the whole multi-segment read: its trace ID is
+	// a fresh request ID (each segment negotiates under its own request,
+	// recorded per-segment via SetRequest), so a failover read shows up
+	// in /traces as ONE trace whose "dfsc.segment" children land on
+	// different RMs at contiguous byte offsets.
+	root := c.tracer.StartRoot(c.nextRequestID(), "dfsc.read").SetFile(file)
+	defer root.End()
+	ctx := trace.NewContext(context.Background(), root.Context())
+
+	out, release := c.accessHeldCtx(ctx, file, exclude)
 	if !out.OK {
+		root.SetOutcome("error")
 		return res, fmt.Errorf("dfsc: read %v: %s", file, out.Reason)
 	}
 	var offset int64
 	for {
 		res.RMs = append(res.RMs, out.RM)
-		n, err := s.StreamAt(out.RM, file, out.Request, offset, w, &sum)
+		seg := c.tracer.StartChild(root.Context(), "dfsc.segment").
+			SetRM(out.RM).SetFile(file).SetRequest(out.Request).SetOffset(offset)
+		n, err := s.StreamAt(trace.NewContext(ctx, seg.Context()), out.RM, file, out.Request, offset, w, &sum)
+		seg.SetBytes(n)
 		offset += n
 		res.Bytes = offset
 		release() // best effort on a dead RM; idempotent
 		if err == nil {
+			seg.SetOutcome("ok").End()
+			root.SetRM(out.RM).SetBytes(offset).SetOutcome("ok")
 			return res, nil
 		}
+		seg.SetOutcome("failover").End()
 		exclude[out.RM] = true
 		if res.Failovers >= cfg.MaxFailovers {
+			root.SetBytes(offset).SetOutcome("error")
 			return res, fmt.Errorf("dfsc: read %v: %d byte(s), %d failover(s) exhausted: %w",
 				file, offset, res.Failovers, err)
 		}
@@ -91,8 +112,9 @@ func (c *Client) ReadWithFailover(s Streamer, file ids.FileID, w io.Writer, cfg 
 		c.sleepJittered(cfg.Backoff)
 
 		start := time.Now()
-		out, release = c.AccessHeldExcluding(file, exclude)
+		out, release = c.accessHeldCtx(ctx, file, exclude)
 		if !out.OK {
+			root.SetBytes(offset).SetOutcome("error")
 			return res, fmt.Errorf("dfsc: read %v: failover %d found no replica: %s (after: %w)",
 				file, res.Failovers, out.Reason, err)
 		}

@@ -2,6 +2,7 @@ package dfsc
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ type streamCall struct {
 	offset int64
 }
 
-func (s *scriptedStreamer) StreamAt(rm ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
+func (s *scriptedStreamer) StreamAt(_ context.Context, rm ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
 	s.calls = append(s.calls, streamCall{rm: rm, offset: offset})
 	if s.failed == nil {
 		s.failed = make(map[ids.RMID]bool)

@@ -1,0 +1,112 @@
+package docscheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// godocPackages are the packages held to the full godoc standard: a
+// package-level doc comment plus a doc comment on every exported
+// top-level declaration (types, funcs, methods, vars, consts). `make
+// docs` runs this check; CI runs `make docs`.
+var godocPackages = []string{
+	"trace", "qos", "blkio", "history", "selection", "ledger", "catalog", "workload",
+}
+
+// TestGodocPresence is the revive/golint-style comment-presence check,
+// implemented on go/ast so it needs no external linter. It fails with
+// one line per undocumented exported symbol.
+func TestGodocPresence(t *testing.T) {
+	for _, pkg := range godocPackages {
+		dir := filepath.Join("..", pkg)
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", dir, err)
+		}
+		for name, p := range pkgs {
+			hasPkgDoc := false
+			for _, f := range p.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					hasPkgDoc = true
+				}
+				checkFileDocs(t, fset, f)
+			}
+			if !hasPkgDoc {
+				t.Errorf("package %s (internal/%s) has no package doc comment", name, pkg)
+			}
+		}
+	}
+}
+
+func checkFileDocs(t *testing.T, fset *token.FileSet, f *ast.File) {
+	t.Helper()
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods on unexported receivers are not part of the
+			// package's godoc surface (they typically exist to satisfy
+			// interfaces like heap.Interface).
+			if d.Recv != nil && len(d.Recv.List) > 0 && !ast.IsExported(recvType(d.Recv.List[0].Type)) {
+				continue
+			}
+			t.Errorf("%s: exported %s lacks a doc comment", pos(fset, d.Pos()), funcLabel(d))
+		case *ast.GenDecl:
+			// A doc comment on the grouped decl covers the whole block
+			// (idiomatic for const/var groups).
+			if d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						t.Errorf("%s: exported type %s lacks a doc comment", pos(fset, s.Pos()), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && s.Doc == nil && s.Comment == nil {
+							t.Errorf("%s: exported %s %s lacks a doc comment",
+								pos(fset, s.Pos()), strings.ToLower(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "func " + d.Name.Name
+	}
+	return "method " + recvType(d.Recv.List[0].Type) + "." + d.Name.Name
+}
+
+func recvType(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.StarExpr:
+		return recvType(v.X)
+	case *ast.Ident:
+		return v.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvType(v.X)
+	}
+	return "?"
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	pp := fset.Position(p)
+	return filepath.Base(pp.Filename) + ":" + strconv.Itoa(pp.Line)
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -53,7 +54,7 @@ func BenchmarkLiveStreamThroughput(b *testing.B) {
 			// FNV verify cost is identical in both modes and benchmarked
 			// separately (wire.BenchmarkChecksum).
 			for i := 0; i < b.N; i++ {
-				n, err := served.ReadFileAt(0, 0, 0, io.Discard, nil)
+				n, err := served.ReadFileAt(context.Background(), 0, 0, 0, io.Discard, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -21,6 +21,7 @@ import (
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
 	"dfsqos/internal/wire"
@@ -54,6 +55,7 @@ type chaosCluster struct {
 	sched  *WallScheduler
 	cat    *catalog.Catalog
 	reg    *telemetry.Registry
+	tracer *trace.Tracer
 	rmSrvs map[ids.RMID]*RMServer
 	nodes  map[ids.RMID]*rm.RM
 	disks  map[ids.RMID]*vdisk.Disk
@@ -94,6 +96,10 @@ func startChaosCluster(t *testing.T, opts chaosOpts) *chaosCluster {
 	}
 
 	reg := telemetry.NewRegistry()
+	// One tracer shared by every in-process role: all spans of a request
+	// land in a single ring, so tests can assert whole-cluster span trees
+	// the way an operator would by merging per-daemon /traces dumps.
+	tracer := trace.New(trace.Options{Actor: "cluster", Registry: reg})
 	mgr := mm.New()
 	mgr.SetLiveness(opts.liveness)
 	mgr.SetMetrics(mm.NewMetrics(reg))
@@ -101,6 +107,7 @@ func startChaosCluster(t *testing.T, opts chaosOpts) *chaosCluster {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mmSrv.SetTracer(tracer)
 	sched := NewWallScheduler(opts.timeScale)
 	master := rng.New(31)
 
@@ -110,6 +117,7 @@ func startChaosCluster(t *testing.T, opts chaosOpts) *chaosCluster {
 		sched:  sched,
 		cat:    cat,
 		reg:    reg,
+		tracer: tracer,
 		rmSrvs: make(map[ids.RMID]*RMServer),
 		nodes:  make(map[ids.RMID]*rm.RM),
 		disks:  make(map[ids.RMID]*vdisk.Disk),
@@ -175,6 +183,7 @@ func (lc *chaosCluster) serveRM(t *testing.T, node *rm.RM, disk *vdisk.Disk, spe
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv.SetTracer(lc.tracer)
 	if spec != "" {
 		script, err := faults.Parse(spec + fmt.Sprintf(":seed=%d", seed))
 		if err != nil {
@@ -202,6 +211,7 @@ func (lc *chaosCluster) client(t *testing.T, scen qos.Scenario) *dfsc.Client {
 		Scenario:  scen,
 		Rand:      rng.New(3),
 		Metrics:   dfsc.NewMetrics(lc.reg),
+		Tracer:    lc.tracer,
 	})
 	if err != nil {
 		t.Fatal(err)

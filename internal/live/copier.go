@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
 )
@@ -26,6 +28,7 @@ type Copier struct {
 	// N× faster in wall time and the virtual-time dynamics match the DES.
 	scale   float64
 	metrics *CopierMetrics
+	tracer  *trace.Tracer
 }
 
 // NewCopier builds a copier for one RM. scale must match the deployment's
@@ -45,11 +48,20 @@ func (c *Copier) SetMetrics(m *CopierMetrics) {
 	c.metrics = m
 }
 
+// SetTracer enables replication tracing: each CopyReplica opens a root
+// span ("rm.replicate") whose trace ID is the replication ID, so a
+// replica copy shows up in /traces like any client request (nil: no-op).
+func (c *Copier) SetTracer(t *trace.Tracer) { c.tracer = t }
+
 // CopyReplica implements rm.DataCopier.
 func (c *Copier) CopyReplica(dst ids.RMID, rep ids.ReplicationID, file ids.FileID, meta rm.FileMeta, rate units.BytesPerSec) error {
+	sp := c.tracer.StartRoot(ids.RequestID(rep), "rm.replicate").
+		SetRM(dst).SetFile(file).SetBytes(int64(meta.Size))
+	defer sp.End()
 	cli, ok := c.dir.RMClient(dst)
 	if !ok {
 		c.metrics.TransfersFailed.Inc()
+		sp.SetOutcome("error")
 		return fmt.Errorf("live: copier: %v unreachable", dst)
 	}
 	src := &pacedFileReader{
@@ -59,13 +71,16 @@ func (c *Copier) CopyReplica(dst ids.RMID, rep ids.ReplicationID, file ids.FileI
 		pace:  newPacer(units.BytesPerSec(float64(rate) * c.scale)),
 		bytes: c.metrics.Bytes,
 	}
+	ctx := trace.NewContext(context.Background(), sp.Context())
 	c.metrics.ActiveTransfers.Inc()
-	err := cli.WriteFile(file, rep, int64(meta.Size), src)
+	err := cli.WriteFile(ctx, file, rep, int64(meta.Size), src)
 	c.metrics.ActiveTransfers.Dec()
 	if err != nil {
 		c.metrics.TransfersFailed.Inc()
+		sp.SetOutcome("error")
 	} else {
 		c.metrics.TransfersOK.Inc()
+		sp.SetOutcome("ok")
 	}
 	return err
 }

@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -175,7 +176,7 @@ func TestLiveStoreFile(t *testing.T) {
 	}
 	// Upload explicit bytes and read them back verified.
 	payload := bytes.Repeat([]byte("storage-qos!"), 4096)
-	if err := cli.WriteFile(2, 0, int64(len(payload)), bytes.NewReader(payload)); err != nil {
+	if err := cli.WriteFile(context.Background(), 2, 0, int64(len(payload)), bytes.NewReader(payload)); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -157,7 +157,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 
 	// Scrape the shared registry through a real monitor endpoint, as a
 	// Prometheus server would scrape an rmd.
-	mon := httptest.NewServer(monitor.NewRMHandler(firstNode, firstDisk, sched, reg))
+	mon := httptest.NewServer(monitor.NewRMHandler(firstNode, firstDisk, sched, reg, nil))
 	defer mon.Close()
 	resp, err := http.Get(mon.URL + "/metrics")
 	if err != nil {
@@ -213,6 +213,19 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(body, "dfsqos_dfsc_negotiation_latency_seconds_count 3") {
 		t.Errorf("negotiation count != 3:\n%s", grepLines(body, "negotiation_latency_seconds_count"))
+	}
+
+	// Debug-surface smoke: every daemon monitor handler also answers
+	// /traces (valid JSON even without a tracer) and the pprof index.
+	for _, path := range []string{"/traces", "/traces?format=text", "/debug/pprof/"} {
+		r, err := http.Get(mon.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, r.StatusCode)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/faults"
 	"dfsqos/internal/ids"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/wire"
 )
@@ -31,6 +32,7 @@ type MMServer struct {
 	replyTO time.Duration
 	metrics *ServerMetrics
 	inj     faults.Injector
+	tracer  *trace.Tracer
 }
 
 // NewMMServer starts listening on addr ("127.0.0.1:0" for an ephemeral
@@ -88,10 +90,26 @@ func (s *MMServer) SetFaults(inj faults.Injector) {
 	s.mu.Unlock()
 }
 
+// SetTracer joins request traces arriving on the wire: every handled
+// message whose frame carries a span context opens a server-side child
+// span ("mm.<Kind>") recorded in tr's ring. Nil (the default) disables
+// server-side spans; untraced frames never open spans either way.
+func (s *MMServer) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
+}
+
 func (s *MMServer) injector() faults.Injector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inj
+}
+
+func (s *MMServer) tr() *trace.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
 }
 
 // Addr returns the listening address.
@@ -173,6 +191,24 @@ func (s *MMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 	if handled, err := applyFault(wc, d, wire.KindAck, wire.Ack{}, func() { s.Close() }); handled || err != nil {
 		return err
 	}
+	var sp *trace.Span
+	if msg.Trace.Valid() {
+		// The guard keeps the name concat off the untraced path.
+		sp = s.tr().StartChild(msg.Trace, "mm."+msg.Kind.String())
+	}
+	err := s.dispatch(wc, msg)
+	if sp != nil {
+		if err != nil {
+			sp.SetOutcome("error")
+		} else {
+			sp.SetOutcome("ok")
+		}
+		sp.End()
+	}
+	return err
+}
+
+func (s *MMServer) dispatch(wc *wire.Conn, msg wire.Msg) error {
 	switch msg.Kind {
 	case wire.KindRegisterRM:
 		req, ok := msg.Payload.(wire.RegisterRM)
@@ -302,7 +338,15 @@ func (c *MMClient) RegisterRM(info ecnp.RMInfo, files []ids.FileID) error {
 
 // Lookup implements ecnp.Mapper.
 func (c *MMClient) Lookup(file ids.FileID) []ids.RMID {
-	reply, err := c.call(wire.KindLookup, wire.FileRef{File: file})
+	return c.LookupContext(context.Background(), file)
+}
+
+// LookupContext is Lookup carrying ctx to the MM: its deadline bounds the
+// round trip and a span context attached via trace.NewContext rides the
+// request frame, so the MM's readdir handling appears in the caller's
+// trace.
+func (c *MMClient) LookupContext(ctx context.Context, file ids.FileID) []ids.RMID {
+	reply, err := c.t.Call(ctx, wire.KindLookup, wire.FileRef{File: file})
 	if err != nil {
 		c.logf("live: mm lookup: %v", err)
 		return nil

@@ -16,6 +16,7 @@ import (
 	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/selection"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/vdisk"
 	"dfsqos/internal/wire"
@@ -40,6 +41,7 @@ type RMServer struct {
 	replyTO time.Duration
 	metrics *ServerMetrics
 	inj     faults.Injector
+	tracer  *trace.Tracer
 }
 
 // NewRMServer starts serving node and disk on addr.
@@ -98,10 +100,52 @@ func (s *RMServer) SetFaults(inj faults.Injector) {
 	s.mu.Unlock()
 }
 
+// SetTracer joins request traces arriving on the wire: a handled message
+// whose frame carries a span context opens a server-side child span
+// ("rm.bid", "rm.open", "rm.stream", "rm.ingest", ...) recorded in tr's
+// ring, and a traced stream's chunks go back out carrying the stream
+// span's context. Nil (the default) disables server-side spans.
+func (s *RMServer) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
+}
+
 func (s *RMServer) injector() faults.Injector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inj
+}
+
+func (s *RMServer) tr() *trace.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
+}
+
+// rmSpanName maps a wire kind to its RM-side span name. The hot and
+// QoS-relevant kinds get interned ECNP-flavored names; the long tail
+// falls back to a (rare, traced-only) concat.
+func rmSpanName(k wire.Kind) string {
+	switch k {
+	case wire.KindCFP:
+		return "rm.bid"
+	case wire.KindOpen:
+		return "rm.open"
+	case wire.KindClose:
+		return "rm.close"
+	case wire.KindReadFile:
+		return "rm.stream"
+	case wire.KindWriteFile:
+		return "rm.ingest"
+	case wire.KindKeepalive:
+		return "rm.keepalive"
+	case wire.KindOfferReplica:
+		return "rm.offer"
+	case wire.KindStoreFile:
+		return "rm.store"
+	}
+	return "rm." + k.String()
 }
 
 // Addr returns the listening address.
@@ -178,19 +222,45 @@ func (s *RMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 	if handled, err := applyFault(wc, d, wire.KindAck, wire.Ack{}, func() { s.Close() }); handled || err != nil {
 		return err
 	}
+	var sp *trace.Span
+	if msg.Trace.Valid() {
+		sp = s.tr().StartChild(msg.Trace, rmSpanName(msg.Kind))
+		sp.SetRM(s.node.Info().ID)
+	}
+	err := s.dispatch(wc, msg, sp)
+	if sp != nil {
+		if err != nil {
+			sp.SetOutcome("error")
+		} else if sp.Outcome() == "" {
+			sp.SetOutcome("ok")
+		}
+		sp.End()
+	}
+	return err
+}
+
+func (s *RMServer) dispatch(wc *wire.Conn, msg wire.Msg, sp *trace.Span) error {
 	switch msg.Kind {
 	case wire.KindCFP:
 		cfp, ok := msg.Payload.(ecnp.CFP)
 		if !ok {
 			return wc.WriteError(fmt.Errorf("bad CFP payload"))
 		}
+		sp.SetFile(cfp.File).SetRequest(cfp.Request)
 		return wc.Write(wire.KindBid, s.node.HandleCFP(cfp))
 	case wire.KindOpen:
 		req, ok := msg.Payload.(ecnp.OpenRequest)
 		if !ok {
 			return wc.WriteError(fmt.Errorf("bad Open payload"))
 		}
-		return wc.Write(wire.KindOpenResult, s.node.Open(req))
+		res := s.node.Open(req)
+		sp.SetFile(req.File).SetRequest(req.Request)
+		if res.OK {
+			sp.SetOutcome("admitted")
+		} else {
+			sp.SetOutcome("rejected")
+		}
+		return wc.Write(wire.KindOpenResult, res)
 	case wire.KindClose:
 		req, ok := msg.Payload.(wire.CloseReq)
 		if !ok {
@@ -239,13 +309,13 @@ func (s *RMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 		if !ok {
 			return wc.WriteError(fmt.Errorf("bad ReadFile payload"))
 		}
-		return s.streamFile(wc, req)
+		return s.streamFile(wc, req, sp)
 	case wire.KindWriteFile:
 		req, ok := msg.Payload.(wire.WriteFile)
 		if !ok {
 			return wc.WriteError(fmt.Errorf("bad WriteFile payload"))
 		}
-		return s.ingestFile(wc, req)
+		return s.ingestFile(wc, req, sp)
 	case wire.KindKeepalive:
 		ka, ok := msg.Payload.(wire.Keepalive)
 		if !ok {
@@ -268,11 +338,16 @@ func (s *RMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 // serves: every chunk write touches its lease, so an active stream never
 // expires under the sweeper. Each chunk also passes the rm.stream.chunk
 // fault point (detail: decimal absolute offset), which is where chaos
-// tests tear connections mid-read.
-func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
+// tests tear connections mid-read. When the request arrived traced, sp is
+// the server's "rm.stream" span: chunks and the FileEnd go back out
+// carrying its context (still zero allocations per chunk — the trace slot
+// rides the pooled frame prefix), and the span records the segment's
+// offset and byte count.
+func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) error {
 	if s.disk == nil {
 		return wc.WriteError(fmt.Errorf("rm: no data plane configured"))
 	}
+	sp.SetFile(req.File).SetRequest(req.Request).SetOffset(req.Offset)
 	name := FileName(req.File)
 	chunk := req.ChunkSize
 	if chunk <= 0 || chunk > 256*1024 {
@@ -286,6 +361,7 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
 		return wc.WriteError(fmt.Errorf("rm: offset %d outside %q (%d bytes)", req.Offset, name, int64(size)))
 	}
 	inj := s.injector()
+	tc := sp.Context() // zero when untraced: chunks degrade to tag-1 frames
 	ctx := context.Background()
 	buf := make([]byte, chunk)
 	off := req.Offset
@@ -299,12 +375,14 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
 				fc := wire.FileChunk{Offset: off, Data: buf[:n]}
 				d := faults.Decide(inj, faults.PointRMChunk, strconv.FormatInt(off, 10))
 				if handled, ferr := applyFault(wc, d, wire.KindFileChunk, fc, func() { s.Close() }); handled || ferr != nil {
+					sp.SetBytes(off - req.Offset)
 					return ferr
 				}
 			}
-			// WriteChunk is the zero-copy fast path: one writev per chunk,
-			// and buf is reusable as soon as it returns.
-			if werr := wc.WriteChunk(off, buf[:n]); werr != nil {
+			// WriteChunkTraced is the zero-copy fast path: one writev per
+			// chunk, and buf is reusable as soon as it returns.
+			if werr := wc.WriteChunkTraced(tc, off, buf[:n]); werr != nil {
+				sp.SetBytes(off - req.Offset)
 				return werr
 			}
 			off += int64(n)
@@ -319,23 +397,27 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile) error {
 			return wc.WriteError(rerr)
 		}
 	}
+	sp.SetBytes(off - req.Offset)
 	sum, err := s.disk.Checksum(name)
 	if err != nil {
 		return wc.WriteError(err)
 	}
-	return wc.Write(wire.KindFileEnd, wire.FileEnd{Size: int64(size), Checksum: sum})
+	return wc.WriteTraced(tc, wire.KindFileEnd, wire.FileEnd{Size: int64(size), Checksum: sum})
 }
 
 // ingestFile receives an inbound data stream (replica copy or upload) and
 // stores it on the virtual disk. Replica ingestion writes through the raw
-// path: it rides the B_REV reserve, not the VM's QoS throttle.
-func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile) error {
+// path: it rides the B_REV reserve, not the VM's QoS throttle. sp, when
+// the WriteFile arrived traced, is the server's "rm.ingest" span and
+// records the byte count stored.
+func (s *RMServer) ingestFile(wc *wire.Conn, req wire.WriteFile, sp *trace.Span) error {
 	if s.disk == nil {
 		return wc.WriteError(fmt.Errorf("rm: no data plane configured"))
 	}
 	if req.SizeBytes < 0 || req.SizeBytes > 1<<40 {
 		return wc.WriteError(fmt.Errorf("rm: implausible inbound size %d", req.SizeBytes))
 	}
+	sp.SetFile(req.File).SetBytes(req.SizeBytes)
 	data := make([]byte, 0, req.SizeBytes)
 	sum := wire.ChecksumBasis
 	for {
@@ -472,7 +554,14 @@ func (c *RMClient) HandleCFP(cfp ecnp.CFP) selection.Bid {
 
 // Open implements ecnp.Provider.
 func (c *RMClient) Open(req ecnp.OpenRequest) ecnp.OpenResult {
-	reply, err := c.call(context.Background(), wire.KindOpen, req)
+	return c.OpenContext(context.Background(), req)
+}
+
+// OpenContext is Open bounded by ctx; a span context attached via
+// trace.NewContext rides the request frame so the RM's admission decision
+// appears in the caller's trace.
+func (c *RMClient) OpenContext(ctx context.Context, req ecnp.OpenRequest) ecnp.OpenResult {
+	reply, err := c.call(ctx, wire.KindOpen, req)
 	if err != nil {
 		return ecnp.OpenResult{OK: false, Reason: err.Error()}
 	}
@@ -531,22 +620,25 @@ func (c *RMClient) stream(fn func(wc *wire.Conn) error) error {
 // It holds a dedicated pooled connection for the duration of the stream.
 func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
 	sum := wire.ChecksumBasis
-	return c.ReadFileAt(file, 0, 0, w, &sum)
+	return c.ReadFileAt(context.Background(), file, 0, 0, w, &sum)
 }
 
 // ReadFileAt streams the file from offset into w, returning the bytes
-// delivered by this segment. A non-zero req names the QoS reservation the
-// stream rides (the server renews its lease per chunk). sum is the
-// running FNV-1a state carried across failover segments: the caller seeds
-// it with wire.ChecksumBasis before the first segment, and because resumed
-// segments are byte-contiguous with their predecessors, the whole-file
-// checksum in the final FileEnd still verifies. A nil sum skips
-// verification (an offset read with no prior state cannot verify).
-// It holds a dedicated pooled connection for the duration of the stream.
-func (c *RMClient) ReadFileAt(file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
+// delivered by this segment. A span context attached to ctx
+// (trace.NewContext) rides the opening ReadFile frame, so the serving
+// RM's "rm.stream" span becomes a child of the caller's segment span. A
+// non-zero req names the QoS reservation the stream rides (the server
+// renews its lease per chunk). sum is the running FNV-1a state carried
+// across failover segments: the caller seeds it with wire.ChecksumBasis
+// before the first segment, and because resumed segments are
+// byte-contiguous with their predecessors, the whole-file checksum in the
+// final FileEnd still verifies. A nil sum skips verification (an offset
+// read with no prior state cannot verify). It holds a dedicated pooled
+// connection for the duration of the stream.
+func (c *RMClient) ReadFileAt(ctx context.Context, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
 	pos := offset
 	err := c.stream(func(wc *wire.Conn) error {
-		if err := wc.Write(wire.KindReadFile, wire.ReadFile{
+		if err := wc.WriteTraced(trace.FromContext(ctx), wire.KindReadFile, wire.ReadFile{
 			File: file, ChunkSize: 128 * 1024, Offset: offset, Request: req,
 		}); err != nil {
 			return err
@@ -622,11 +714,14 @@ func (c *RMClient) StoreFile(req ecnp.StoreRequest) error {
 
 // WriteFile streams size bytes from r to the remote RM's disk under the
 // given file id (rep identifies the replication transfer, 0 for uploads).
+// A span context attached to ctx rides the WriteFile header and every
+// chunk, so the destination's "rm.ingest" span joins the copier's trace.
 // It holds a dedicated pooled connection for the duration of the stream
 // and fails unless the server acknowledges a checksum-verified store.
-func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64, r io.Reader) error {
+func (c *RMClient) WriteFile(ctx context.Context, file ids.FileID, rep ids.ReplicationID, size int64, r io.Reader) error {
+	tc := trace.FromContext(ctx)
 	return c.stream(func(wc *wire.Conn) error {
-		if err := wc.Write(wire.KindWriteFile, wire.WriteFile{File: file, SizeBytes: size, Replication: rep}); err != nil {
+		if err := wc.WriteTraced(tc, wire.KindWriteFile, wire.WriteFile{File: file, SizeBytes: size, Replication: rep}); err != nil {
 			return err
 		}
 		buf := make([]byte, 64*1024)
@@ -635,7 +730,7 @@ func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64,
 		for off < size {
 			n, err := r.Read(buf)
 			if n > 0 {
-				if werr := wc.WriteChunk(off, buf[:n]); werr != nil {
+				if werr := wc.WriteChunkTraced(tc, off, buf[:n]); werr != nil {
 					return werr
 				}
 				sum = wire.ChecksumUpdate(sum, buf[:n])
@@ -651,7 +746,7 @@ func (c *RMClient) WriteFile(file ids.FileID, rep ids.ReplicationID, size int64,
 		if off != size {
 			return fmt.Errorf("live: source delivered %d of %d bytes", off, size)
 		}
-		if err := wc.Write(wire.KindFileEnd, wire.FileEnd{Size: size, Checksum: sum}); err != nil {
+		if err := wc.WriteTraced(tc, wire.KindFileEnd, wire.FileEnd{Size: size, Checksum: sum}); err != nil {
 			return err
 		}
 		reply, err := wc.Read()
@@ -782,14 +877,15 @@ func (d *Directory) RMClient(id ids.RMID) (*RMClient, bool) {
 // StreamAt implements the dfsc failover reader's data plane: it resolves
 // rmID and streams file from offset into w under reservation req,
 // threading the caller's running checksum state across segments (see
-// RMClient.ReadFileAt). It reports the bytes this segment delivered even
-// on error — that is the resume point.
-func (d *Directory) StreamAt(rmID ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
+// RMClient.ReadFileAt) and any span context carried by ctx onto the
+// stream's opening frame. It reports the bytes this segment delivered
+// even on error — that is the resume point.
+func (d *Directory) StreamAt(ctx context.Context, rmID ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
 	c, ok := d.RMClient(rmID)
 	if !ok {
 		return 0, fmt.Errorf("live: directory cannot resolve %v", rmID)
 	}
-	return c.ReadFileAt(file, req, offset, w, sum)
+	return c.ReadFileAt(ctx, file, req, offset, w, sum)
 }
 
 // Close releases all cached connections.

@@ -41,7 +41,7 @@ func TestRMMetricsEndpoint(t *testing.T) {
 	node, sched := testRM(t)
 	reg := telemetry.NewRegistry()
 	reg.NewCounter("dfsqos_rm_cfps_total", "CFPs.").Add(7)
-	srv := httptest.NewServer(NewRMHandler(node, nil, sched, reg))
+	srv := httptest.NewServer(NewRMHandler(node, nil, sched, reg, nil))
 	defer srv.Close()
 
 	body, ct := scrape(t, srv.URL+"/metrics")
@@ -59,7 +59,7 @@ func TestRMMetricsEndpoint(t *testing.T) {
 
 func TestNilRegistryMetricsEndpoint(t *testing.T) {
 	node, sched := testRM(t)
-	srv := httptest.NewServer(NewRMHandler(node, nil, sched, nil))
+	srv := httptest.NewServer(NewRMHandler(node, nil, sched, nil, nil))
 	defer srv.Close()
 	body, ct := scrape(t, srv.URL+"/metrics")
 	if ct != telemetry.ContentType {
@@ -73,7 +73,7 @@ func TestNilRegistryMetricsEndpoint(t *testing.T) {
 func TestMMMetricsEndpoint(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	reg.NewGauge("dfsqos_mm_rms", "Registered RMs.").Set(2)
-	srv := httptest.NewServer(NewMMHandler(mm.New(), reg))
+	srv := httptest.NewServer(NewMMHandler(mm.New(), reg, nil))
 	defer srv.Close()
 	body, _ := scrape(t, srv.URL+"/metrics")
 	if !strings.Contains(body, "dfsqos_mm_rms 2") {
@@ -106,7 +106,7 @@ func TestDFSCHandler(t *testing.T) {
 	}
 	client.Access(0) // no replica registered → counted failure
 
-	srv := httptest.NewServer(NewDFSCHandler(client, reg))
+	srv := httptest.NewServer(NewDFSCHandler(client, reg, nil))
 	defer srv.Close()
 
 	body, _ := scrape(t, srv.URL+"/stats")

@@ -7,9 +7,13 @@
 //
 // Endpoints:
 //
-//	GET /healthz     → 200 "ok"
-//	GET /stats       → JSON snapshot (RM, MM, or DFSC flavour)
-//	GET /metrics     → Prometheus text exposition (telemetry registry)
+//	GET /healthz        → 200 "ok"
+//	GET /stats          → JSON snapshot (RM, MM, or DFSC flavour)
+//	GET /metrics        → Prometheus text exposition (telemetry registry)
+//	GET /traces         → span-ring dump + slow-request exemplars (JSON;
+//	                      ?format=text renders a per-trace timeline,
+//	                      ?trace=<id> filters to one request)
+//	GET /debug/pprof/…  → stdlib profiling handlers
 package monitor
 
 import (
@@ -25,6 +29,7 @@ import (
 	"dfsqos/internal/ids"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/trace"
 	"dfsqos/internal/vdisk"
 )
 
@@ -54,11 +59,13 @@ type RMStats struct {
 }
 
 // NewRMHandler builds the HTTP handler for one RM daemon. disk may be
-// nil; reg may be nil, in which case /metrics serves an empty exposition.
-func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler, reg *telemetry.Registry) http.Handler {
+// nil; reg may be nil, in which case /metrics serves an empty exposition;
+// tr may be nil, in which case /traces serves an empty dump.
+func NewRMHandler(node *rm.RM, disk *vdisk.Disk, sched ecnp.Scheduler, reg *telemetry.Registry, tr *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", healthz)
 	mux.Handle("/metrics", reg.Handler())
+	AttachDebug(mux, tr)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		now := sched.Now()
 		snap := node.Snapshot(now)
@@ -130,11 +137,12 @@ type livenessSource interface {
 // NewMMHandler builds the HTTP handler for the MM daemon. reg may be
 // nil, in which case /metrics serves an empty exposition. A mapper with a
 // liveness layer additionally reports dead RMs (rows with alive=false)
-// and the live count.
-func NewMMHandler(mapper ecnp.Mapper, reg *telemetry.Registry) http.Handler {
+// and the live count. tr may be nil (empty /traces).
+func NewMMHandler(mapper ecnp.Mapper, reg *telemetry.Registry, tr *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", healthz)
 	mux.Handle("/metrics", reg.Handler())
+	AttachDebug(mux, tr)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		var out MMStats
 		if ls, ok := mapper.(livenessSource); ok {
@@ -178,11 +186,13 @@ type DFSCStats struct {
 // NewDFSCHandler builds the HTTP handler for a client daemon: the same
 // /healthz + /stats + /metrics triple the server daemons expose, so one
 // scrape config covers the requester side of the three-phase flow too.
-// reg may be nil, in which case /metrics serves an empty exposition.
-func NewDFSCHandler(client *dfsc.Client, reg *telemetry.Registry) http.Handler {
+// reg may be nil, in which case /metrics serves an empty exposition; tr
+// may be nil (empty /traces).
+func NewDFSCHandler(client *dfsc.Client, reg *telemetry.Registry, tr *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", healthz)
 	mux.Handle("/metrics", reg.Handler())
+	AttachDebug(mux, tr)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := client.Stats()
 		writeJSON(w, DFSCStats{

@@ -40,7 +40,7 @@ func testRM(t *testing.T) (*rm.RM, ecnp.Scheduler) {
 func TestRMStatsEndpoint(t *testing.T) {
 	node, sched := testRM(t)
 	node.Open(ecnp.OpenRequest{Request: 1, File: 0, Bitrate: units.Mbps(2), DurationSec: 100})
-	srv := httptest.NewServer(NewRMHandler(node, nil, sched, nil))
+	srv := httptest.NewServer(NewRMHandler(node, nil, sched, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/stats")
@@ -71,7 +71,7 @@ func TestRMStatsEndpoint(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	node, sched := testRM(t)
-	srv := httptest.NewServer(NewRMHandler(node, nil, sched, nil))
+	srv := httptest.NewServer(NewRMHandler(node, nil, sched, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -87,7 +87,7 @@ func TestMMStatsEndpoint(t *testing.T) {
 	mgr := mm.New()
 	mgr.RegisterRM(ecnp.RMInfo{ID: 1, Capacity: units.Mbps(128), Addr: "10.0.0.1:9000"}, nil)
 	mgr.RegisterRM(ecnp.RMInfo{ID: 2, Capacity: units.Mbps(18), Addr: "10.0.0.2:9000"}, nil)
-	srv := httptest.NewServer(NewMMHandler(mgr, nil))
+	srv := httptest.NewServer(NewMMHandler(mgr, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/stats")
@@ -109,7 +109,7 @@ func TestMMStatsEndpoint(t *testing.T) {
 
 func TestServeBindsAndCloses(t *testing.T) {
 	node, sched := testRM(t)
-	srv, addr, err := Serve("127.0.0.1:0", NewRMHandler(node, nil, sched, nil))
+	srv, addr, err := Serve("127.0.0.1:0", NewRMHandler(node, nil, sched, nil, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

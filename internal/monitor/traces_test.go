@@ -1,0 +1,167 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/trace"
+)
+
+// fixedSpans builds a deterministic two-trace dump: trace 7 is a
+// failover read (root + two segments on different RMs at contiguous
+// offsets + one server span whose parent lives in another process), and
+// trace 9 is a lone MM lookup.
+func fixedSpans() []trace.Record {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	return []trace.Record{
+		{Trace: 7, Span: 1, Name: "dfsc.read", Actor: "dfsc1", Outcome: "ok",
+			RM: 2, File: 5, Bytes: 100, Start: t0, Dur: ms(40)},
+		{Trace: 7, Span: 2, Parent: 1, Name: "dfsc.segment", Actor: "dfsc1", Outcome: "failover",
+			RM: 1, File: 5, Request: 7, Offset: 0, Bytes: 60, Start: t0.Add(ms(1)), Dur: ms(10)},
+		{Trace: 7, Span: 3, Parent: 1, Name: "dfsc.segment", Actor: "dfsc1", Outcome: "ok",
+			RM: 2, File: 5, Request: 8, Offset: 60, Bytes: 40, Start: t0.Add(ms(20)), Dur: ms(15)},
+		// A server-side span joined from the wire: its parent (span 99)
+		// is in the RM process's ring, not this dump — it must surface at
+		// the trace's top level, not vanish.
+		{Trace: 7, Span: 4, Parent: 99, Name: "rm.stream", Actor: "rm2", Outcome: "ok",
+			RM: 2, File: 5, Request: 8, Offset: 60, Bytes: 40, Start: t0.Add(ms(21)), Dur: ms(13)},
+		{Trace: 9, Span: 5, Name: "mm.Lookup", Actor: "mm", Outcome: "ok",
+			RM: ids.NoneRM, File: 5, Start: t0.Add(ms(50)), Dur: ms(2)},
+	}
+}
+
+func TestFormatTimelineGolden(t *testing.T) {
+	got := FormatTimeline("test", fixedSpans())
+	want := strings.Join([]string{
+		"actor test: 5 span(s)",
+		"trace 7 — 4 span(s)",
+		"  [+   0.000ms    40.000ms] dfsc.read      dfsc1  ok rm=RM2 file=file5 off=0 bytes=100",
+		"  [+   1.000ms    10.000ms]   dfsc.segment   dfsc1  failover rm=RM1 file=file5 off=0 bytes=60",
+		"  [+  20.000ms    15.000ms]   dfsc.segment   dfsc1  ok rm=RM2 file=file5 req=8 off=60 bytes=40",
+		"  [+  21.000ms    13.000ms] rm.stream      rm2    ok rm=RM2 file=file5 req=8 off=60 bytes=40",
+		"trace 9 — 1 span(s)",
+		"  [+   0.000ms     2.000ms] mm.Lookup      mm     ok file=file5",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("timeline mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestFormatTimelineEmpty(t *testing.T) {
+	if got := FormatTimeline("x", nil); got != "actor x: 0 span(s)\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+}
+
+func newTestTracer(t *testing.T) *trace.Tracer {
+	t.Helper()
+	tr := trace.New(trace.Options{Actor: "test"})
+	root := tr.StartRoot(7, "dfsc.read")
+	tr.StartChild(root.Context(), "dfsc.segment").SetRM(1).SetOutcome("failover").End()
+	root.SetOutcome("ok").End()
+	tr.StartRoot(9, "dfsc.access").SetOutcome("error").End()
+	return tr
+}
+
+func TestTraceHandlerJSON(t *testing.T) {
+	srv := httptest.NewServer(TraceHandler(newTestTracer(t)))
+	defer srv.Close()
+
+	var dump TraceDump
+	getJSON(t, srv.URL+"/traces", &dump)
+	if dump.Actor != "test" {
+		t.Errorf("actor = %q, want test", dump.Actor)
+	}
+	if len(dump.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(dump.Spans))
+	}
+	// The exemplar store keeps the slowest root per outcome class.
+	if len(dump.Exemplars["ok"]) != 1 || len(dump.Exemplars["error"]) != 1 {
+		t.Errorf("exemplars = %v", dump.Exemplars)
+	}
+
+	// ?trace= filters to one trace ID.
+	var one TraceDump
+	getJSON(t, srv.URL+"/traces?trace=9", &one)
+	if len(one.Spans) != 1 || one.Spans[0].Trace != 9 {
+		t.Errorf("filtered spans = %+v", one.Spans)
+	}
+
+	resp, err := http.Get(srv.URL + "/traces?trace=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad ?trace= id: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTraceHandlerText(t *testing.T) {
+	srv := httptest.NewServer(TraceHandler(newTestTracer(t)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/traces?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{"actor test: 3 span(s)", "trace 7 — 2 span(s)", "dfsc.read", "  dfsc.segment", "failover"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text timeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceHandlerNilTracer pins the no-tracer degradation: daemons
+// without tracing still answer /traces with an empty, valid dump.
+func TestTraceHandlerNilTracer(t *testing.T) {
+	srv := httptest.NewServer(TraceHandler(nil))
+	defer srv.Close()
+	var dump TraceDump
+	getJSON(t, srv.URL+"/traces", &dump)
+	if len(dump.Spans) != 0 {
+		t.Errorf("nil tracer served %d spans", len(dump.Spans))
+	}
+}
+
+// TestDebugHandlerEndpoints smoke-checks the standalone -debug-addr
+// handler: traces and the pprof index both answer 200.
+func TestDebugHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(NewDebugHandler(newTestTracer(t)))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/traces", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

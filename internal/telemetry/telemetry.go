@@ -286,6 +286,20 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// Names returns every registered family name in registration order.
+// Nil registries return nil. Used by the docs-consistency check to
+// enumerate the full metric surface.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
 // validName matches the Prometheus metric/label name charset.
 func validName(s string) bool {
 	if s == "" {

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+)
+
+// exemplars keeps the top-K slowest root spans per outcome label, so
+// the most interesting requests ("the slowest error", "the slowest
+// failover") survive long after ring wraparound evicted their spans.
+// Offers happen once per finished root span — control-plane rate — so
+// a mutex is the right tool here, not lock-free heroics.
+type exemplars struct {
+	k  int
+	mu sync.Mutex
+	by map[string]*recHeap
+}
+
+func newExemplars(k int) *exemplars {
+	return &exemplars{k: k, by: make(map[string]*recHeap)}
+}
+
+// outcomeKey buckets records whose Outcome was never set.
+const outcomeKey = "unknown"
+
+// offer considers rec for the exemplar set of its outcome, evicting
+// the current fastest member when the set is full and rec is slower.
+func (e *exemplars) offer(rec *Record) {
+	key := rec.Outcome
+	if key == "" {
+		key = outcomeKey
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := e.by[key]
+	if h == nil {
+		h = &recHeap{}
+		e.by[key] = h
+	}
+	if h.Len() < e.k {
+		heap.Push(h, rec)
+		return
+	}
+	if rec.Dur > (*h)[0].Dur {
+		(*h)[0] = rec
+		heap.Fix(h, 0)
+	}
+}
+
+// snapshot returns the exemplar records grouped by outcome, each group
+// sorted slowest-first.
+func (e *exemplars) snapshot() map[string][]Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string][]Record, len(e.by))
+	for k, h := range e.by {
+		recs := make([]Record, len(*h))
+		for i, r := range *h {
+			recs[i] = *r
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Dur > recs[j].Dur })
+		out[k] = recs
+	}
+	return out
+}
+
+// recHeap is a min-heap by duration: the root is the fastest exemplar,
+// i.e. the first to evict.
+type recHeap []*Record
+
+func (h recHeap) Len() int            { return len(h) }
+func (h recHeap) Less(i, j int) bool  { return h[i].Dur < h[j].Dur }
+func (h recHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x interface{}) { *h = append(*h, x.(*Record)) }
+func (h *recHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

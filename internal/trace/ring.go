@@ -1,0 +1,52 @@
+package trace
+
+import "sync/atomic"
+
+// ring is a lock-free fixed-capacity span buffer. Writers claim a slot
+// with a single atomic increment of head and store an immutable
+// *Record into it; readers snapshot by loading every slot. The newest
+// capacity records win — older ones are overwritten, which is exactly
+// the retention contract GET /traces advertises. Records are never
+// mutated after publication, so a torn read is impossible: a slot
+// holds either nil, the old pointer, or the new pointer.
+type ring struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []atomic.Pointer[Record]
+}
+
+// newRing builds a ring with capacity rounded up to a power of two.
+func newRing(size int) *ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Record], n)}
+}
+
+// put publishes rec into the next slot, overwriting the oldest record
+// once the ring has wrapped.
+func (r *ring) put(rec *Record) {
+	i := r.head.Add(1) - 1
+	r.slots[i&r.mask].Store(rec)
+}
+
+// snapshot copies every populated slot. Order is by slot index, which
+// is only approximately insertion order once concurrent writers race
+// for neighbouring slots; callers sort by Start when they care.
+func (r *ring) snapshot() []Record {
+	out := make([]Record, 0, len(r.slots))
+	for i := range r.slots {
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// len reports how many records have ever been put (not clamped to
+// capacity); used by tests to assert wraparound behaviour.
+func (r *ring) len() uint64 { return r.head.Load() }
+
+// cap reports the (power-of-two) slot count.
+func (r *ring) cap() int { return len(r.slots) }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net"
 	"testing"
+
+	"dfsqos/internal/trace"
 )
 
 // discardRW is a ReadWriter that swallows writes (encode benchmarks).
@@ -79,6 +81,64 @@ func BenchmarkDecodeChunk(b *testing.B) {
 			w := NewConn(&buf)
 			w.SetFastPath(mode.fast)
 			if err := w.WriteChunk(0, data); err != nil {
+				b.Fatal(err)
+			}
+			r := NewConn(&loopRW{frame: buf.Bytes()})
+			r.SetAcceptBinary(true)
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg, err := r.Read()
+				if err != nil {
+					b.Fatal(err)
+				}
+				msg.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeChunkTraced is BenchmarkEncodeChunk with the 16-byte
+// trace slot on every frame (codec tag 2). The fast sub-benchmark is
+// gated at 0 allocs/op like its untraced sibling: tracing must not put
+// allocations back on the data plane.
+func BenchmarkEncodeChunkTraced(b *testing.B) {
+	data := chunkData()
+	tc := trace.SpanContext{Trace: 42, Span: 7}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := NewConn(discardRW{})
+			c.SetFastPath(mode.fast)
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.WriteChunkTraced(tc, int64(i)*benchChunk, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeChunkTraced decodes traced chunk frames; the fast path
+// must stay 0 allocs/op (bench gate).
+func BenchmarkDecodeChunkTraced(b *testing.B) {
+	data := chunkData()
+	tc := trace.SpanContext{Trace: 42, Span: 7}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			w := NewConn(&buf)
+			w.SetFastPath(mode.fast)
+			if err := w.WriteChunkTraced(tc, 0, data); err != nil {
 				b.Fatal(err)
 			}
 			r := NewConn(&loopRW{frame: buf.Bytes()})

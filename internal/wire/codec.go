@@ -1,11 +1,13 @@
 // Fast-path binary codec for the data plane and other high-frequency
 // frames. The frame header carries a one-byte codec tag, so every frame
 // independently declares how its body is encoded: gob (tag 0, the
-// stateless reflection codec every kind supports) or binary v1 (tag 1, a
-// hand-rolled fixed-layout encoding for the hot kinds). Both codecs can
-// interleave freely on one connection — the reader dispatches per frame,
-// and neither codec keeps cross-frame state, so the "stateless frame"
-// recovery property of the original gob framing is preserved.
+// stateless reflection codec every kind supports), binary v1 (tag 1, a
+// hand-rolled fixed-layout encoding for the hot kinds), or traced binary
+// (tag 2, the same layout with a 16-byte trace slot ahead of the kind).
+// All three codecs can interleave freely on one connection — the reader
+// dispatches per frame, and no codec keeps cross-frame state, so the
+// "stateless frame" recovery property of the original gob framing is
+// preserved.
 //
 // Binary v1 body layout (big-endian throughout):
 //
@@ -20,12 +22,19 @@
 //	  Heartbeat:  rm i32
 //	  Keepalive:  request i64
 //
-// All other kinds stay on gob. To promote a kind to the fast path it must
+// Traced binary (tag 2) body layout:
+//
+//	[0:8]   int64 trace ID (ids.RequestID)
+//	[8:16]  uint64 span ID
+//	[16:]   a binary-v1 body (kind + payload as above)
+//
+// All other kinds stay on gob (which carries the trace slot as an
+// optional Msg field instead). To promote a kind to the fast path it must
 // be (a) high-frequency enough to matter, (b) fixed-layout (or
 // one-variable-tail like FileChunk/Error), and (c) versioned here: any
-// layout change bumps the codec tag (tag 2 = binary v2) rather than
-// mutating v1 in place, so mixed-version peers fail with a typed
-// CodecError instead of silently misparsing.
+// layout change bumps the codec tag (as the trace slot did, claiming tag
+// 2) rather than mutating an existing layout in place, so mixed-version
+// peers fail with a typed CodecError instead of silently misparsing.
 //
 // Buffer ownership: encode and decode both borrow scratch buffers from a
 // sync.Pool. On the read side, a fast-path FileChunk's Data slice points
@@ -34,12 +43,14 @@
 package wire
 
 import (
-	"dfsqos/internal/ids"
 	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/trace"
 )
 
 // Codec identifies a frame-body encoding (the one-byte tag in the frame
@@ -47,10 +58,14 @@ import (
 type Codec uint8
 
 // The wire codecs. CodecGob is the universal fallback; CodecBinary is
-// fast-path binary v1.
+// fast-path binary v1; CodecBinaryTraced is binary v1 carrying a
+// 16-byte trace slot ahead of the kind field (see below). Per the
+// versioning rule, the trace slot got its own tag instead of mutating
+// v1's layout in place.
 const (
-	CodecGob    Codec = 0
-	CodecBinary Codec = 1
+	CodecGob          Codec = 0
+	CodecBinary       Codec = 1
+	CodecBinaryTraced Codec = 2
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -60,6 +75,8 @@ func (c Codec) String() string {
 		return "gob"
 	case CodecBinary:
 		return "binary"
+	case CodecBinaryTraced:
+		return "binary-traced"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
@@ -124,9 +141,17 @@ const (
 	headerSize = 5
 	// kindSize is the binary-codec kind field at the start of the body.
 	kindSize = 2
+	// traceSize is the fixed trace slot a CodecBinaryTraced body starts
+	// with: trace ID (int64, an ids.RequestID) + span ID (uint64), both
+	// big-endian. The slot precedes the kind field, so the rest of the
+	// body is exactly a binary-v1 body.
+	traceSize = 16
 	// chunkPrefixLen is everything in a binary FileChunk frame before
 	// the data bytes: header + kind + offset.
 	chunkPrefixLen = headerSize + kindSize + 8
+	// tracedChunkPrefixLen is the same prefix with the trace slot
+	// between the header and the kind field (tag 2 frames).
+	tracedChunkPrefixLen = headerSize + traceSize + kindSize + 8
 )
 
 // bufPool recycles frame-sized scratch buffers across Write and Read.
@@ -162,13 +187,14 @@ func putBuf(bp *[]byte) {
 var chunkPool = sync.Pool{New: func() any { return new(FileChunk) }}
 
 // chunkFrame is the reusable scratch for a single-writev chunk write: the
-// 15-byte frame prefix plus a two-element net.Buffers that lets the data
-// slice go to the kernel without being copied into a contiguous frame.
-// bufs is rebuilt from arr on every use because Buffers.WriteTo consumes
-// the slice it writes (advancing it to zero length AND zero capacity) — an
-// append into the consumed slice would reallocate per call.
+// frame prefix (15 bytes untraced, 31 with the trace slot) plus a
+// two-element net.Buffers that lets the data slice go to the kernel
+// without being copied into a contiguous frame. bufs is rebuilt from arr
+// on every use because Buffers.WriteTo consumes the slice it writes
+// (advancing it to zero length AND zero capacity) — an append into the
+// consumed slice would reallocate per call.
 type chunkFrame struct {
-	prefix [chunkPrefixLen]byte
+	prefix [tracedChunkPrefixLen]byte
 	arr    [2][]byte
 	bufs   net.Buffers
 }
@@ -194,7 +220,47 @@ func (c *Conn) WriteChunk(offset int64, data []byte) error {
 	f.prefix[4] = byte(CodecBinary)
 	binary.BigEndian.PutUint16(f.prefix[5:7], uint16(KindFileChunk))
 	binary.BigEndian.PutUint64(f.prefix[7:15], uint64(offset))
-	f.arr[0] = f.prefix[:]
+	if err := c.writevChunk(f, f.prefix[:chunkPrefixLen], data); err != nil {
+		return err
+	}
+	codecMet.Load().txBinary.Inc()
+	return nil
+}
+
+// WriteChunkTraced is WriteChunk with the span context tc in the frame's
+// trace slot (codec tag 2), so the serving RM's stream span and the
+// client's segment span share one trace. A zero tc degrades to the
+// untraced WriteChunk; the traced path keeps the zero-allocation
+// single-writev contract (the trace slot lives in the pooled prefix).
+func (c *Conn) WriteChunkTraced(tc trace.SpanContext, offset int64, data []byte) error {
+	if !tc.Valid() {
+		return c.WriteChunk(offset, data)
+	}
+	if !c.fastWrite.Load() {
+		return c.writeGobMsg(Msg{Kind: KindFileChunk, Payload: FileChunk{Offset: offset, Data: data}, Trace: tc})
+	}
+	body := traceSize + kindSize + 8 + len(data)
+	if body > MaxFrame {
+		return &FrameTooLargeError{Kind: KindFileChunk, Size: int64(body), Cap: MaxFrame, Outgoing: true}
+	}
+	f := chunkFramePool.Get().(*chunkFrame)
+	binary.BigEndian.PutUint32(f.prefix[0:4], uint32(body))
+	f.prefix[4] = byte(CodecBinaryTraced)
+	binary.BigEndian.PutUint64(f.prefix[5:13], uint64(int64(tc.Trace)))
+	binary.BigEndian.PutUint64(f.prefix[13:21], tc.Span)
+	binary.BigEndian.PutUint16(f.prefix[21:23], uint16(KindFileChunk))
+	binary.BigEndian.PutUint64(f.prefix[23:31], uint64(offset))
+	if err := c.writevChunk(f, f.prefix[:tracedChunkPrefixLen], data); err != nil {
+		return err
+	}
+	codecMet.Load().txTraced.Inc()
+	return nil
+}
+
+// writevChunk pushes prefix+data as a single writev under the write lock
+// and returns f to the pool.
+func (c *Conn) writevChunk(f *chunkFrame, prefix, data []byte) error {
+	f.arr[0] = prefix
 	f.arr[1] = data
 	f.bufs = net.Buffers(f.arr[:])
 	c.wmu.Lock()
@@ -209,7 +275,6 @@ func (c *Conn) WriteChunk(offset int64, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("wire: writing %v frame: %w", KindFileChunk, err)
 	}
-	codecMet.Load().txBinary.Inc()
 	return nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"testing"
+
+	"dfsqos/internal/trace"
 )
 
 // The gobonly build tag models a legacy peer compiled without the binary
@@ -35,6 +37,59 @@ func TestGobOnlyBuildEmitsGobFrames(t *testing.T) {
 		t.Fatalf("chunk mangled: %+v", msg.Payload)
 	}
 	msg.Release()
+}
+
+// TestGobOnlyBuildCarriesTraceOnGob: a legacy build still propagates
+// span contexts — traced writes fall back to the gob envelope's Trace
+// field instead of the tag-2 fast path.
+func TestGobOnlyBuildCarriesTraceOnGob(t *testing.T) {
+	tc := trace.SpanContext{Trace: 7, Span: 8}
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteTraced(tc, KindFileEnd, FileEnd{Size: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteChunkTraced(tc, 16, []byte("legacy traced")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := Codec(buf.Bytes()[4]); got != CodecGob {
+			t.Fatalf("gobonly traced frame %d went out as %v", i, got)
+		}
+		msg, err := c.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Trace != tc {
+			t.Fatalf("frame %d trace = %+v, want %+v", i, msg.Trace, tc)
+		}
+		msg.Release()
+	}
+}
+
+// TestGobOnlyBuildRejectsTracedBinaryFrames: the tag-2 traced fast path
+// is refused with the same typed error as tag 1.
+func TestGobOnlyBuildRejectsTracedBinaryFrames(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge the traced binary keepalive a fast-path peer would send.
+	body := binary.BigEndian.AppendUint64(nil, 1) // trace id
+	body = binary.BigEndian.AppendUint64(body, 2) // span id
+	body = binary.BigEndian.AppendUint16(body, uint16(KindKeepalive))
+	body = binary.BigEndian.AppendUint64(body, 3)
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = byte(CodecBinaryTraced)
+	buf.Write(hdr[:])
+	buf.Write(body)
+
+	_, err := NewConn(&buf).Read()
+	var ce *CodecError
+	if !errors.As(err, &ce) {
+		t.Fatalf("traced binary frame in gobonly build: err = %v, want CodecError", err)
+	}
+	if ce.Codec != CodecBinaryTraced {
+		t.Fatalf("misreported codec: %+v", ce)
+	}
 }
 
 func TestGobOnlyBuildRejectsBinaryFrames(t *testing.T) {

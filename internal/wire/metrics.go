@@ -6,12 +6,12 @@ import (
 	"dfsqos/internal/telemetry"
 )
 
-// codecCounters is the frame-count split by direction and codec. The four
+// codecCounters is the frame-count split by direction and codec. The
 // children are resolved once so the per-frame cost is one atomic pointer
 // load plus one atomic increment.
 type codecCounters struct {
-	txBinary, txGob *telemetry.Counter
-	rxBinary, rxGob *telemetry.Counter
+	txBinary, txGob, txTraced *telemetry.Counter
+	rxBinary, rxGob, rxTraced *telemetry.Counter
 }
 
 // codecMet is the process-wide sink. It starts as an unregistered (live
@@ -25,13 +25,15 @@ func init() { codecMet.Store(newCodecCounters(nil)) }
 // live, unregistered counters).
 func newCodecCounters(reg *telemetry.Registry) *codecCounters {
 	v := reg.NewCounterVec("dfsqos_wire_frames_total",
-		"Frames moved on wire connections, by direction (tx/rx) and codec (binary/gob).",
+		"Frames moved on wire connections, by direction (tx/rx) and codec (binary/gob/binary-traced).",
 		"dir", "codec")
 	return &codecCounters{
 		txBinary: v.With("tx", "binary"),
 		txGob:    v.With("tx", "gob"),
+		txTraced: v.With("tx", "binary-traced"),
 		rxBinary: v.With("rx", "binary"),
 		rxGob:    v.With("rx", "gob"),
+		rxTraced: v.With("rx", "binary-traced"),
 	}
 }
 
@@ -50,4 +52,11 @@ func RegisterCodecMetrics(reg *telemetry.Registry) {
 func CodecStats() (txBinary, txGob, rxBinary, rxGob uint64) {
 	m := codecMet.Load()
 	return m.txBinary.Value(), m.txGob.Value(), m.rxBinary.Value(), m.rxGob.Value()
+}
+
+// CodecTracedStats snapshots the traced-binary (codec tag 2) frame
+// counters.
+func CodecTracedStats() (txTraced, rxTraced uint64) {
+	m := codecMet.Load()
+	return m.txTraced.Value(), m.rxTraced.Value()
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions are skipped under -race: the detector's
+// instrumentation allocates, which would fail the 0-allocs guards for
+// reasons unrelated to the codec.
+const raceEnabled = false

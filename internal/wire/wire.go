@@ -1,12 +1,13 @@
 // Package wire frames the ECNP protocol messages for TCP transport: each
 // frame is a 4-byte big-endian body length, a 1-byte codec tag, and the
-// body. The tag selects how the body is encoded — gob (tag 0, every kind)
-// or the hand-rolled binary fast path (tag 1, the data-plane and other
-// high-frequency kinds; see codec.go). Frames are independent (stateless
-// codec per frame), so a connection can be taken over after any message
-// boundary, a corrupted frame cannot poison decoder state, and the two
-// codecs interleave freely on one connection. A frame-size cap bounds
-// memory against malformed peers.
+// body. The tag selects how the body is encoded — gob (tag 0, every
+// kind), the hand-rolled binary fast path (tag 1, the data-plane and
+// other high-frequency kinds), or traced binary (tag 2, binary v1 with a
+// 16-byte request-trace slot; see codec.go). Frames are independent
+// (stateless codec per frame), so a connection can be taken over after
+// any message boundary, a corrupted frame cannot poison decoder state,
+// and the codecs interleave freely on one connection. A frame-size cap
+// bounds memory against malformed peers.
 package wire
 
 import (
@@ -25,6 +26,7 @@ import (
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/selection"
+	"dfsqos/internal/trace"
 )
 
 // MaxFrame bounds a single message, comfortably above the largest data
@@ -104,6 +106,13 @@ func (k Kind) String() string {
 type Msg struct {
 	Kind    Kind
 	Payload any
+
+	// Trace is the span context this frame carries, if any: the zero
+	// value means "untraced". Gob frames encode it as an ordinary
+	// (omitted-when-zero) envelope field; fast-path frames carry it in
+	// the tag-2 trace slot. Servers join it with
+	// trace.Tracer.StartChild.
+	Trace trace.SpanContext
 
 	// pooled is the frame buffer this message's payload borrows from
 	// (fast-path FileChunk only: Data points into it); chunk is the
@@ -498,15 +507,66 @@ func (c *Conn) Write(kind Kind, payload any) error {
 	return c.writeGob(kind, payload)
 }
 
+// WriteTraced is Write carrying the span context tc on the frame, so the
+// receiving server can join the sender's trace. A zero tc degrades to the
+// untraced Write. Fast-path-eligible kinds go out as traced binary frames
+// (codec tag 2, same pooled single-write discipline — zero allocations);
+// everything else rides the gob envelope's Trace field. Chunks route
+// through WriteChunkTraced.
+func (c *Conn) WriteTraced(tc trace.SpanContext, kind Kind, payload any) error {
+	if !tc.Valid() {
+		return c.Write(kind, payload)
+	}
+	if c.fastWrite.Load() {
+		if kind == KindFileChunk {
+			switch p := payload.(type) {
+			case FileChunk:
+				return c.WriteChunkTraced(tc, p.Offset, p.Data)
+			case *FileChunk:
+				return c.WriteChunkTraced(tc, p.Offset, p.Data)
+			}
+		} else {
+			bp := getBuf(96)
+			b := append((*bp)[:0], 0, 0, 0, 0, byte(CodecBinaryTraced))
+			b = binary.BigEndian.AppendUint64(b, uint64(int64(tc.Trace)))
+			b = binary.BigEndian.AppendUint64(b, tc.Span)
+			if b2, ok := appendBinary(b, kind, payload); ok {
+				*bp = b2
+				n := len(b2) - headerSize
+				if n > MaxFrame {
+					putBuf(bp)
+					return &FrameTooLargeError{Kind: kind, Size: int64(n), Cap: MaxFrame, Outgoing: true}
+				}
+				binary.BigEndian.PutUint32(b2[:4], uint32(n))
+				err := c.writeFrame(b2, kind)
+				putBuf(bp)
+				if err == nil {
+					codecMet.Load().txTraced.Inc()
+				}
+				return err
+			}
+			putBuf(bp)
+		}
+	}
+	return c.writeGobMsg(Msg{Kind: kind, Payload: payload, Trace: tc})
+}
+
 // writeGob sends one gob-framed message: the 5-byte header placeholder
 // and the gob body are built in a single pooled buffer (so the gob
 // encoder's output lands directly behind the header), then the whole
 // frame goes out as one write.
 func (c *Conn) writeGob(kind Kind, payload any) error {
+	return c.writeGobMsg(Msg{Kind: kind, Payload: payload})
+}
+
+// writeGobMsg frames msg (including any Trace field — gob omits it when
+// zero) as a gob frame.
+func (c *Conn) writeGobMsg(msg Msg) error {
+	kind := msg.Kind
 	bp := getBuf(512)
 	buf := bytes.NewBuffer((*bp)[:0])
 	buf.Write(make([]byte, headerSize))
-	if err := gob.NewEncoder(buf).Encode(Msg{Kind: kind, Payload: payload}); err != nil {
+	if err := gob.NewEncoder(buf).Encode(msg); err != nil {
 		putBuf(bp)
 		return fmt.Errorf("wire: encoding %v: %w", kind, err)
 	}
@@ -620,6 +680,29 @@ func (c *Conn) Read() (Msg, error) {
 		}
 		codecMet.Load().rxBinary.Inc()
 		return msg, nil
+	case CodecBinaryTraced:
+		if !c.acceptBinary.Load() {
+			putBuf(bp)
+			return Msg{}, &CodecError{Codec: codec, Reason: "binary fast path not accepted by this endpoint"}
+		}
+		if len(body) < traceSize {
+			putBuf(bp)
+			return Msg{}, &CodecError{Codec: codec, Reason: "body shorter than trace slot"}
+		}
+		tc := trace.SpanContext{
+			Trace: ids.RequestID(int64(binary.BigEndian.Uint64(body[:8]))),
+			Span:  binary.BigEndian.Uint64(body[8:16]),
+		}
+		msg, retained, err := decodeBinary(body[traceSize:], bp)
+		if !retained {
+			putBuf(bp)
+		}
+		if err != nil {
+			return Msg{}, err
+		}
+		msg.Trace = tc
+		codecMet.Load().rxTraced.Inc()
+		return msg, nil
 	default:
 		putBuf(bp)
 		return Msg{}, &CodecError{Codec: codec, Reason: "unknown codec tag"}
@@ -629,7 +712,13 @@ func (c *Conn) Read() (Msg, error) {
 // Call performs a synchronous request/response round trip. A KindError
 // reply is surfaced as a RemoteError.
 func (c *Conn) Call(kind Kind, payload any) (Msg, error) {
-	if err := c.Write(kind, payload); err != nil {
+	return c.CallTraced(trace.SpanContext{}, kind, payload)
+}
+
+// CallTraced is Call with the span context tc stamped on the request
+// frame (see WriteTraced). A zero tc is exactly Call.
+func (c *Conn) CallTraced(tc trace.SpanContext, kind Kind, payload any) (Msg, error) {
+	if err := c.WriteTraced(tc, kind, payload); err != nil {
 		return Msg{}, err
 	}
 	reply, err := c.Read()
@@ -648,10 +737,13 @@ func (c *Conn) Call(kind Kind, payload any) (Msg, error) {
 // CallContext is Call bounded by ctx: the context's deadline and
 // cancellation are mapped onto the stream's I/O deadlines, so a stalled or
 // unreachable peer cannot block the caller past the context. With a
-// deadline-free, never-canceled context it degenerates to Call. The
-// connection is left with no deadline armed on return; a call aborted by
-// ctx leaves the stream desynchronized, so the caller must discard it
-// (the transport pool does exactly that).
+// deadline-free, never-canceled context it degenerates to Call. A span
+// context attached to ctx (trace.NewContext) is stamped on the request
+// frame, so trace propagation flows through every transport.Client.Call
+// without widening its signature. The connection is left with no deadline
+// armed on return; a call aborted by ctx leaves the stream
+// desynchronized, so the caller must discard it (the transport pool does
+// exactly that).
 func (c *Conn) CallContext(ctx context.Context, kind Kind, payload any) (Msg, error) {
 	if err := ctx.Err(); err != nil {
 		return Msg{}, err
@@ -668,7 +760,7 @@ func (c *Conn) CallContext(ctx context.Context, kind Kind, payload any) (Msg, er
 			c.SetDeadline(time.Time{})
 		}()
 	}
-	msg, err := c.Call(kind, payload)
+	msg, err := c.CallTraced(trace.FromContext(ctx), kind, payload)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			// Prefer the context's verdict over the raw i/o timeout error.

@@ -4,9 +4,11 @@
 # Runs the wire codec benchmarks and the live-TCP streaming benchmark,
 # parses the `go test -bench` output into BENCH_4.json, and enforces the
 # fast-path allocation ceiling: BenchmarkEncodeChunk/fast and
-# BenchmarkDecodeChunk/fast must stay at (by default) 0 allocs/op — the
-# zero-allocation property is the point of the fast path, and a regression
-# here is a silent per-chunk cost on every data stream.
+# BenchmarkDecodeChunk/fast — and their trace-slot-carrying Traced
+# variants — must stay at (by default) 0 allocs/op. The zero-allocation
+# property is the point of the fast path, and a regression here is a
+# silent per-chunk cost on every data stream; gating the traced variants
+# proves request tracing never bought observability with allocations.
 #
 # Usage:
 #   ./scripts/bench.sh [out.json]
@@ -61,9 +63,10 @@ END {
 echo "== wrote $OUT"
 cat "$OUT"
 
-# Alloc regression gate on the fast-path chunk codecs.
+# Alloc regression gate on the fast-path chunk codecs, untraced and traced.
 fail=0
-for gated in "BenchmarkEncodeChunk/fast" "BenchmarkDecodeChunk/fast"; do
+for gated in "BenchmarkEncodeChunk/fast" "BenchmarkDecodeChunk/fast" \
+	"BenchmarkEncodeChunkTraced/fast" "BenchmarkDecodeChunkTraced/fast"; do
 	# The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so it is optional.
 	aop="$(awk -v b="$gated" '$1 ~ "^"b"(-[0-9]+)?$" && $(NF) == "allocs/op" { print $(NF-1) }' "$RAW")"
 	if [ -z "$aop" ]; then
