@@ -47,11 +47,12 @@ cover:
 	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out
 
 # bench runs the data-plane benchmark harness: wire codec benchmarks plus
-# the live-TCP streaming benchmark, parsed into BENCH_4.json, with the
-# 0-allocs/op gate on the fast-path chunk codecs. BENCH_TIME tunes the
-# per-benchmark budget (CI uses a shorter one).
+# the live-TCP streaming and striped-read benchmarks, parsed into
+# BENCH_6.json, with the 0-allocs/op gate on the fast-path codecs and the
+# K4-vs-K1 stripe-scaling floor. BENCH_TIME tunes the per-benchmark
+# budget (CI uses a shorter one).
 bench:
-	./scripts/bench.sh BENCH_4.json
+	./scripts/bench.sh BENCH_6.json
 
 # fuzz-smoke gives each wire codec fuzz target a short randomized run on
 # top of its seeded corpus — enough to catch decoder panics and checksum

@@ -45,6 +45,8 @@ func main() {
 		scale    = flag.Float64("scale", 1, "virtual seconds per wall second")
 		negTO    = flag.Duration("negotiation-timeout", 2*time.Second, "deadline for collecting CFP bids; stalled RMs degrade to last-ranked zero bids")
 		maxFO    = flag.Int("max-failovers", 2, "replicas a -read may fail over to after its serving RM dies mid-stream")
+		stripeW  = flag.Int("stripe-width", 1, "replicas a -read stripes byte ranges across (1 = sequential single-RM read)")
+		hedgeAft = flag.Duration("hedge-after", 0, "re-issue a lagging stripe range to another lane after this long (0 disables hedging)")
 		monAddr  = flag.String("monitor", "", "HTTP stats/metrics address (e.g. 127.0.0.1:0); empty disables")
 		dbgAddr  = flag.String("debug-addr", "", "standalone debug HTTP address (/traces + pprof); empty serves them on -monitor only")
 		traceN   = flag.Int("trace-ring", 4096, "span ring capacity for request tracing (rounded up to a power of two)")
@@ -148,21 +150,26 @@ func main() {
 		file := cat.SamplePopular(picker)
 		meta := cat.File(file)
 		if *read {
-			// Streamed access with self-healing: the reservation rides the
-			// stream (chunks renew its lease) and a replica dying
-			// mid-stream fails over to the next-best bidder, resuming at
-			// the exact byte offset — bounded by -max-failovers.
+			// Streamed access with self-healing: reservations ride the
+			// stream (chunks renew their leases), a replica dying mid-range
+			// fails over to the next-best bidder — bounded by -max-failovers
+			// — and -stripe-width > 1 spreads byte ranges across that many
+			// lanes at once, with -hedge-after re-issuing lagging ranges.
 			start := time.Now()
-			res, err := client.ReadWithFailover(dir, file, io.Discard, dfsc.FailoverConfig{MaxFailovers: *maxFO})
+			res, err := client.ReadStriped(dir, file, io.Discard, dfsc.StripeConfig{
+				Width:        *stripeW,
+				HedgeAfter:   *hedgeAft,
+				MaxFailovers: *maxFO,
+			})
 			if err != nil {
 				failed++
 				log.Printf("dfsc: %s (%v, %.1fs) FAILED: %v", meta.Name, meta.Bitrate, meta.DurationSec, err)
 			} else {
 				ok++
 				secs := time.Since(start).Seconds()
-				log.Printf("dfsc: %s (%v, %.1fs) -> %v: %d bytes in %.2fs (%.2f MB/s, %d failover(s), checksum ok)",
+				log.Printf("dfsc: %s (%v, %.1fs) -> %v: %d bytes in %.2fs (%.2f MB/s, %d segment(s), %d failover(s), %d/%d hedge(s) won, checksum ok)",
 					meta.Name, meta.Bitrate, meta.DurationSec, res.RMs, res.Bytes, secs,
-					float64(res.Bytes)/secs/1e6, res.Failovers)
+					float64(res.Bytes)/secs/1e6, len(res.Segments), res.Failovers, res.HedgesWon, res.Hedges)
 			}
 			time.Sleep(time.Duration(*gapMS) * time.Millisecond)
 			continue

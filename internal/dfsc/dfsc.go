@@ -28,9 +28,13 @@ import (
 	"dfsqos/internal/trace"
 )
 
-// Stats counts request outcomes and protocol traffic at one client.
+// Stats counts request outcomes and protocol traffic at one client,
+// including the data-plane segment counters the stripe scheduler
+// produces — the client API view of the read path, mirroring the
+// registry's dfsqos_dfsc_* series.
 type Stats struct {
-	// Requests is the number of accesses attempted.
+	// Requests is the number of accesses attempted (striped reads count
+	// one per admitted lane — each lane holds its own reservation).
 	Requests int64
 	// Failed is the number of firm-scenario requests refused by every
 	// eligible RM ("fail rate" numerator).
@@ -40,8 +44,18 @@ type Stats struct {
 	// Completed counts accesses whose reservation has been released.
 	Completed int64
 	// Failovers counts mid-stream reads re-admitted on another replica
-	// after their serving RM died.
+	// after their serving RM died (striped reads: one per lane
+	// re-admission).
 	Failovers int64
+	// Segments counts data-plane segments delivered to readers: one per
+	// serving RM on the sequential path, one per committed byte range on
+	// the striped path.
+	Segments int64
+	// Hedges counts speculative re-issues of a lagging lane's segment to
+	// another replica; HedgesWon counts those where the hedge beat the
+	// original (first-writer-wins).
+	Hedges    int64
+	HedgesWon int64
 	// Messages counts control-plane messages this client exchanged:
 	// matchmaker queries and replies, CFPs and bids, opens and their
 	// results. It is the quantity behind the paper\'s claim that the ECNP
@@ -218,6 +232,43 @@ func (c *Client) accessHeldCtx(ctx context.Context, file ids.FileID, exclude map
 	}
 }
 
+// heldLane is one admitted stripe lane: the admission outcome plus the
+// idempotent release of its reservation.
+type heldLane struct {
+	out     Outcome
+	release func()
+}
+
+// accessLanesCtx negotiates up to k concurrent lanes for file (see
+// negotiateLanes) and wraps each grant with an idempotent release, the
+// K-wide sibling of accessHeldCtx. Fewer than k lanes is a degraded
+// width, not an error; zero lanes reports the failure Outcome.
+func (c *Client) accessLanesCtx(ctx context.Context, file ids.FileID, exclude map[ids.RMID]bool, k int) ([]heldLane, Outcome) {
+	grants, fail := c.negotiateLanes(ctx, file, exclude, k)
+	if len(grants) == 0 {
+		return nil, fail
+	}
+	lanes := make([]heldLane, len(grants))
+	for i, g := range grants {
+		g := g
+		released := false
+		var mu sync.Mutex
+		lanes[i] = heldLane{out: g.out, release: func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if released {
+				return
+			}
+			released = true
+			g.p.Close(g.out.Request)
+			c.mu.Lock()
+			c.stats.Completed++
+			c.mu.Unlock()
+		}}
+	}
+	return lanes, Outcome{}
+}
+
 // Store runs the write half of the data communication phase: "data can be
 // stored into the selected storage resource". Every registered RM (not
 // just replica holders — a new file has none) answers the CFP; the
@@ -308,14 +359,38 @@ type ctxOpener interface {
 	OpenContext(ctx context.Context, req ecnp.OpenRequest) ecnp.OpenResult
 }
 
+// grant is one admitted lane of a (possibly K-wide) negotiation: the
+// admission outcome plus the provider holding its reservation.
+type grant struct {
+	out Outcome
+	p   ecnp.Provider
+}
+
 // negotiateCtx is negotiate minus the RMs in exclude (nil excludes
-// nothing), under a caller context. When tracing is enabled the whole
-// negotiation is spanned: a "dfsc.access" span (root, or a child of any
-// span already in ctx) covering phases 1-3, with children "dfsc.lookup"
-// (resource exploration), "dfsc.bid" (CFP fan-out), and one "dfsc.open"
-// per admission attempt — each propagated to the serving daemon over the
-// wire so the trace stitches client and server halves together.
+// nothing), under a caller context. It is the 1-wide special case of
+// negotiateLanes, preserved as the admission path of Access/AccessHeld.
 func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[ids.RMID]bool) (Outcome, ecnp.Provider) {
+	grants, fail := c.negotiateLanes(ctx, file, exclude, 1)
+	if len(grants) == 0 {
+		return fail, nil
+	}
+	return grants[0].out, grants[0].p
+}
+
+// negotiateLanes runs one three-phase negotiation admitting up to k
+// concurrent lanes: phases 1 (MM lookup) and 2 (CFP fan-out + scoring)
+// run exactly once, then phase 3 walks the ranked bidders admitting each
+// under its own reservation until k lanes hold or the ranking is
+// exhausted. Fewer than k grants is not an error — the striped reader
+// degrades its width to what the replica set supports. With zero grants
+// the failure Outcome describes why (the same outcomes the 1-wide path
+// has always produced). When tracing is enabled the whole negotiation is
+// spanned: a "dfsc.access" span (root, or a child of any span already in
+// ctx) covering phases 1-3, with children "dfsc.lookup" (resource
+// exploration), "dfsc.bid" (CFP fan-out), and one "dfsc.open" per
+// admission attempt — each propagated to the serving daemon over the
+// wire so the trace stitches client and server halves together.
+func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude map[ids.RMID]bool, k int) ([]grant, Outcome) {
 	start := time.Now()
 	defer func() { c.met.NegotiationLatency.Observe(time.Since(start).Seconds()) }()
 
@@ -371,7 +446,7 @@ func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[
 		c.mu.Unlock()
 		c.met.NoReplica.Inc()
 		sp.SetOutcome("no-replica")
-		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}, nil
+		return nil, Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}
 	}
 
 	// Phase 2 — resource negotiation: CFP fan-out and bid collection
@@ -403,40 +478,47 @@ func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[
 		c.mu.Unlock()
 		c.met.Failed.Inc()
 		sp.SetOutcome("no-rm")
-		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}, nil
+		return nil, Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}
 	}
 
 	// Rank the bidders: policy order, or a uniform shuffle for (0,0,0).
-	var order []ids.RMID
+	// The full order is kept (selection.TopK with k = all) — phase 3 cuts
+	// it off once k lanes are admitted, so firm refusals can still fall
+	// through to lower-ranked bidders.
 	c.mu.Lock()
-	if c.policy.IsRandom() {
-		order = make([]ids.RMID, len(bids))
-		for i, b := range bids {
-			order[i] = b.RM
-		}
-		c.src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	} else {
-		order = selection.Rank(c.policy, bids)
-	}
+	order := selection.TopK(c.policy, bids, len(bids), c.src)
 	firm := c.scen.IsFirm()
 	c.mu.Unlock()
 
-	// Phase 3 — data communication: open on the winner. In the firm
-	// scenario a refused open falls through to the next-ranked bidder;
-	// the request fails only "when none of the RMs can provide sufficient
-	// bandwidth" (paper §VI-A1). Soft requests are always admitted by the
-	// first-ranked RM.
-	open := ecnp.OpenRequest{
-		Request:     req,
-		File:        file,
-		Bitrate:     f.Bitrate,
-		DurationSec: f.DurationSec,
-		Firm:        firm,
-	}
+	// Phase 3 — data communication: open on the ranked winners until k
+	// lanes hold reservations. In the firm scenario a refused open falls
+	// through to the next-ranked bidder; the request fails only "when
+	// none of the RMs can provide sufficient bandwidth" (paper §VI-A1).
+	// Soft requests are always admitted by the first-ranked RM. Each lane
+	// opens under its own request ID (the first reuses the negotiation's,
+	// so 1-wide callers see today's exact request identity).
+	var grants []grant
 	for _, rmID := range order {
+		if len(grants) == k {
+			break
+		}
+		laneReq := req
+		if len(grants) > 0 {
+			laneReq = c.nextRequestID()
+			c.mu.Lock()
+			c.stats.Requests++ // each extra lane holds its own reservation
+			c.mu.Unlock()
+		}
+		open := ecnp.OpenRequest{
+			Request:     laneReq,
+			File:        file,
+			Bitrate:     f.Bitrate,
+			DurationSec: f.DurationSec,
+			Firm:        firm,
+		}
 		p := providers[rmID]
 		openSp := c.tracer.StartChild(sp.Context(), "dfsc.open").
-			SetRM(rmID).SetFile(file).SetRequest(req)
+			SetRM(rmID).SetFile(file).SetRequest(laneReq)
 		var res ecnp.OpenResult
 		if co, ok := p.(ctxOpener); ok {
 			res = co.OpenContext(trace.NewContext(ctx, openSp.Context()), open)
@@ -450,6 +532,11 @@ func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[
 				c.met.Fallbacks.Inc()
 				continue
 			}
+			if len(grants) > 0 {
+				// Later soft lanes are best-effort width: a refusal stops
+				// the widening but the admitted lanes stand.
+				break
+			}
 			// A soft open can only fail on a duplicate request id, which
 			// indicates a bug upstream.
 			c.mu.Lock()
@@ -457,12 +544,18 @@ func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[
 			c.mu.Unlock()
 			c.met.Failed.Inc()
 			sp.SetOutcome("error")
-			return Outcome{Request: req, File: file, RM: rmID, OK: false, Reason: res.Reason}, nil
+			return nil, Outcome{Request: req, File: file, RM: rmID, OK: false, Reason: res.Reason}
 		}
 		openSp.SetOutcome("admitted").End()
 		c.met.Admitted.Inc()
-		sp.SetRM(rmID).SetOutcome("admitted")
-		return Outcome{Request: req, File: file, RM: rmID, OK: true}, p
+		grants = append(grants, grant{
+			out: Outcome{Request: laneReq, File: file, RM: rmID, OK: true},
+			p:   p,
+		})
+	}
+	if len(grants) > 0 {
+		sp.SetRM(grants[0].out.RM).SetOutcome("admitted")
+		return grants, Outcome{}
 	}
 
 	c.mu.Lock()
@@ -470,7 +563,7 @@ func (c *Client) negotiateCtx(ctx context.Context, file ids.FileID, exclude map[
 	c.mu.Unlock()
 	c.met.Failed.Inc()
 	sp.SetOutcome("firm-exhausted")
-	return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}, nil
+	return nil, Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}
 }
 
 // collectBids runs the CFP fan-out over the candidate RMs and returns the

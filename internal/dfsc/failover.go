@@ -43,15 +43,47 @@ type FailoverConfig struct {
 	Backoff time.Duration
 }
 
-// ReadResult describes one (possibly multi-segment) failover read.
+// SegmentInfo attributes one delivered byte range to the replica that
+// served it, so a multi-RM read is auditable segment by segment.
+type SegmentInfo struct {
+	// Offset/Length locate the segment in the file.
+	Offset int64
+	Length int64
+	// RM is the replica whose copy of the range was committed.
+	RM ids.RMID
+	// Hedged reports that the committed copy came from a hedge — a
+	// speculative re-issue that beat the original lane to completion.
+	Hedged bool
+}
+
+// ReadResult describes one (possibly multi-segment, possibly striped)
+// read.
 type ReadResult struct {
 	// Bytes is the total delivered to the writer across all segments.
 	Bytes int64
-	// Failovers is how many times the stream moved to another replica.
+	// Failovers is how many times a stream (or stripe lane) moved to
+	// another replica.
 	Failovers int
-	// RMs lists the serving RMs in segment order (the first entry is the
-	// original winner; each further entry is one failover).
+	// RMs lists the serving RMs in admission order. On the sequential
+	// (1-wide) path that is segment order: the first entry is the
+	// original winner and each further entry is one failover. On a
+	// striped read it is lane-admission order — segment attribution lives
+	// in Segments, because lanes interleave and "segment order" is no
+	// longer well defined for a flat RM list.
 	RMs []ids.RMID
+	// Segments attributes every committed byte range to its serving RM,
+	// in file-offset order (which is also commit order).
+	Segments []SegmentInfo
+	// Checksum is the whole-file FNV-1a sum folded over the delivered
+	// bytes in offset order, verified against the server side: the final
+	// FileEnd checksum on the sequential path, per-range checksums on the
+	// striped path. Valid only when the read succeeded.
+	Checksum uint64
+	// Hedges counts slow-lane ranges speculatively re-issued to another
+	// replica; HedgesWon counts those where the hedge's copy was the one
+	// committed.
+	Hedges    int
+	HedgesWon int
 }
 
 // ReadWithFailover reads file through s, failing over to another replica
@@ -93,10 +125,18 @@ func (c *Client) ReadWithFailover(s Streamer, file ids.FileID, w io.Writer, cfg 
 			SetRM(out.RM).SetFile(file).SetRequest(out.Request).SetOffset(offset)
 		n, err := s.StreamAt(trace.NewContext(ctx, seg.Context()), out.RM, file, out.Request, offset, w, &sum)
 		seg.SetBytes(n)
+		if n > 0 || err == nil {
+			res.Segments = append(res.Segments, SegmentInfo{Offset: offset, Length: n, RM: out.RM})
+			c.met.Segments.Inc()
+			c.mu.Lock()
+			c.stats.Segments++
+			c.mu.Unlock()
+		}
 		offset += n
 		res.Bytes = offset
 		release() // best effort on a dead RM; idempotent
 		if err == nil {
+			res.Checksum = sum
 			seg.SetOutcome("ok").End()
 			root.SetRM(out.RM).SetBytes(offset).SetOutcome("ok")
 			return res, nil

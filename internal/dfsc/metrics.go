@@ -35,6 +35,24 @@ type Metrics struct {
 	// the replacement reservation being admitted
 	// (dfsqos_dfsc_failover_latency_seconds).
 	FailoverLatency *telemetry.Histogram
+	// StripeReads counts striped reads started
+	// (dfsqos_dfsc_stripe_reads_total); StripeLanes counts the lanes they
+	// admitted (dfsqos_dfsc_stripe_lanes_total), so lanes/reads is the
+	// effective stripe width.
+	StripeReads *telemetry.Counter
+	StripeLanes *telemetry.Counter
+	// Segments counts data-plane segments committed to readers
+	// (dfsqos_dfsc_segments_total).
+	Segments *telemetry.Counter
+	// HedgesFired / HedgesWon count slow-lane hedges by outcome
+	// (dfsqos_dfsc_hedges_total{outcome}): fired when a lagging lane's
+	// range was re-issued to another replica, won when the hedge beat the
+	// original copy (first-writer-wins).
+	HedgesFired *telemetry.Counter
+	HedgesWon   *telemetry.Counter
+	// LaneFailovers counts stripe lanes re-admitted on another replica
+	// after their RM died mid-range (dfsqos_dfsc_lane_failovers_total).
+	LaneFailovers *telemetry.Counter
 }
 
 // NewMetrics registers the DFSC metric families on reg (nil reg yields a
@@ -42,6 +60,8 @@ type Metrics struct {
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	outcomes := reg.NewCounterVec("dfsqos_dfsc_requests_total",
 		"Access attempts by outcome.", "outcome")
+	hedges := reg.NewCounterVec("dfsqos_dfsc_hedges_total",
+		"Slow-lane hedges by outcome (fired/won).", "outcome")
 	return &Metrics{
 		NegotiationLatency: reg.NewHistogram("dfsqos_dfsc_negotiation_latency_seconds",
 			"Three-phase negotiation latency (MM query, CFP fan-out, open).",
@@ -58,5 +78,15 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		FailoverLatency: reg.NewHistogram("dfsqos_dfsc_failover_latency_seconds",
 			"Seconds from failover decision to replacement admission.",
 			telemetry.DefBuckets),
+		StripeReads: reg.NewCounter("dfsqos_dfsc_stripe_reads_total",
+			"Striped (K-wide) reads started."),
+		StripeLanes: reg.NewCounter("dfsqos_dfsc_stripe_lanes_total",
+			"Stripe lanes admitted across striped reads."),
+		Segments: reg.NewCounter("dfsqos_dfsc_segments_total",
+			"Data-plane segments committed to readers."),
+		HedgesFired: hedges.With("fired"),
+		HedgesWon:   hedges.With("won"),
+		LaneFailovers: reg.NewCounter("dfsqos_dfsc_lane_failovers_total",
+			"Stripe lanes re-admitted on another replica after RM failure."),
 	}
 }

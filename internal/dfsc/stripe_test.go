@@ -1,0 +1,335 @@
+package dfsc
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dfsqos/internal/ecnp"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/qos"
+	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/telemetry"
+	"dfsqos/internal/units"
+	"dfsqos/internal/wire"
+)
+
+// rangedStreamer is the stripe-scheduler unit fake: it serves byte
+// ranges of a fixed body with per-RM artificial latency and scripted
+// mid-range deaths, recording every range call.
+type rangedStreamer struct {
+	mu    sync.Mutex
+	body  []byte
+	delay map[ids.RMID]time.Duration // per-RM latency before the range is served
+	dead  map[ids.RMID]bool          // RMs that die mid-range on every call
+	calls []rangeCall
+}
+
+type rangeCall struct {
+	rm          ids.RMID
+	off, length int64
+}
+
+func (s *rangedStreamer) StreamAt(ctx context.Context, rm ids.RMID, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
+	return s.StreamRange(ctx, rm, file, req, offset, int64(len(s.body))-offset, w, sum)
+}
+
+func (s *rangedStreamer) StreamRange(_ context.Context, rm ids.RMID, _ ids.FileID, _ ids.RequestID, offset, length int64, w io.Writer, sum *uint64) (int64, error) {
+	s.mu.Lock()
+	s.calls = append(s.calls, rangeCall{rm: rm, off: offset, length: length})
+	d := s.delay[rm]
+	dead := s.dead[rm]
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	end := offset + length
+	if end > int64(len(s.body)) {
+		end = int64(len(s.body))
+	}
+	seg := s.body[offset:end]
+	if dead {
+		// Die halfway through the range, bytes already delivered.
+		seg = seg[:len(seg)/2]
+	}
+	n, err := w.Write(seg)
+	if err != nil {
+		return int64(n), err
+	}
+	if sum != nil {
+		*sum = wire.ChecksumUpdate(*sum, seg)
+	}
+	if dead {
+		return int64(n), io.ErrUnexpectedEOF
+	}
+	return int64(n), nil
+}
+
+// stripeBody pins file 0 to a small deterministic body so segment plans
+// are test-sized (the catalog generates streaming-scale files).
+func stripeBody(h *harness, n int) []byte {
+	h.catalog.File(0).Size = units.Size(n)
+	body := make([]byte, n)
+	for i := range body {
+		body[i] = byte(i * 7)
+	}
+	return body
+}
+
+func TestReadStripedOutOfOrderSegmentsChecksum(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(200), 2: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}})
+	c := h.client(t, selection.RemOnly, qos.Soft)
+	body := stripeBody(h, 1000)
+	// Both lanes pay a per-range delay and one is slower, so segments
+	// interleave and complete out of claim order: the committer must
+	// still fold the whole-file sum in offset order. (The faster lane's
+	// delay also guarantees the slower lane claims work before the file
+	// is drained, keeping the two-RM assertion below deterministic.)
+	s := &rangedStreamer{body: body, delay: map[ids.RMID]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 15 * time.Millisecond,
+	}}
+	var got bytes.Buffer
+	res, err := c.ReadStriped(s, 0, &got, StripeConfig{Width: 2, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), body) {
+		t.Fatalf("delivered %d bytes, mismatch with body", got.Len())
+	}
+	if want := wire.ChecksumUpdate(wire.ChecksumBasis, body); res.Checksum != want {
+		t.Fatalf("res.Checksum = %x, want whole-file %x", res.Checksum, want)
+	}
+	if res.Bytes != 1000 || res.Failovers != 0 {
+		t.Fatalf("res = %+v, want 1000 bytes / 0 failovers", res)
+	}
+	if len(res.RMs) != 2 {
+		t.Fatalf("res.RMs = %v, want both lanes", res.RMs)
+	}
+	// Segments must tile the file contiguously in offset order.
+	var pos int64
+	for i, seg := range res.Segments {
+		if seg.Offset != pos {
+			t.Fatalf("segment %d at offset %d, want %d (contiguous)", i, seg.Offset, pos)
+		}
+		pos += seg.Length
+	}
+	if pos != 1000 || len(res.Segments) != 8 {
+		t.Fatalf("segments cover %d bytes in %d segments, want 1000 in 8", pos, len(res.Segments))
+	}
+	// Both replicas actually served ranges (it was a real stripe).
+	served := map[ids.RMID]bool{}
+	for _, seg := range res.Segments {
+		served[seg.RM] = true
+	}
+	if len(served) != 2 {
+		t.Fatalf("all segments served by %v, want both RMs", res.Segments)
+	}
+	if st := c.Stats(); st.Segments != 8 || st.Hedges != 0 {
+		t.Fatalf("stats = %+v, want 8 segments / 0 hedges", st)
+	}
+}
+
+func TestReadStripedZeroLengthFile(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1}})
+	c := h.client(t, selection.RemOnly, qos.Soft)
+	stripeBody(h, 0)
+	s := &rangedStreamer{}
+	var got bytes.Buffer
+	res, err := c.ReadStriped(s, 0, &got, StripeConfig{Width: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 0 || got.Len() != 0 || len(s.calls) != 0 {
+		t.Fatalf("zero-length read touched the data plane: res=%+v calls=%v", res, s.calls)
+	}
+	if res.Checksum != wire.ChecksumBasis {
+		t.Fatalf("res.Checksum = %x, want the FNV basis (empty fold)", res.Checksum)
+	}
+	// No reservation was negotiated for zero bytes.
+	if st := c.Stats(); st.Requests != 0 {
+		t.Fatalf("stats.Requests = %d, want 0", st.Requests)
+	}
+}
+
+func TestReadStripedWidthBeyondReplicaCount(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(200), 2: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}})
+	c := h.client(t, selection.RemOnly, qos.Soft)
+	body := stripeBody(h, 600)
+	s := &rangedStreamer{body: body}
+	var got bytes.Buffer
+	res, err := c.ReadStriped(s, 0, &got, StripeConfig{Width: 5, SegmentBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stripe degraded to the two lanes that exist.
+	if len(res.RMs) != 2 {
+		t.Fatalf("res.RMs = %v, want width degraded to 2", res.RMs)
+	}
+	if !bytes.Equal(got.Bytes(), body) || res.Bytes != 600 {
+		t.Fatalf("delivered %d bytes (res %d), want the whole 600", got.Len(), res.Bytes)
+	}
+	if want := wire.ChecksumUpdate(wire.ChecksumBasis, body); res.Checksum != want {
+		t.Fatalf("res.Checksum = %x, want %x", res.Checksum, want)
+	}
+}
+
+func TestReadStripedAllLanesDieBudgetExhausted(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(300), 2: units.Mbps(200), 3: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1, 2, 3}})
+	c := h.client(t, selection.RemOnly, qos.Soft)
+	body := stripeBody(h, 1000)
+	// Every replica dies mid-range, so lanes burn the shared failover
+	// budget and the read must fail once no lane is left.
+	s := &rangedStreamer{body: body, dead: map[ids.RMID]bool{1: true, 2: true, 3: true}}
+	res, err := c.ReadStriped(s, 0, io.Discard, StripeConfig{
+		Width: 2, SegmentBytes: 250, MaxFailovers: 1, Backoff: time.Microsecond,
+	})
+	if err == nil {
+		t.Fatal("read with every replica dying succeeded")
+	}
+	if !strings.Contains(err.Error(), "no lane left") {
+		t.Fatalf("error does not report lane exhaustion: %v", err)
+	}
+	if res.Failovers > 1 {
+		t.Fatalf("res.Failovers = %d, exceeds MaxFailovers 1", res.Failovers)
+	}
+	if res.Bytes >= 1000 {
+		t.Fatalf("res.Bytes = %d on a failed read, want partial", res.Bytes)
+	}
+	// Every lane's reservation was released on the way out.
+	for id, node := range h.rms {
+		if node.Allocated() != 0 {
+			t.Fatalf("RM %v still has %v allocated", id, node.Allocated())
+		}
+	}
+}
+
+func TestReadStripedHedgeBeatsSlowLane(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(200), 2: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}})
+	c := h.client(t, selection.RemOnly, qos.Soft)
+	body := stripeBody(h, 800)
+	// Two segments, two lanes. The slow replica sits on its range long
+	// past HedgeAfter; the fast lane goes idle, hedges the lagging range,
+	// and its copy must win the first-writer-wins race.
+	s := &rangedStreamer{body: body, delay: map[ids.RMID]time.Duration{
+		1: 20 * time.Millisecond,
+		2: 900 * time.Millisecond,
+	}}
+	var got bytes.Buffer
+	res, err := c.ReadStriped(s, 0, &got, StripeConfig{
+		Width: 2, SegmentBytes: 400, HedgeAfter: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), body) {
+		t.Fatalf("delivered %d bytes, mismatch with body", got.Len())
+	}
+	if want := wire.ChecksumUpdate(wire.ChecksumBasis, body); res.Checksum != want {
+		t.Fatalf("res.Checksum = %x, want %x", res.Checksum, want)
+	}
+	if res.Hedges != 1 || res.HedgesWon != 1 {
+		t.Fatalf("res = %+v, want exactly one hedge fired and won", res)
+	}
+	var hedged int
+	for _, seg := range res.Segments {
+		if seg.Hedged {
+			hedged++
+			if seg.RM != 1 {
+				t.Fatalf("hedged segment committed by %v, want the fast RM 1", seg.RM)
+			}
+		}
+	}
+	if hedged != 1 {
+		t.Fatalf("segments = %+v, want one hedged", res.Segments)
+	}
+	if st := c.Stats(); st.Hedges != 1 || st.HedgesWon != 1 {
+		t.Fatalf("stats = %+v, want hedge counters 1/1", st)
+	}
+}
+
+func TestReadStripedWidthOneIsSequential(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(200), 2: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}})
+	c := h.client(t, selection.RemOnly, qos.Soft)
+	// Width 1 must take the exact ReadWithFailover path (the 1-wide
+	// stripe), including its failover-and-resume semantics.
+	body := failoverBody()
+	s := &scriptedStreamer{body: body, cutAt: 40, deaths: 1}
+	var got bytes.Buffer
+	res, err := c.ReadStriped(s, 0, &got, StripeConfig{Width: 1, MaxFailovers: 2, Backoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers != 1 || res.Bytes != 100 || !bytes.Equal(got.Bytes(), body) {
+		t.Fatalf("res = %+v (%d bytes), want the sequential failover result", res, got.Len())
+	}
+	if want := wire.ChecksumUpdate(wire.ChecksumBasis, body); res.Checksum != want {
+		t.Fatalf("res.Checksum = %x, want %x", res.Checksum, want)
+	}
+	if len(res.Segments) != 2 || res.Segments[0].Length != 40 || res.Segments[1].Offset != 40 {
+		t.Fatalf("res.Segments = %+v, want the two failover segments", res.Segments)
+	}
+}
+
+// TestReadStripedSegmentsObservable pins the Stats()/registry blind-spot
+// fix: data-plane segment counts must be visible from the client API and
+// the exposition, not only inside ReadResult.
+func TestReadStripedSegmentsObservable(t *testing.T) {
+	h := newHarness(t,
+		map[ids.RMID]units.BytesPerSec{1: units.Mbps(200), 2: units.Mbps(100)},
+		map[ids.FileID][]ids.RMID{0: {1, 2}})
+	reg := telemetry.NewRegistry()
+	c, err := New(Options{
+		ID:        1,
+		Mapper:    h.mapper,
+		Directory: h.dir,
+		Scheduler: ecnp.SimScheduler{S: h.sched},
+		Catalog:   h.catalog,
+		Policy:    selection.RemOnly,
+		Scenario:  qos.Soft,
+		Rand:      rng.New(5),
+		Metrics:   NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := stripeBody(h, 512)
+	s := &rangedStreamer{body: body}
+	if _, err := c.ReadStriped(s, 0, io.Discard, StripeConfig{Width: 2, SegmentBytes: 128}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Segments != 4 {
+		t.Fatalf("stats.Segments = %d, want 4", st.Segments)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dfsqos_dfsc_segments_total 4",
+		"dfsqos_dfsc_stripe_reads_total 1",
+		"dfsqos_dfsc_stripe_lanes_total 2",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -305,10 +305,13 @@ func (s *RMServer) dispatch(wc *wire.Conn, msg wire.Msg, sp *trace.Span) error {
 		}
 		return wc.Write(wire.KindAck, wire.Ack{})
 	case wire.KindReadFile:
-		req, ok := msg.Payload.(wire.ReadFile)
+		// ReadReq copies out of the (possibly pooled) payload, so the
+		// frame resources go back before the stream starts.
+		req, ok := msg.ReadReq()
 		if !ok {
 			return wc.WriteError(fmt.Errorf("bad ReadFile payload"))
 		}
+		msg.Release()
 		return s.streamFile(wc, req, sp)
 	case wire.KindWriteFile:
 		req, ok := msg.Payload.(wire.WriteFile)
@@ -334,15 +337,20 @@ func (s *RMServer) dispatch(wc *wire.Conn, msg wire.Msg, sp *trace.Span) error {
 }
 
 // streamFile sends the file from req.Offset as FileChunk frames followed
-// by FileEnd. A non-zero req.Request names the QoS reservation the stream
-// serves: every chunk write touches its lease, so an active stream never
-// expires under the sweeper. Each chunk also passes the rm.stream.chunk
-// fault point (detail: decimal absolute offset), which is where chaos
-// tests tear connections mid-read. When the request arrived traced, sp is
-// the server's "rm.stream" span: chunks and the FileEnd go back out
-// carrying its context (still zero allocations per chunk — the trace slot
-// rides the pooled frame prefix), and the span records the segment's
-// offset and byte count.
+// by FileEnd. A positive req.Length bounds the stream to the byte range
+// [Offset, Offset+Length) clamped at EOF; the FileEnd then reports the
+// absolute end position of the range and an FNV-1a checksum over only
+// the range bytes (folded per chunk as they leave — the whole-file path
+// keeps using the disk's memoized checksum and pays no per-chunk hash).
+// A non-zero req.Request names the QoS reservation the stream serves:
+// every chunk write touches its lease, so an active stream never expires
+// under the sweeper. Each chunk also passes the rm.stream.chunk fault
+// point (detail: decimal absolute offset), which is where chaos tests
+// tear connections mid-read. When the request arrived traced, sp is the
+// server's "rm.stream" span: chunks and the FileEnd go back out carrying
+// its context (still zero allocations per chunk — the trace slot rides
+// the pooled frame prefix), and the span records the segment's offset
+// and byte count.
 func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) error {
 	if s.disk == nil {
 		return wc.WriteError(fmt.Errorf("rm: no data plane configured"))
@@ -360,13 +368,23 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) 
 	if req.Offset < 0 || req.Offset > int64(size) {
 		return wc.WriteError(fmt.Errorf("rm: offset %d outside %q (%d bytes)", req.Offset, name, int64(size)))
 	}
+	end := int64(size)
+	ranged := req.Length > 0
+	if ranged && req.Offset+req.Length < end {
+		end = req.Offset + req.Length
+	}
+	rangeSum := wire.ChecksumBasis
 	inj := s.injector()
 	tc := sp.Context() // zero when untraced: chunks degrade to tag-1 frames
 	ctx := context.Background()
 	buf := make([]byte, chunk)
 	off := req.Offset
-	for off < int64(size) {
-		n, rerr := s.disk.ReadAt(ctx, name, buf, off)
+	for off < end {
+		want := buf
+		if remain := end - off; remain < int64(len(want)) {
+			want = want[:remain]
+		}
+		n, rerr := s.disk.ReadAt(ctx, name, want, off)
 		if n > 0 {
 			// The fault decision (and its detail string) is only built when
 			// an injector is armed: the production hot loop stays
@@ -385,6 +403,9 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) 
 				sp.SetBytes(off - req.Offset)
 				return werr
 			}
+			if ranged {
+				rangeSum = wire.ChecksumUpdate(rangeSum, buf[:n])
+			}
 			off += int64(n)
 			if req.Request != 0 {
 				s.node.Touch(req.Request)
@@ -398,6 +419,12 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) 
 		}
 	}
 	sp.SetBytes(off - req.Offset)
+	if ranged {
+		// Ranged FileEnd: Size is the absolute end position of the range
+		// and Checksum covers exactly the range bytes, so each stripe
+		// segment verifies independently of its siblings.
+		return wc.WriteTraced(tc, wire.KindFileEnd, wire.FileEnd{Size: end, Checksum: rangeSum})
+	}
 	sum, err := s.disk.Checksum(name)
 	if err != nil {
 		return wc.WriteError(err)
@@ -638,7 +665,7 @@ func (c *RMClient) ReadFile(file ids.FileID, w io.Writer) (int64, error) {
 func (c *RMClient) ReadFileAt(ctx context.Context, file ids.FileID, req ids.RequestID, offset int64, w io.Writer, sum *uint64) (int64, error) {
 	pos := offset
 	err := c.stream(func(wc *wire.Conn) error {
-		if err := wc.WriteTraced(trace.FromContext(ctx), wire.KindReadFile, wire.ReadFile{
+		if err := wc.WriteReadReq(trace.FromContext(ctx), wire.ReadFile{
 			File: file, ChunkSize: 128 * 1024, Offset: offset, Request: req,
 		}); err != nil {
 			return err
@@ -691,6 +718,84 @@ func (c *RMClient) ReadFileAt(ctx context.Context, file ids.FileID, req ids.Requ
 				return wire.RemoteError{Text: "malformed error payload"}
 			default:
 				return fmt.Errorf("live: unexpected %v during stream", msg.Kind)
+			}
+		}
+	})
+	return pos - offset, err
+}
+
+// ReadRange streams exactly the byte range [offset, offset+length) of
+// the file into w (clamped at EOF by the server), returning the bytes
+// delivered. It is the stripe-lane data plane: the request goes out as a
+// ranged ReadFile (trailing length field on the binary fast path), and
+// the serving RM answers with a FileEnd whose Size is the absolute end
+// position of the range and whose Checksum covers only the range bytes.
+// sum, when non-nil, must be seeded with wire.ChecksumBasis: the range
+// checksum is verified against the server's and the folded state is left
+// in *sum so the caller can cross-check segments. A nil sum skips
+// verification. length must be positive. Like ReadFileAt, it holds a
+// dedicated pooled connection for the stream's duration and a span
+// context on ctx rides the opening frame.
+func (c *RMClient) ReadRange(ctx context.Context, file ids.FileID, req ids.RequestID, offset, length int64, w io.Writer, sum *uint64) (int64, error) {
+	if length <= 0 {
+		return 0, fmt.Errorf("live: ReadRange length %d must be positive", length)
+	}
+	pos := offset
+	err := c.stream(func(wc *wire.Conn) error {
+		if err := wc.WriteReadReq(trace.FromContext(ctx), wire.ReadFile{
+			File: file, ChunkSize: 128 * 1024, Offset: offset, Request: req, Length: length,
+		}); err != nil {
+			return err
+		}
+		for {
+			msg, err := wc.Read()
+			if err != nil {
+				return err
+			}
+			switch msg.Kind {
+			case wire.KindFileChunk:
+				chunk, ok := msg.Chunk()
+				if !ok {
+					return fmt.Errorf("live: malformed FileChunk")
+				}
+				if chunk.Offset != pos {
+					off := chunk.Offset
+					msg.Release()
+					return fmt.Errorf("live: out-of-order chunk at %d, want %d", off, pos)
+				}
+				n := len(chunk.Data)
+				if pos+int64(n) > offset+length {
+					msg.Release()
+					return fmt.Errorf("live: range overrun: chunk ends at %d, range ends at %d", pos+int64(n), offset+length)
+				}
+				if _, err := w.Write(chunk.Data); err != nil {
+					msg.Release()
+					return err
+				}
+				if sum != nil {
+					*sum = wire.ChecksumUpdate(*sum, chunk.Data)
+				}
+				msg.Release()
+				pos += int64(n)
+			case wire.KindFileEnd:
+				end, ok := msg.Payload.(wire.FileEnd)
+				if !ok {
+					return fmt.Errorf("live: malformed FileEnd")
+				}
+				if end.Size != pos {
+					return fmt.Errorf("live: range ended at %d bytes, server reports %d", pos, end.Size)
+				}
+				if sum != nil && end.Checksum != *sum {
+					return fmt.Errorf("live: range checksum mismatch")
+				}
+				return nil
+			case wire.KindError:
+				if e, ok := msg.Payload.(wire.Error); ok {
+					return wire.RemoteError{Text: e.Text}
+				}
+				return wire.RemoteError{Text: "malformed error payload"}
+			default:
+				return fmt.Errorf("live: unexpected %v during range stream", msg.Kind)
 			}
 		}
 	})
@@ -886,6 +991,19 @@ func (d *Directory) StreamAt(ctx context.Context, rmID ids.RMID, file ids.FileID
 		return 0, fmt.Errorf("live: directory cannot resolve %v", rmID)
 	}
 	return c.ReadFileAt(ctx, file, req, offset, w, sum)
+}
+
+// StreamRange implements the dfsc stripe scheduler's data plane
+// (dfsc.RangeStreamer): it resolves rmID and streams exactly the byte
+// range [offset, offset+length) of file into w under reservation req,
+// verifying the per-range checksum when sum is seeded with
+// wire.ChecksumBasis (see RMClient.ReadRange).
+func (d *Directory) StreamRange(ctx context.Context, rmID ids.RMID, file ids.FileID, req ids.RequestID, offset, length int64, w io.Writer, sum *uint64) (int64, error) {
+	c, ok := d.RMClient(rmID)
+	if !ok {
+		return 0, fmt.Errorf("live: directory cannot resolve %v", rmID)
+	}
+	return c.ReadRange(ctx, file, req, offset, length, w, sum)
 }
 
 // Close releases all cached connections.

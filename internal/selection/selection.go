@@ -180,3 +180,29 @@ func Rank(p Policy, bids []Bid) []ids.RMID {
 	}
 	return out
 }
+
+// TopK returns up to k bidders in admission order: the Rank order for a
+// scored policy, a uniform shuffle of the full bid list for the random
+// policy (so a short list is still an unbiased sample, not a prefix of
+// input order). Fewer than k bids returns them all — the striped reader
+// admits what exists and degrades its width. k ≤ 0 yields nil. src is
+// only consulted for the random policy.
+func TopK(p Policy, bids []Bid, k int, src *rng.Source) []ids.RMID {
+	if k <= 0 || len(bids) == 0 {
+		return nil
+	}
+	var order []ids.RMID
+	if p.IsRandom() {
+		order = make([]ids.RMID, len(bids))
+		for i, b := range bids {
+			order[i] = b.RM
+		}
+		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	} else {
+		order = Rank(p, bids)
+	}
+	if k < len(order) {
+		order = order[:k]
+	}
+	return order
+}

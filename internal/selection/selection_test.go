@@ -263,3 +263,48 @@ func TestRankPermutationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTopKScoredPrefix(t *testing.T) {
+	bids := []Bid{
+		{RM: 1, Rem: units.BytesPerSec(10)},
+		{RM: 2, Rem: units.BytesPerSec(30)},
+		{RM: 3, Rem: units.BytesPerSec(20)},
+	}
+	got := TopK(RemOnly, bids, 2, rng.New(1))
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("TopK = %v, want [2 3] (Rank prefix)", got)
+	}
+	// k beyond the bid count returns everything in rank order.
+	all := TopK(RemOnly, bids, 10, rng.New(1))
+	if len(all) != 3 || all[0] != 2 || all[1] != 3 || all[2] != 1 {
+		t.Fatalf("TopK over-wide = %v, want [2 3 1]", all)
+	}
+	if TopK(RemOnly, bids, 0, rng.New(1)) != nil {
+		t.Fatal("TopK with k=0 must be nil")
+	}
+	if TopK(RemOnly, nil, 3, rng.New(1)) != nil {
+		t.Fatal("TopK with no bids must be nil")
+	}
+}
+
+func TestTopKRandomIsUnbiasedSample(t *testing.T) {
+	// Under the random policy the first slot of a k=1 TopK must be
+	// uniform over all bidders, not biased toward input order.
+	bids := []Bid{{RM: 1}, {RM: 2}, {RM: 3}, {RM: 4}}
+	src := rng.New(99)
+	counts := map[ids.RMID]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		got := TopK(Random, bids, 1, src)
+		if len(got) != 1 {
+			t.Fatalf("TopK = %v, want one RM", got)
+		}
+		counts[got[0]]++
+	}
+	want := float64(trials) / float64(len(bids))
+	for rm, n := range counts {
+		if math.Abs(float64(n)-want) > want/2 {
+			t.Errorf("RM %v drawn %d times, want ~%.0f", rm, n, want)
+		}
+	}
+}

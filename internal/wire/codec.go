@@ -15,7 +15,10 @@
 //	[2:]   payload, fixed layout per kind:
 //	  FileChunk:  offset u64 | data (rest of body, length implicit)
 //	  FileEnd:    size u64 | checksum u64
-//	  ReadFile:   file i32 | chunkSize i64 | offset i64 | request i64
+//	  ReadFile:   file i32 | chunkSize i64 | offset i64 | request i64 [| length i64]
+//	              (the trailing length is present only for ranged reads —
+//	              Length > 0 — so a whole-file request frames byte-identically
+//	              to the pre-ranged layout; the decoder accepts both lengths)
 //	  WriteFile:  file i32 | sizeBytes i64 | replication i64
 //	  Ack:        (empty)
 //	  Error:      text (rest of body, UTF-8)
@@ -186,6 +189,14 @@ func putBuf(bp *[]byte) {
 // chunk. Msg.Release feeds it.
 var chunkPool = sync.Pool{New: func() any { return new(FileChunk) }}
 
+// readReqPool recycles the ReadFile structs ranged fast-path requests
+// decode into: a striped read issues one request per segment, so the
+// request decode must stay off the per-segment allocation budget the
+// same way chunks do. Msg.Release feeds it. Legacy 28-byte bodies keep
+// decoding to a plain ReadFile value (callers compare those payloads by
+// interface equality).
+var readReqPool = sync.Pool{New: func() any { return new(ReadFile) }}
+
 // chunkFrame is the reusable scratch for a single-writev chunk write: the
 // frame prefix (15 bytes untraced, 31 with the trace slot) plus a
 // two-element net.Buffers that lets the data slice go to the kernel
@@ -257,6 +268,33 @@ func (c *Conn) WriteChunkTraced(tc trace.SpanContext, offset int64, data []byte)
 	return nil
 }
 
+// WriteReadReq sends one (possibly ranged) ReadFile request. It is the
+// per-segment control frame of a striped read, so the fast path keeps it
+// at zero allocations: the payload rides a pooled *ReadFile, and boxing a
+// pointer into the payload interface does not allocate the way boxing the
+// 5-field struct value would. A zero tc degrades to the untraced frame;
+// with the fast path disabled it degrades to the gob frame Write would
+// produce (gob sees the plain value — pointers need no registration).
+func (c *Conn) WriteReadReq(tc trace.SpanContext, req ReadFile) error {
+	if !c.fastWrite.Load() {
+		if tc.Valid() {
+			return c.writeGobMsg(Msg{Kind: KindReadFile, Payload: req, Trace: tc})
+		}
+		return c.writeGob(KindReadFile, req)
+	}
+	rq := readReqPool.Get().(*ReadFile)
+	*rq = req
+	var err error
+	if tc.Valid() {
+		err = c.WriteTraced(tc, KindReadFile, rq)
+	} else {
+		err = c.Write(KindReadFile, rq)
+	}
+	*rq = ReadFile{}
+	readReqPool.Put(rq)
+	return err
+}
+
 // writevChunk pushes prefix+data as a single writev under the write lock
 // and returns f to the pool.
 func (c *Conn) writevChunk(f *chunkFrame, prefix, data []byte) error {
@@ -295,12 +333,24 @@ func appendBinary(b []byte, kind Kind, payload any) ([]byte, bool) {
 	case KindReadFile:
 		p, ok := payload.(ReadFile)
 		if !ok {
-			return b[:start], false
+			// WriteReadReq sends a pooled pointer so the interface
+			// conversion never allocates.
+			pp, pok := payload.(*ReadFile)
+			if !pok {
+				return b[:start], false
+			}
+			p = *pp
 		}
 		b = binary.BigEndian.AppendUint32(b, uint32(int32(p.File)))
 		b = binary.BigEndian.AppendUint64(b, uint64(int64(p.ChunkSize)))
 		b = binary.BigEndian.AppendUint64(b, uint64(p.Offset))
 		b = binary.BigEndian.AppendUint64(b, uint64(p.Request))
+		// The length field is appended only for ranged reads, keeping
+		// whole-file request frames byte-identical to the pre-ranged
+		// layout (see the layout comment at the top of this file).
+		if p.Length > 0 {
+			b = binary.BigEndian.AppendUint64(b, uint64(p.Length))
+		}
 	case KindWriteFile:
 		p, ok := payload.(WriteFile)
 		if !ok {
@@ -371,15 +421,24 @@ func decodeBinary(body []byte, bp *[]byte) (msg Msg, retained bool, err error) {
 			Checksum: binary.BigEndian.Uint64(p[8:16]),
 		}}, false, nil
 	case KindReadFile:
-		if len(p) != 28 {
-			return badLen()
+		switch len(p) {
+		case 28: // legacy whole-file layout: decode to a plain value
+			return Msg{Kind: kind, Payload: ReadFile{
+				File:      ids.FileID(int32(binary.BigEndian.Uint32(p[:4]))),
+				ChunkSize: int(int64(binary.BigEndian.Uint64(p[4:12]))),
+				Offset:    int64(binary.BigEndian.Uint64(p[12:20])),
+				Request:   ids.RequestID(int64(binary.BigEndian.Uint64(p[20:28]))),
+			}}, false, nil
+		case 36: // ranged layout with the trailing length field
+			rq := readReqPool.Get().(*ReadFile)
+			rq.File = ids.FileID(int32(binary.BigEndian.Uint32(p[:4])))
+			rq.ChunkSize = int(int64(binary.BigEndian.Uint64(p[4:12])))
+			rq.Offset = int64(binary.BigEndian.Uint64(p[12:20]))
+			rq.Request = ids.RequestID(int64(binary.BigEndian.Uint64(p[20:28])))
+			rq.Length = int64(binary.BigEndian.Uint64(p[28:36]))
+			return Msg{Kind: kind, Payload: rq, rreq: rq}, false, nil
 		}
-		return Msg{Kind: kind, Payload: ReadFile{
-			File:      ids.FileID(int32(binary.BigEndian.Uint32(p[:4]))),
-			ChunkSize: int(int64(binary.BigEndian.Uint64(p[4:12]))),
-			Offset:    int64(binary.BigEndian.Uint64(p[12:20])),
-			Request:   ids.RequestID(int64(binary.BigEndian.Uint64(p[20:28]))),
-		}}, false, nil
+		return badLen()
 	case KindWriteFile:
 		if len(p) != 20 {
 			return badLen()

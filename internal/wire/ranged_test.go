@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dfsqos/internal/trace"
+)
+
+// TestRangedReadFileRoundTrip proves the ranged request form (Length > 0)
+// round-trips on both codecs and surfaces through the ReadReq accessor,
+// which is the only way servers should extract it (the payload is a
+// pooled *ReadFile on the fast path and a plain value on gob).
+func TestRangedReadFileRoundTrip(t *testing.T) {
+	want := ReadFile{File: 7, ChunkSize: 65536, Offset: 4096, Request: 99, Length: 131072}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		c.SetFastPath(mode.fast)
+		if err := c.Write(KindReadFile, want); err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		wantCodec := CodecGob
+		if mode.fast {
+			wantCodec = CodecBinary
+		}
+		if got := Codec(buf.Bytes()[4]); got != wantCodec {
+			t.Errorf("%s: frame tagged %v, want %v", mode.name, got, wantCodec)
+		}
+		r := NewConn(&buf)
+		r.SetAcceptBinary(true)
+		msg, err := r.Read()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", mode.name, err)
+		}
+		got, ok := msg.ReadReq()
+		if !ok {
+			t.Fatalf("%s: ReadReq reported false for %T", mode.name, msg.Payload)
+		}
+		if got != want {
+			t.Errorf("%s: got %+v want %+v", mode.name, got, want)
+		}
+		msg.Release()
+		if msg.Payload != nil && mode.fast {
+			t.Errorf("%s: Release left Payload set", mode.name)
+		}
+	}
+}
+
+// TestRangedReadFileFrameCompat pins the interop contract: a whole-file
+// request (Length == 0) must frame byte-identically to the pre-ranged
+// 28-byte layout, so peers that predate the length field keep working.
+func TestRangedReadFileFrameCompat(t *testing.T) {
+	var plain, zero bytes.Buffer
+	for _, pair := range []struct {
+		buf *bytes.Buffer
+		req ReadFile
+	}{
+		{&plain, ReadFile{File: 3, ChunkSize: 1024, Offset: 512, Request: 8}},
+		{&zero, ReadFile{File: 3, ChunkSize: 1024, Offset: 512, Request: 8, Length: 0}},
+	} {
+		c := NewConn(pair.buf)
+		c.SetFastPath(true)
+		if err := c.Write(KindReadFile, pair.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(plain.Bytes(), zero.Bytes()) {
+		t.Fatalf("Length==0 frame differs from legacy frame:\n%x\n%x", plain.Bytes(), zero.Bytes())
+	}
+	wantBody := headerSize + kindSize + 28
+	if plain.Len() != wantBody {
+		t.Fatalf("whole-file frame is %d bytes, want %d (legacy layout)", plain.Len(), wantBody)
+	}
+	var ranged bytes.Buffer
+	c := NewConn(&ranged)
+	c.SetFastPath(true)
+	if err := c.Write(KindReadFile, ReadFile{File: 3, ChunkSize: 1024, Offset: 512, Request: 8, Length: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if ranged.Len() != wantBody+8 {
+		t.Fatalf("ranged frame is %d bytes, want %d (trailing length field)", ranged.Len(), wantBody+8)
+	}
+}
+
+// TestRangedReadFileMalformedLength proves the dual-length decode stays
+// strict: only 28- and 36-byte bodies are valid ReadFile layouts, and
+// anything between or beyond is a typed CodecError.
+func TestRangedReadFileMalformedLength(t *testing.T) {
+	for _, n := range []int{29, 35, 37} {
+		var buf bytes.Buffer
+		writeRawFrame(&buf, CodecBinary, binaryBody(KindReadFile, make([]byte, n)))
+		r := NewConn(&buf)
+		r.SetAcceptBinary(true)
+		_, err := r.Read()
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%d-byte payload: want CodecError, got %v", n, err)
+		}
+		if ce.Kind != KindReadFile {
+			t.Errorf("%d-byte payload: CodecError kind %v, want ReadFile", n, ce.Kind)
+		}
+	}
+}
+
+// BenchmarkEncodeRangedRead measures putting one ranged ReadFile request
+// on the wire — the per-segment control cost of a striped read. The fast
+// sub-benchmark is gated at 0 allocs/op by scripts/bench.sh.
+func BenchmarkEncodeRangedRead(b *testing.B) {
+	req := ReadFile{File: 7, ChunkSize: 128 * 1024, Offset: 1 << 20, Request: 42, Length: 1 << 20}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := NewConn(discardRW{})
+			c.SetFastPath(mode.fast)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.WriteReadReq(trace.SpanContext{}, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeRangedRead measures decoding the ranged request frame;
+// the fast path borrows a pooled ReadFile (0 allocs/op with Release,
+// gated by scripts/bench.sh).
+func BenchmarkDecodeRangedRead(b *testing.B) {
+	req := ReadFile{File: 7, ChunkSize: 128 * 1024, Offset: 1 << 20, Request: 42, Length: 1 << 20}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			w := NewConn(&buf)
+			w.SetFastPath(mode.fast)
+			if err := w.Write(KindReadFile, req); err != nil {
+				b.Fatal(err)
+			}
+			r := NewConn(&loopRW{frame: buf.Bytes()})
+			r.SetAcceptBinary(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg, err := r.Read()
+				if err != nil {
+					b.Fatal(err)
+				}
+				msg.Release()
+			}
+		})
+	}
+}

@@ -116,9 +116,11 @@ type Msg struct {
 
 	// pooled is the frame buffer this message's payload borrows from
 	// (fast-path FileChunk only: Data points into it); chunk is the
-	// pooled payload struct. Both are returned by Release.
+	// pooled payload struct. rreq is the pooled ReadFile a ranged
+	// fast-path request decodes into. All are returned by Release.
 	pooled *[]byte
 	chunk  *FileChunk
+	rreq   *ReadFile
 }
 
 // Chunk extracts a FileChunk payload regardless of codec: fast-path
@@ -132,6 +134,21 @@ func (m *Msg) Chunk() (*FileChunk, bool) {
 		return &p, true
 	}
 	return nil, false
+}
+
+// ReadReq extracts a ReadFile payload regardless of codec or range form:
+// legacy whole-file frames decode to a ReadFile value, ranged fast-path
+// frames to a pooled *ReadFile (returned by Release — the copy handed
+// back here stays valid afterwards). It reports false for any other
+// payload.
+func (m *Msg) ReadReq() (ReadFile, bool) {
+	switch p := m.Payload.(type) {
+	case ReadFile:
+		return p, true
+	case *ReadFile:
+		return *p, true
+	}
+	return ReadFile{}, false
 }
 
 // Release returns a fast-path message's pooled resources (the frame
@@ -149,7 +166,7 @@ func (m *Msg) Chunk() (*FileChunk, bool) {
 // Skipping Release is a performance bug, not a correctness bug: the
 // buffers fall to the GC and the stream loop allocates per chunk again.
 func (m *Msg) Release() {
-	if m.chunk == nil && m.pooled == nil {
+	if m.chunk == nil && m.pooled == nil && m.rreq == nil {
 		return
 	}
 	if m.chunk != nil {
@@ -157,6 +174,11 @@ func (m *Msg) Release() {
 		m.chunk.Offset = 0
 		chunkPool.Put(m.chunk)
 		m.chunk = nil
+	}
+	if m.rreq != nil {
+		*m.rreq = ReadFile{}
+		readReqPool.Put(m.rreq)
+		m.rreq = nil
 	}
 	if m.pooled != nil {
 		putBuf(m.pooled)
@@ -230,6 +252,14 @@ type (
 		// Request, when non-zero, names the QoS reservation this stream
 		// serves; the server treats each chunk as implicit lease renewal.
 		Request ids.RequestID
+		// Length, when positive, bounds the stream to [Offset,
+		// Offset+Length): the server replies with exactly that byte range
+		// (clamped at EOF) and a FileEnd whose checksum covers only the
+		// range. Zero or negative streams to EOF — the original
+		// whole-file semantics — and frames byte-identically to the
+		// pre-ranged layout, so old peers interoperate as long as no
+		// range is requested.
+		Length int64
 	}
 	// WriteFile opens an inbound data stream: the sender follows with
 	// FileChunk frames and a FileEnd, and the receiver stores the bytes

@@ -10,27 +10,35 @@
 # silent per-chunk cost on every data stream; gating the traced variants
 # proves request tracing never bought observability with allocations.
 #
+# It also runs the striped-read scaling benchmark (K lanes over K
+# throttled replicas) and enforces the stripe-scaling floor: K4 must
+# deliver at least STRIPE_FLOOR times the K1 (single-RM) throughput,
+# proving the K-wide scheduler actually aggregates per-replica bandwidth
+# instead of serializing behind one throttle.
+#
 # Usage:
 #   ./scripts/bench.sh [out.json]
 # Env:
 #   BENCH_TIME     go test -benchtime value (default 2s; CI may lower it)
 #   ALLOC_CEILING  max allocs/op for the gated fast-path benchmarks (default 0)
+#   STRIPE_FLOOR   min K4/K1 throughput ratio for the striped read (default 2.5)
 set -eu
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_6.json}"
 BENCH_TIME="${BENCH_TIME:-2s}"
 ALLOC_CEILING="${ALLOC_CEILING:-0}"
+STRIPE_FLOOR="${STRIPE_FLOOR:-2.5}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "== wire codec benchmarks (benchtime=$BENCH_TIME)"
 go test ./internal/wire/ -run '^$' \
-	-bench 'BenchmarkEncodeChunk|BenchmarkDecodeChunk|BenchmarkRoundTrip|BenchmarkStreamThroughput|BenchmarkChecksum' \
+	-bench 'BenchmarkEncodeChunk|BenchmarkDecodeChunk|BenchmarkRoundTrip|BenchmarkStreamThroughput|BenchmarkChecksum|BenchmarkEncodeRangedRead|BenchmarkDecodeRangedRead' \
 	-benchmem -benchtime "$BENCH_TIME" | tee -a "$RAW"
 
-echo "== live TCP streaming benchmark (benchtime=$BENCH_TIME)"
+echo "== live TCP streaming benchmarks (benchtime=$BENCH_TIME)"
 go test ./internal/live/ -run '^$' \
-	-bench 'BenchmarkLiveStreamThroughput' \
+	-bench 'BenchmarkLiveStreamThroughput|BenchmarkLiveStripedReadThroughput' \
 	-benchmem -benchtime "$BENCH_TIME" | tee -a "$RAW"
 
 # Parse "BenchmarkName/sub-N  iters  ns/op  [MB/s]  [B/op]  [allocs/op]"
@@ -63,10 +71,12 @@ END {
 echo "== wrote $OUT"
 cat "$OUT"
 
-# Alloc regression gate on the fast-path chunk codecs, untraced and traced.
+# Alloc regression gate on the fast-path chunk and ranged-read codecs,
+# untraced and traced.
 fail=0
 for gated in "BenchmarkEncodeChunk/fast" "BenchmarkDecodeChunk/fast" \
-	"BenchmarkEncodeChunkTraced/fast" "BenchmarkDecodeChunkTraced/fast"; do
+	"BenchmarkEncodeChunkTraced/fast" "BenchmarkDecodeChunkTraced/fast" \
+	"BenchmarkEncodeRangedRead/fast" "BenchmarkDecodeRangedRead/fast"; do
 	# The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so it is optional.
 	aop="$(awk -v b="$gated" '$1 ~ "^"b"(-[0-9]+)?$" && $(NF) == "allocs/op" { print $(NF-1) }' "$RAW")"
 	if [ -z "$aop" ]; then
@@ -79,4 +89,22 @@ for gated in "BenchmarkEncodeChunk/fast" "BenchmarkDecodeChunk/fast" \
 		echo "GATE: $gated at $aop allocs/op (ceiling $ALLOC_CEILING) ok"
 	fi
 done
+
+# Stripe-scaling gate: K4 striped throughput must beat K1 by STRIPE_FLOOR.
+stripe_mbs() {
+	awk -v b="BenchmarkLiveStripedReadThroughput/$1" \
+		'$1 ~ "^"b"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == "MB/s") print $i }' "$RAW"
+}
+k1="$(stripe_mbs K1)"
+k4="$(stripe_mbs K4)"
+if [ -z "$k1" ] || [ -z "$k4" ]; then
+	echo "GATE: striped K1/K4 benchmarks did not run (K1='$k1' K4='$k4')" >&2
+	fail=1
+elif ! awk -v k1="$k1" -v k4="$k4" -v floor="$STRIPE_FLOOR" \
+	'BEGIN { exit !(k4 >= floor * k1) }'; then
+	echo "GATE: striped K4 at $k4 MB/s is under ${STRIPE_FLOOR}x the K1 $k1 MB/s" >&2
+	fail=1
+else
+	echo "GATE: striped K4 at $k4 MB/s vs K1 $k1 MB/s (floor ${STRIPE_FLOOR}x) ok"
+fi
 exit $fail
