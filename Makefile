@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race cover chaos bench fuzz-smoke gobonly fmt-check docs all
+.PHONY: tier1 build test vet race cover chaos bench scenarios fuzz-smoke gobonly fmt-check docs all
 
 all: tier1 vet
 
@@ -43,8 +43,9 @@ cover:
 	$(GO) test -coverprofile=coverage/telemetry.out ./internal/telemetry/
 	$(GO) test -coverprofile=coverage/monitor.out ./internal/monitor/
 	$(GO) test -coverprofile=coverage/faults.out ./internal/faults/
+	$(GO) test -coverprofile=coverage/scenario.out ./internal/scenario/
 	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
-	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out
+	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out coverage/scenario.out
 
 # bench runs the data-plane benchmark harness: wire codec benchmarks plus
 # the live-TCP streaming and striped-read benchmarks, parsed into
@@ -53,6 +54,14 @@ cover:
 # budget (CI uses a shorter one).
 bench:
 	./scripts/bench.sh BENCH_6.json
+
+# scenarios runs the million-client scenario engine with its SLO gates:
+# every builtin scenario through the DES (10⁵–10⁶ simulated clients in
+# full mode) plus a live-TCP slice each, reported into BENCH_7.json. Any
+# SLO violation fails the target. SCEN_MODE=short runs the reduced CI
+# shape; SCEN_SEED pins the master seed.
+scenarios:
+	./scripts/scenarios.sh BENCH_7.json
 
 # fuzz-smoke gives each wire codec fuzz target a short randomized run on
 # top of its seeded corpus — enough to catch decoder panics and checksum

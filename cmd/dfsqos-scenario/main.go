@@ -1,0 +1,97 @@
+// Command dfsqos-scenario runs the named workload scenarios — Zipfian
+// hot-file skew, flash-crowd bursts, diurnal tides, mixed operation
+// storms — through the discrete-event cluster at up to 10⁵–10⁶ simulated
+// clients plus a scaled-down live-TCP slice, and gates each run on its
+// declarative SLO. The report is the BENCH_7.json scenarios block; any
+// SLO violation makes the command exit non-zero, which is how
+// scripts/scenarios.sh and the CI scenarios job fail a regression.
+//
+//	dfsqos-scenario -list
+//	dfsqos-scenario -o BENCH_7.json
+//	dfsqos-scenario -scenario flash-crowd -short -seed 7 -no-live
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfsqos/internal/scenario"
+)
+
+func main() {
+	var (
+		name   = flag.String("scenario", "", "run only this scenario (default: all builtin)")
+		list   = flag.Bool("list", false, "list builtin scenarios and exit")
+		short  = flag.Bool("short", false, "run the reduced-scale CI shape")
+		seed   = flag.Uint64("seed", 1, "master seed for every stream in the run")
+		out    = flag.String("o", "", "write the JSON report here (default: stdout only)")
+		noLive = flag.Bool("no-live", false, "skip the live-TCP slices")
+		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	specs := scenario.Builtin()
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-16s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+	if *name != "" {
+		spec, err := scenario.Find(*name)
+		if err != nil {
+			fail(err)
+		}
+		specs = []scenario.Spec{spec}
+	}
+
+	opts := scenario.Options{Short: *short, Seed: *seed, SkipLive: *noLive}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	report, err := scenario.RunAll(specs, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := report.Write(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	} else if err := report.Write(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	for _, res := range report.Scenarios {
+		status := "pass"
+		if !res.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %s  %d requests, fail rate %.4f, utilization %.3f\n",
+			res.Name, status, res.Requests, res.FailRate, res.Utilization)
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+	}
+	if !report.Pass {
+		fmt.Fprintf(os.Stderr, "dfsqos-scenario: %d SLO violation(s)\n", report.Violations)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dfsqos-scenario:", err)
+	os.Exit(1)
+}

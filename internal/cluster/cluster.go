@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"dfsqos/internal/catalog"
 	"dfsqos/internal/dfsc"
@@ -45,6 +46,22 @@ func PaperTopology() []units.BytesPerSec {
 	caps[2] = units.Mbps(19)  // RM3
 	caps[9] = units.Mbps(19)  // RM10
 	caps[10] = units.Mbps(19) // RM11
+	return caps
+}
+
+// ScaledTopology tiles the paper's 16-RM heterogeneous topology n times
+// (n ≥ 1): the scenario engine's way of growing aggregate capacity while
+// keeping the paper's large/small capacity shape intact. RM IDs remain
+// 1-based positions in the tiled slice.
+func ScaledTopology(n int) []units.BytesPerSec {
+	if n < 1 {
+		n = 1
+	}
+	base := PaperTopology()
+	caps := make([]units.BytesPerSec, 0, n*len(base))
+	for i := 0; i < n; i++ {
+		caps = append(caps, base...)
+	}
 	return caps
 }
 
@@ -383,16 +400,52 @@ func (c *Cluster) UsePattern(p *workload.Pattern) error {
 // RM returns the resource manager with the given 1-based ID.
 func (c *Cluster) RM(id ids.RMID) *rm.RM { return c.rms[int(id)-1] }
 
+// Observer receives every request's outcome as the run executes: the
+// request as scheduled, the access outcome, and the wall-clock time the
+// dispatch took (virtual time is free in the DES, so wall time is the
+// engine's honest service-latency signal — it is what the scenario
+// engine's percentile gates measure). Called from inside the event loop;
+// keep it cheap.
+type Observer func(req workload.Request, out dfsc.Outcome, wall time.Duration)
+
 // Run schedules the access pattern, executes the simulation to the horizon
 // and returns the accumulated results.
-func (c *Cluster) Run() (*Results, error) {
+func (c *Cluster) Run() (*Results, error) { return c.RunWithObserver(nil) }
+
+// dispatch routes one request to its client by operation kind: reads run
+// the full three-phase access, writes run the store flow, metadata probes
+// run the MM lookup only.
+func (c *Cluster) dispatch(req workload.Request) dfsc.Outcome {
+	cl := c.clients[int(req.DFSC)]
+	switch req.Op {
+	case workload.OpWrite:
+		return cl.Store(req.File)
+	case workload.OpMeta:
+		return cl.Probe(req.File)
+	default:
+		return cl.Access(req.File)
+	}
+}
+
+// RunWithObserver is Run with a per-request observation hook (nil
+// behaves exactly like Run). Requests dispatch by their Op — the mixed
+// scenarios interleave reads, bulk writes and metadata probes on one
+// timeline — and obs sees every outcome with its wall-clock dispatch
+// cost.
+func (c *Cluster) RunWithObserver(obs Observer) (*Results, error) {
 	horizon := simtime.Time(c.cfg.Workload.HorizonSec)
 
 	// Schedule every request at its arrival timestamp.
 	for _, req := range c.pattern.Requests {
 		req := req
 		c.sched.Schedule(simtime.Time(req.AtSec), func(simtime.Time) {
-			c.clients[int(req.DFSC)].Access(req.File)
+			if obs == nil {
+				c.dispatch(req)
+				return
+			}
+			start := time.Now()
+			out := c.dispatch(req)
+			obs(req, out, time.Since(start))
 		})
 	}
 

@@ -191,6 +191,34 @@ func (c *Client) Access(file ids.FileID) Outcome {
 	return out
 }
 
+// Probe runs only phase 1 of the flow — the Metadata Manager lookup — and
+// returns without reserving bandwidth: the metadata-only request shape of
+// small-file storms, where the MM round trip IS the request. It counts
+// toward Requests/Messages like any access; a file with no registered
+// replica counts as NoReplica+Failed, mirroring the read path's outcome
+// for the same condition.
+func (c *Client) Probe(file ids.FileID) Outcome {
+	req := c.nextRequestID()
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	holders := c.mapper.Lookup(file)
+	c.addMessages(2) // query + reply
+	if len(holders) == 0 {
+		c.mu.Lock()
+		c.stats.NoReplica++
+		c.stats.Failed++
+		c.mu.Unlock()
+		c.met.NoReplica.Inc()
+		return Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no replica registered"}
+	}
+	c.mu.Lock()
+	c.stats.Completed++
+	c.mu.Unlock()
+	return Outcome{Request: req, File: file, RM: holders[0], OK: true}
+}
+
 // AccessHeld runs the same negotiation but leaves the reservation open
 // until the returned release function is called — the shape the FUSE
 // open/release callback pair needs (package fsapi). release is idempotent

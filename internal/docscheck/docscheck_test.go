@@ -76,6 +76,7 @@ func TestOperationsDocCoversAllFlags(t *testing.T) {
 		filepath.Join("..", "..", "cmd", "mmd", "main.go"),
 		filepath.Join("..", "..", "cmd", "rmd", "main.go"),
 		filepath.Join("..", "..", "cmd", "dfsc", "main.go"),
+		filepath.Join("..", "..", "cmd", "dfsqos-scenario", "main.go"),
 		filepath.Join("..", "..", "internal", "transport", "client.go"),
 	}
 	flags := map[string][]string{} // flag name -> files registering it

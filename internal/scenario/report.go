@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the top-level BENCH_7.json document: one run of a set of
+// scenarios under one mode and seed, plus the aggregate verdict the CI
+// gate keys on.
+type Report struct {
+	// Schema versions the document layout.
+	Schema string `json:"schema"`
+	// Mode is "full" or "short" (the CI shape).
+	Mode string `json:"mode"`
+	// Seed is the master seed every scenario derived its streams from.
+	Seed uint64 `json:"seed"`
+	// Scenarios holds one result per scenario, in run order.
+	Scenarios []*Result `json:"scenarios"`
+	// Violations counts SLO breaches across all scenarios; Pass is
+	// Violations == 0.
+	Violations int  `json:"violations"`
+	Pass       bool `json:"pass"`
+}
+
+// ReportSchema is the current BENCH_7.json schema identifier.
+const ReportSchema = "dfsqos-scenarios/v1"
+
+// NewReport assembles the report envelope from a set of results.
+func NewReport(results []*Result, short bool, seed uint64) *Report {
+	r := &Report{
+		Schema:    ReportSchema,
+		Mode:      "full",
+		Seed:      seed,
+		Scenarios: results,
+		Pass:      true,
+	}
+	if short {
+		r.Mode = "short"
+	}
+	for _, res := range results {
+		r.Violations += len(res.Violations)
+		if !res.Pass {
+			r.Pass = false
+		}
+	}
+	return r
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunAll runs every given scenario in order and assembles the report.
+// Scenarios keep running after an SLO violation (the report carries every
+// verdict); an engine error aborts the set.
+func RunAll(specs []Spec, opts Options) (*Report, error) {
+	results := make([]*Result, 0, len(specs))
+	for _, spec := range specs {
+		res, err := Run(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return NewReport(results, opts.Short, opts.Seed), nil
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import "fmt"
+
+// SLO is one scenario's declarative service-level objective: ceilings on
+// tail latency and failure, floors on utilization. A zero field disables
+// that check, so a scenario declares only the objectives it owns — the
+// same shape as the alloc ceiling and stripe floor gates in
+// scripts/bench.sh, but data-driven. Latency ceilings apply to every
+// workload class of the run unless a per-class override in Classes
+// replaces them.
+type SLO struct {
+	// MaxP50Sec / MaxP99Sec / MaxP999Sec cap each DES class's latency
+	// percentiles, in seconds.
+	MaxP50Sec  float64 `json:"max_p50_sec,omitempty"`
+	MaxP99Sec  float64 `json:"max_p99_sec,omitempty"`
+	MaxP999Sec float64 `json:"max_p999_sec,omitempty"`
+	// MaxFailRate caps the run's aggregate fail rate (failed/total).
+	MaxFailRate float64 `json:"max_fail_rate,omitempty"`
+	// MaxOverAllocate caps the soft-scenario over-allocate ratio
+	// Σ S_OA / Σ S_TA — the paper's QoS-degradation criterion.
+	MaxOverAllocate float64 `json:"max_over_allocate,omitempty"`
+	// MinUtilization floors the run's aggregate utilization (mean
+	// allocated bandwidth over aggregate capacity; can exceed 1 under
+	// soft over-allocation).
+	MinUtilization float64 `json:"min_utilization,omitempty"`
+	// MaxLiveP99Sec / MaxLiveP999Sec cap the live-TCP slice's class
+	// percentiles; MaxLiveFailRate caps its aggregate fail rate. Only
+	// checked when the scenario ran its live slice.
+	MaxLiveP99Sec   float64 `json:"max_live_p99_sec,omitempty"`
+	MaxLiveP999Sec  float64 `json:"max_live_p999_sec,omitempty"`
+	MaxLiveFailRate float64 `json:"max_live_fail_rate,omitempty"`
+}
+
+// Violation is one SLO breach: which scenario, which class (empty for
+// run-level metrics), which metric, and the measured value against its
+// declared limit.
+type Violation struct {
+	// Scenario and Class locate the breach; Class is empty for
+	// run-level metrics like fail rate and utilization.
+	Scenario string `json:"scenario"`
+	Class    string `json:"class,omitempty"`
+	// Metric names the breached objective ("p99", "fail_rate", ...).
+	Metric string `json:"metric"`
+	// Value is the measurement; Limit the declared threshold.
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+}
+
+// String renders the violation the way the gate prints it.
+func (v Violation) String() string {
+	where := v.Scenario
+	if v.Class != "" {
+		where += "/" + v.Class
+	}
+	return fmt.Sprintf("SLO: %s %s %.6g violates limit %.6g", where, v.Metric, v.Value, v.Limit)
+}
+
+// ceil appends a ceiling violation when limit > 0 and value exceeds it.
+func ceil(vs []Violation, scen, class, metric string, value, limit float64) []Violation {
+	if limit > 0 && value > limit {
+		vs = append(vs, Violation{Scenario: scen, Class: class, Metric: metric, Value: value, Limit: limit})
+	}
+	return vs
+}
+
+// Check evaluates the SLO against one scenario result and returns every
+// violation (nil when the scenario meets its objectives).
+func (s SLO) Check(r *Result) []Violation {
+	var vs []Violation
+	for _, c := range r.Classes {
+		vs = ceil(vs, r.Name, c.Class, "p50", c.P50Ms/1e3, s.MaxP50Sec)
+		vs = ceil(vs, r.Name, c.Class, "p99", c.P99Ms/1e3, s.MaxP99Sec)
+		vs = ceil(vs, r.Name, c.Class, "p999", c.P999Ms/1e3, s.MaxP999Sec)
+	}
+	vs = ceil(vs, r.Name, "", "fail_rate", r.FailRate, s.MaxFailRate)
+	vs = ceil(vs, r.Name, "", "over_allocate", r.OverAllocate, s.MaxOverAllocate)
+	if s.MinUtilization > 0 && r.Utilization < s.MinUtilization {
+		vs = append(vs, Violation{Scenario: r.Name, Metric: "utilization", Value: r.Utilization, Limit: s.MinUtilization})
+	}
+	if r.Live != nil {
+		for _, c := range r.Live.Classes {
+			vs = ceil(vs, r.Name, "live/"+c.Class, "p99", c.P99Ms/1e3, s.MaxLiveP99Sec)
+			vs = ceil(vs, r.Name, "live/"+c.Class, "p999", c.P999Ms/1e3, s.MaxLiveP999Sec)
+		}
+		vs = ceil(vs, r.Name, "live", "fail_rate", r.Live.FailRate, s.MaxLiveFailRate)
+	}
+	return vs
+}

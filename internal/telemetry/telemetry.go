@@ -160,6 +160,48 @@ func (h *Histogram) BucketCount(i int) uint64 { return h.buckets[i].Load() }
 // NumBuckets returns the bucket count including the +Inf bucket.
 func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed values
+// by linear interpolation inside the bucket containing the target rank —
+// the same estimate Prometheus's histogram_quantile computes from this
+// bucket layout. The estimate's resolution is the bucket width around
+// the quantile, so callers gating on tail latency should construct the
+// histogram with bounds fine enough for the tail they gate (see
+// ExponentialBuckets). Observations landing in the +Inf overflow bucket
+// cannot be interpolated; a quantile falling there reports the last
+// finite bound (a conservative lower estimate). An empty histogram
+// reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	cum, lower := 0.0, 0.0
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n > 0 && cum+n >= target {
+			if i >= len(h.bounds) {
+				return lower // +Inf bucket: last finite bound
+			}
+			frac := (target - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return lower
+}
+
 // CounterVec is a family of Counters partitioned by label values.
 type CounterVec struct {
 	labels   []string

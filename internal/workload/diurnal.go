@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dfsqos/internal/rng"
+)
+
+// Diurnal modulates a pattern's request rate with a sinusoidal tide, the
+// day/night load swing a planet-scale service sees. The base pattern's
+// homogeneous NET arrivals are thinned (Lewis–Shedler): a request at time
+// t survives with probability
+//
+//	(1 + Amplitude·cos(2π·(t−PeakSec)/PeriodSec)) / (1 + Amplitude)
+//
+// which yields a non-homogeneous Poisson process whose rate peaks at
+// PeakSec (+ k·PeriodSec) and bottoms out half a period later. The
+// surviving request count shrinks by roughly 1/(1+Amplitude); size the
+// base population accordingly.
+type Diurnal struct {
+	// PeriodSec is the tide's full cycle length (a scenario horizon
+	// usually spans one or two cycles).
+	PeriodSec float64
+	// Amplitude in [0, 1] is the swing: 0 keeps the homogeneous stream,
+	// 1 silences the trough entirely.
+	Amplitude float64
+	// PeakSec places the crest of the first cycle.
+	PeakSec float64
+}
+
+// Validate reports the first problem with the parameters, or nil.
+func (d Diurnal) Validate() error {
+	if d.PeriodSec <= 0 {
+		return fmt.Errorf("workload: diurnal period %v must be positive", d.PeriodSec)
+	}
+	if d.Amplitude < 0 || d.Amplitude > 1 {
+		return fmt.Errorf("workload: diurnal amplitude %v outside [0,1]", d.Amplitude)
+	}
+	if math.IsNaN(d.PeakSec) {
+		return fmt.Errorf("workload: diurnal peak is NaN")
+	}
+	return nil
+}
+
+// ApplyDiurnal thins the pattern in place per d, drawing the survival
+// coin-flips from a single named stream ("workload/diurnal") walked in
+// arrival order — deterministic for a given source, independent of the
+// base pattern's per-user streams.
+func ApplyDiurnal(p *Pattern, d Diurnal, src *rng.Source) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Amplitude == 0 {
+		return nil
+	}
+	coin := src.Split("workload/diurnal")
+	kept := p.Requests[:0]
+	for _, r := range p.Requests {
+		phase := 2 * math.Pi * (r.AtSec - d.PeakSec) / d.PeriodSec
+		keep := (1 + d.Amplitude*math.Cos(phase)) / (1 + d.Amplitude)
+		if coin.Float64() < keep {
+			kept = append(kept, r)
+		}
+	}
+	p.Requests = kept
+	return nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"dfsqos/internal/rng"
+)
+
+// ClassShare is one component of a workload mix: a named class, the
+// operation it performs, and its share of the request stream.
+type ClassShare struct {
+	// Class labels the component in reports ("video", "bulk-write",
+	// "metadata", ...).
+	Class string
+	// Op is the operation every request in this class performs.
+	Op Op
+	// Fraction is the component's share of all requests, in (0, 1].
+	Fraction float64
+}
+
+// Mix partitions a pattern's requests into labeled operation classes —
+// the "bitrate video + bulk write + small-file metadata storm" blend the
+// scenario engine drives. Shares must sum to at most 1; the remainder
+// keeps the default class (OpRead, class "video").
+type Mix struct {
+	// Shares lists the non-default components.
+	Shares []ClassShare
+	// DefaultClass labels the unassigned remainder; empty means "video".
+	DefaultClass string
+}
+
+// Validate reports the first problem with the mix, or nil.
+func (m Mix) Validate() error {
+	total := 0.0
+	for i, s := range m.Shares {
+		if s.Class == "" {
+			return fmt.Errorf("workload: mix share %d has empty class", i)
+		}
+		if !s.Op.Valid() {
+			return fmt.Errorf("workload: mix share %q has invalid op %d", s.Class, s.Op)
+		}
+		if s.Fraction <= 0 || s.Fraction > 1 {
+			return fmt.Errorf("workload: mix share %q fraction %v outside (0,1]", s.Class, s.Fraction)
+		}
+		total += s.Fraction
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("workload: mix fractions sum to %v > 1", total)
+	}
+	return nil
+}
+
+// ApplyMix assigns each request a class and operation in place, drawing
+// from one named stream ("workload/mix") walked in arrival order so the
+// partition is deterministic for a given source. Requests not claimed by
+// any share keep OpRead and get the default class label.
+func ApplyMix(p *Pattern, m Mix, src *rng.Source) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	def := m.DefaultClass
+	if def == "" {
+		def = "video"
+	}
+	coin := src.Split("workload/mix")
+	for i := range p.Requests {
+		u := coin.Float64()
+		acc := 0.0
+		p.Requests[i].Op = OpRead
+		p.Requests[i].Class = def
+		for _, s := range m.Shares {
+			acc += s.Fraction
+			if u < acc {
+				p.Requests[i].Op = s.Op
+				p.Requests[i].Class = s.Class
+				break
+			}
+		}
+	}
+	return nil
+}

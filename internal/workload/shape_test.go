@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dfsqos/internal/ids"
+	"dfsqos/internal/rng"
+)
+
+func basePattern(t *testing.T, seed uint64) *Pattern {
+	t.Helper()
+	cfg := Config{NumUsers: 64, NumDFSC: 8, MeanArrivalSec: 60, HorizonSec: 1200}
+	p, err := Generate(cfg, testCatalog(t), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestApplyZipfDeterministicUnderSeed(t *testing.T) {
+	cat := testCatalog(t)
+	p1 := basePattern(t, 5)
+	p2 := basePattern(t, 5)
+	if err := ApplyZipf(p1, cat, 1.2, rng.New(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyZipf(p2, cat, 1.2, rng.New(11)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Requests, p2.Requests) {
+		t.Fatal("same seed produced different Zipf redraws")
+	}
+	p3 := basePattern(t, 5)
+	if err := ApplyZipf(p3, cat, 1.2, rng.New(12)); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1.Requests, p3.Requests) {
+		t.Fatal("different seeds produced identical Zipf redraws")
+	}
+	// Arrivals must be untouched: only file choices are redrawn.
+	for i := range p1.Requests {
+		if p1.Requests[i].AtSec != p3.Requests[i].AtSec {
+			t.Fatal("Zipf redraw perturbed arrival timestamps")
+		}
+	}
+	if err := p1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyZipfSkewConcentratesOnLowRanks(t *testing.T) {
+	cat := testCatalog(t)
+	p := basePattern(t, 5)
+	if err := ApplyZipf(p, cat, 2.0, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	top := 0
+	for _, r := range p.Requests {
+		if int(r.File) < 10 {
+			top++
+		}
+	}
+	// At skew 2 over 100 files, the top-10 ranks hold >90% of the mass.
+	if frac := float64(top) / float64(len(p.Requests)); frac < 0.7 {
+		t.Fatalf("top-10 files drew only %.2f of requests under skew 2", frac)
+	}
+	if err := ApplyZipf(p, cat, 0, rng.New(1)); err == nil {
+		t.Fatal("non-positive skew accepted")
+	}
+}
+
+func TestApplyDiurnalDeterministicUnderSeed(t *testing.T) {
+	d := Diurnal{PeriodSec: 600, Amplitude: 0.8, PeakSec: 150}
+	p1 := basePattern(t, 7)
+	p2 := basePattern(t, 7)
+	if err := ApplyDiurnal(p1, d, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDiurnal(p2, d, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Requests, p2.Requests) {
+		t.Fatal("same seed produced different diurnal thinning")
+	}
+	p3 := basePattern(t, 7)
+	if err := ApplyDiurnal(p3, d, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1.Requests, p3.Requests) {
+		t.Fatal("different seeds produced identical diurnal thinning")
+	}
+}
+
+func TestApplyDiurnalShapesRate(t *testing.T) {
+	p := basePattern(t, 9)
+	before := p.Len()
+	d := Diurnal{PeriodSec: 1200, Amplitude: 1, PeakSec: 300}
+	if err := ApplyDiurnal(p, d, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Thinning keeps ~1/(1+A) = half of the requests.
+	kept := float64(p.Len()) / float64(before)
+	if math.Abs(kept-0.5) > 0.1 {
+		t.Fatalf("amplitude-1 tide kept %.2f of requests, want ~0.5", kept)
+	}
+	// The crest quarter-period must be denser than the trough: count
+	// requests near the peak (300±150) vs the trough (900±150).
+	peak, trough := 0, 0
+	for _, r := range p.Requests {
+		switch {
+		case r.AtSec >= 150 && r.AtSec < 450:
+			peak++
+		case r.AtSec >= 750 && r.AtSec < 1050:
+			trough++
+		}
+	}
+	if peak <= 2*trough {
+		t.Fatalf("peak window has %d requests vs trough %d, want >2x", peak, trough)
+	}
+	// Amplitude 0 is a no-op.
+	p2 := basePattern(t, 9)
+	n := p2.Len()
+	if err := ApplyDiurnal(p2, Diurnal{PeriodSec: 600}, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Len() != n {
+		t.Fatal("amplitude-0 tide modified the pattern")
+	}
+}
+
+func TestBurstZeroDurationIsNoOp(t *testing.T) {
+	cat := testCatalog(t)
+	p := basePattern(t, 13)
+	orig := append([]Request(nil), p.Requests...)
+	b := Burst{AtSec: 600, DurationSec: 0, Fraction: 1, SurgeUsers: 50}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("zero-duration burst rejected: %v", err)
+	}
+	if _, err := ApplyBursts(p, cat, []Burst{b}, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, p.Requests) {
+		t.Fatal("zero-duration burst modified the pattern")
+	}
+}
+
+func TestBurstSurgeLargerThanPopulation(t *testing.T) {
+	cat := testCatalog(t)
+	p := basePattern(t, 13)
+	base := p.Len()
+	// A surge 4x the resident population, confined to a half-horizon
+	// window, with fresh user IDs stacked above the base range.
+	b := Burst{AtSec: 300, DurationSec: 600, Fraction: 0.5, SurgeUsers: 4 * p.Config.NumUsers, SurgeMeanArrivalSec: 60}
+	targets, err := ApplyBursts(p, cat, []Burst{b}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() <= base {
+		t.Fatal("surge added no requests")
+	}
+	surge := 0
+	for _, r := range p.Requests {
+		if int(r.User) >= p.Config.NumUsers {
+			surge++
+			if r.AtSec < b.AtSec || r.AtSec >= b.AtSec+b.DurationSec {
+				t.Fatalf("surge request at %.1f outside window [%v, %v)", r.AtSec, b.AtSec, b.AtSec+b.DurationSec)
+			}
+			if int(r.User) >= p.Config.NumUsers+b.SurgeUsers {
+				t.Fatalf("surge user %d beyond the declared surge range", r.User)
+			}
+		}
+	}
+	// ~4x population at the base arrival rate over half the horizon
+	// should contribute on the order of the base request count.
+	if surge == 0 {
+		t.Fatal("no surge users issued requests")
+	}
+	if len(targets) != 1 || !targets[0].Valid() {
+		t.Fatalf("unresolved burst target %v", targets)
+	}
+	// Negative surge population must be rejected.
+	if err := (Burst{AtSec: 0, DurationSec: 1, SurgeUsers: -1}).Validate(); err == nil {
+		t.Fatal("negative surge population accepted")
+	}
+}
+
+func TestBurstRedirectsWindowTraffic(t *testing.T) {
+	cat := testCatalog(t)
+	p := basePattern(t, 17)
+	target := ids.FileID(42)
+	b := Burst{AtSec: 0, DurationSec: 1200, Fraction: 1, Target: target}
+	if _, err := ApplyBursts(p, cat, []Burst{b}, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Requests {
+		if r.File != target {
+			t.Fatalf("fraction-1 burst left request on file %v", r.File)
+		}
+	}
+}
+
+func TestApplyMixPartitionsAndLabels(t *testing.T) {
+	m := Mix{Shares: []ClassShare{
+		{Class: "bulk-write", Op: OpWrite, Fraction: 0.2},
+		{Class: "metadata", Op: OpMeta, Fraction: 0.3},
+	}}
+	p1 := basePattern(t, 19)
+	p2 := basePattern(t, 19)
+	if err := ApplyMix(p1, m, rng.New(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyMix(p2, m, rng.New(6)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Requests, p2.Requests) {
+		t.Fatal("same seed produced different mixes")
+	}
+	counts := map[string]int{}
+	for _, r := range p1.Requests {
+		counts[r.Class]++
+		switch r.Class {
+		case "bulk-write":
+			if r.Op != OpWrite {
+				t.Fatal("bulk-write labeled request is not a write")
+			}
+		case "metadata":
+			if r.Op != OpMeta {
+				t.Fatal("metadata labeled request is not a probe")
+			}
+		case "video":
+			if r.Op != OpRead {
+				t.Fatal("default class is not a read")
+			}
+		default:
+			t.Fatalf("unexpected class %q", r.Class)
+		}
+	}
+	n := float64(p1.Len())
+	if w := float64(counts["bulk-write"]) / n; math.Abs(w-0.2) > 0.05 {
+		t.Fatalf("bulk-write share %.3f, want ~0.2", w)
+	}
+	if m := float64(counts["metadata"]) / n; math.Abs(m-0.3) > 0.05 {
+		t.Fatalf("metadata share %.3f, want ~0.3", m)
+	}
+	// Over-committed shares must be rejected.
+	bad := Mix{Shares: []ClassShare{{Class: "a", Op: OpRead, Fraction: 0.7}, {Class: "b", Op: OpRead, Fraction: 0.5}}}
+	if err := ApplyMix(p1, bad, rng.New(6)); err == nil {
+		t.Fatal("mix with fractions summing to 1.2 accepted")
+	}
+}

@@ -20,6 +20,38 @@ import (
 	"dfsqos/internal/rng"
 )
 
+// Op is the operation class of one request. The zero value is OpRead, so
+// patterns written before operations existed load unchanged.
+type Op int8
+
+// The operation kinds a scenario mix can assign. OpRead is a streaming
+// read (the paper's only operation); OpWrite is a bulk ingest (dfsc
+// Store); OpMeta is a metadata-only probe that exercises the MM lookup
+// path without reserving bandwidth — the "small-file metadata storm"
+// component of the mixed scenarios.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpMeta
+	numOps // sentinel for validation
+)
+
+// String names the operation for reports and JSON-adjacent output.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpMeta:
+		return "meta"
+	}
+	return fmt.Sprintf("op(%d)", int8(o))
+}
+
+// Valid reports whether o is a known operation.
+func (o Op) Valid() bool { return o >= OpRead && o < numOps }
+
 // Request is one file access in the pattern.
 type Request struct {
 	// AtSec is the arrival timestamp in seconds from simulation start.
@@ -30,6 +62,13 @@ type Request struct {
 	DFSC ids.DFSCID `json:"dfsc"`
 	// File is the requested file.
 	File ids.FileID `json:"file"`
+	// Op is the operation kind (absent in JSON = OpRead, the paper's
+	// streaming access).
+	Op Op `json:"op,omitempty"`
+	// Class optionally labels the request's workload class ("video",
+	// "bulk-write", ...) so scenario reports can break latency out per
+	// class. Empty means the default class of the request's Op.
+	Class string `json:"class,omitempty"`
 }
 
 // Config parameterizes pattern generation.
@@ -140,6 +179,9 @@ func (p *Pattern) Validate() error {
 		}
 		if !r.File.Valid() {
 			return fmt.Errorf("workload: request %d has invalid file", i)
+		}
+		if !r.Op.Valid() {
+			return fmt.Errorf("workload: request %d has invalid op %d", i, r.Op)
 		}
 		prev = r.AtSec
 	}

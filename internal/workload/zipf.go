@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"fmt"
+
+	"dfsqos/internal/catalog"
+	"dfsqos/internal/ids"
+	"dfsqos/internal/rng"
+)
+
+// ApplyZipf rewrites every request's file choice in place, re-drawing the
+// targets from a Zipf law with the given skew over the catalog's
+// popularity ranks (rank == file ID). It models a hotter (or flatter)
+// popularity regime than the catalog was generated with — the "Zipfian
+// hot-file skew" scenario — without regenerating arrivals, so two
+// patterns differing only in skew share every timestamp.
+//
+// The redraw consumes a single named stream ("workload/zipf") walked in
+// arrival order, so the result is deterministic for a given source and
+// independent of the per-user streams the base pattern used.
+func ApplyZipf(p *Pattern, cat *catalog.Catalog, skew float64, src *rng.Source) error {
+	if skew <= 0 {
+		return fmt.Errorf("workload: ApplyZipf skew %v must be positive", skew)
+	}
+	if cat.Len() == 0 {
+		return fmt.Errorf("workload: ApplyZipf over empty catalog")
+	}
+	z := rng.NewZipf(src.Split("workload/zipf"), cat.Len(), skew)
+	for i := range p.Requests {
+		p.Requests[i].File = ids.FileID(z.Draw())
+	}
+	return nil
+}
