@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race cover chaos bench scenarios fuzz-smoke gobonly fmt-check docs all
+.PHONY: tier1 build test vet race cover chaos chaos-mm bench scenarios fuzz-smoke gobonly fmt-check docs all
 
 all: tier1 vet
 
@@ -36,16 +36,27 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faults/...
 	$(GO) test -race -count=1 -run 'Chaos|Crash|Failover|Lease|Liveness|Heartbeat|Torn' ./internal/live/... ./internal/mm/... ./internal/rm/... ./internal/dfsc/... ./internal/wire/...
 
+# chaos-mm drills the replicated metadata plane on its own: kill 1 of N
+# live MM shards mid-workload (lease cache + successor failover keep
+# opens green), stale-lease expiry racing the takeover handoff, and the
+# in-process replicated-shard kill/takeover/heal suite — race-enabled.
+chaos-mm:
+	$(GO) test -race -count=1 -run 'ShardChaos|Replicated|ShardHealth|Unreplicated' ./internal/live/ ./internal/mm/
+
 # cover writes one profile per gated package plus a merged coverage.out
-# for the CI artifact, then enforces the floor (60%) via the gate script.
+# for the CI artifact, then enforces the floors via the gate script:
+# 60% on the observability packages, 80% on the replicated metadata
+# core (internal/mm carries the shard ring, health and handoff logic).
 cover:
 	mkdir -p coverage
 	$(GO) test -coverprofile=coverage/telemetry.out ./internal/telemetry/
 	$(GO) test -coverprofile=coverage/monitor.out ./internal/monitor/
 	$(GO) test -coverprofile=coverage/faults.out ./internal/faults/
 	$(GO) test -coverprofile=coverage/scenario.out ./internal/scenario/
+	$(GO) test -coverprofile=coverage/mm.out ./internal/mm/
 	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
 	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out coverage/scenario.out
+	./scripts/cover_gate.sh 80 coverage/mm.out
 
 # bench runs the data-plane benchmark harness: wire codec benchmarks plus
 # the live-TCP streaming and striped-read benchmarks, parsed into

@@ -13,11 +13,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"dfsqos/internal/catalog"
 	"dfsqos/internal/cluster"
 	"dfsqos/internal/dfsc"
+	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
 	"dfsqos/internal/live"
 	"dfsqos/internal/monitor"
@@ -32,7 +34,9 @@ import (
 
 func main() {
 	var (
-		mmAddr   = flag.String("mm", "127.0.0.1:7000", "metadata manager address")
+		mmAddr   = flag.String("mm", "127.0.0.1:7000", "metadata manager address; comma-separated ring-index-aligned list for a shard group")
+		mmRep    = flag.Int("mm-replication", 1, "owner shards per file in the MM shard group (must match mmd -replication)")
+		metaTTL  = flag.Duration("meta-ttl", 0, "metadata lease TTL: cached lookup results skip the MM until they expire (0 disables the lease cache)")
 		policy   = flag.String("policy", "(1,0,0)", "resource selection policy (α,β,γ)")
 		scenario = flag.String("scenario", "firm", "allocation scenario: soft or firm")
 		n        = flag.Int("n", 10, "number of file accesses to issue")
@@ -96,7 +100,7 @@ func main() {
 		},
 	})
 
-	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
+	mapper, err := dialMapper(*mmAddr, *mmRep, *tcfg, reg)
 	if err != nil {
 		fail(err)
 	}
@@ -121,6 +125,7 @@ func main() {
 		// the negotiation deadline: one stalled RM costs at most -negotiation-timeout,
 		// not its share of a serial scan.
 		Fanout:  dfsc.Fanout{Concurrent: true, BidTimeout: *negTO},
+		MetaTTL: *metaTTL,
 		Metrics: dfsc.NewMetrics(reg),
 		Tracer:  tracer,
 	})
@@ -194,6 +199,30 @@ func max(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// mapperStub is the client surface dfsc needs from its metadata plane;
+// both the single-MM stub and the shard-group mapper provide it.
+type mapperStub interface {
+	ecnp.Mapper
+	SetLogger(func(string, ...any))
+	Close() error
+}
+
+// dialMapper connects the metadata stub: a plain MM client for one
+// address, a successor-failover ShardMapper for a comma-separated shard
+// group.
+func dialMapper(spec string, rep int, tcfg transport.Config, reg *telemetry.Registry) (mapperStub, error) {
+	addrs := strings.Split(spec, ",")
+	if len(addrs) == 1 {
+		return live.DialMMConfig(addrs[0], tcfg)
+	}
+	sm, err := live.DialShardMapper(addrs, rep, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	sm.SetMetrics(live.NewShardMapperMetrics(reg))
+	return sm, nil
 }
 
 func fail(err error) {

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +39,10 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
 		shards  = flag.Int("shards", 1, "DHT shards for the replica map (1 = the paper's single MM)")
+		rep     = flag.Int("replication", 1, "owner shards per file mapping (successor-list replication; 1 = unreplicated)")
+		shardIx = flag.Int("shard-index", 0, "this daemon's ring index within a shard group (with -peers)")
+		peersS  = flag.String("peers", "", "comma-separated addresses of every shard-group member, ring-index aligned (enables shard-group mode)")
+		beatIv  = flag.Duration("shard-beat-interval", time.Second, "shard-to-shard heartbeat period in shard-group mode")
 		monAddr = flag.String("monitor", "", "HTTP stats address; empty disables")
 		dbgAddr = flag.String("debug-addr", "", "standalone debug HTTP address (/traces + pprof); empty serves them on -monitor only")
 		traceN  = flag.Int("trace-ring", 4096, "span ring capacity for request tracing (rounded up to a power of two)")
@@ -57,9 +62,37 @@ func main() {
 	wire.RegisterCodecMetrics(reg)
 	tracer := trace.New(trace.Options{Actor: "mm", RingSize: *traceN, Registry: reg})
 	lcfg := mm.LivenessConfig{HeartbeatInterval: *hbIv, MissThreshold: *misses}
+	script, err := faults.Parse(*faultsS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+		os.Exit(1)
+	}
+	if script != nil {
+		script.SetMetrics(faults.NewMetrics(reg))
+	}
+	// Three deployment shapes: a shard-group member (-peers) serving one
+	// slice of the keyspace and mirroring to successors over TCP, an
+	// in-process sharded map (-shards > 1, the DES-style single binary),
+	// or the paper's single MM.
 	var mapper ecnp.Mapper
-	if *shards > 1 {
-		sm := mm.NewSharded(*shards)
+	var shard *live.MMShard
+	var peerList []string
+	if *peersS != "" {
+		peerList = strings.Split(*peersS, ",")
+		s, err := live.NewMMShard(*shardIx, len(peerList), *rep, mm.LivenessConfig{HeartbeatInterval: *beatIv, MissThreshold: *misses})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+			os.Exit(1)
+		}
+		s.SetLiveness(lcfg)
+		s.SetMetrics(mm.NewMetrics(reg))
+		if script != nil {
+			s.SetFaults(script)
+		}
+		shard = s
+		mapper = s
+	} else if *shards > 1 {
+		sm := mm.NewShardedReplicated(*shards, *rep)
 		sm.SetLiveness(lcfg)
 		sm.SetMetrics(mm.NewMetrics(reg))
 		mapper = sm
@@ -77,11 +110,7 @@ func main() {
 	srv.SetReplyTimeout(tcfg.CallTimeout)
 	srv.SetMetrics(live.NewServerMetrics(reg, "mm"))
 	srv.SetTracer(tracer)
-	if script, err := faults.Parse(*faultsS); err != nil {
-		fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
-		os.Exit(1)
-	} else if script != nil {
-		script.SetMetrics(faults.NewMetrics(reg))
+	if script != nil {
 		srv.SetFaults(script)
 		log.Printf("mmd: fault injection armed: %s", *faultsS)
 	}
@@ -91,7 +120,24 @@ func main() {
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}
-	log.Printf("mmd: metadata manager listening on %s (%d shard(s))", srv.Addr(), *shards)
+	var stopBeats func()
+	if shard != nil {
+		if *verbose {
+			shard.SetLogger(log.Printf)
+		}
+		// Peers dial lazily per call, so member start order does not
+		// matter: a not-yet-listening successor just fails its first
+		// mirrors and reconverges through the heal handoff.
+		if err := shard.DialPeers(peerList, *tcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "mmd: %v\n", err)
+			os.Exit(1)
+		}
+		stopBeats = shard.StartShardBeats(*beatIv)
+		log.Printf("mmd: shard %d/%d listening on %s (replication %d, shard beat %v)",
+			*shardIx, len(peerList), srv.Addr(), *rep, *beatIv)
+	} else {
+		log.Printf("mmd: metadata manager listening on %s (%d shard(s), replication %d)", srv.Addr(), *shards, *rep)
+	}
 	var monSrv *http.Server
 	if *monAddr != "" {
 		var bound string
@@ -117,6 +163,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("mmd: shutting down")
+	if stopBeats != nil {
+		stopBeats()
+	}
+	if shard != nil {
+		shard.ClosePeers()
+	}
 	if err := monitor.Shutdown(monSrv, shutdownTimeout); err != nil {
 		log.Printf("mmd: monitor shutdown: %v", err)
 	}

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +49,8 @@ func main() {
 	var (
 		id      = flag.Int("id", 1, "RM identifier (1-based)")
 		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
-		mmAddr  = flag.String("mm", "127.0.0.1:7000", "metadata manager address")
+		mmAddr  = flag.String("mm", "127.0.0.1:7000", "metadata manager address; comma-separated ring-index-aligned list for a shard group")
+		mmRep   = flag.Int("mm-replication", 1, "owner shards per file in the MM shard group (must match mmd -replication)")
 		capStr  = flag.String("capacity", "18Mbps", "disk bandwidth (e.g. 128Mbps)")
 		storStr = flag.String("storage", "16GB", "disk size")
 		seed    = flag.Uint64("seed", 1, "deployment master seed (shared by all components)")
@@ -120,7 +122,7 @@ func main() {
 	wire.RegisterCodecMetrics(reg)
 	tracer := trace.New(trace.Options{Actor: fmt.Sprintf("rm%d", *id), RingSize: *traceN, Registry: reg})
 
-	mapper, err := live.DialMMConfig(*mmAddr, *tcfg)
+	mapper, err := dialMapper(*mmAddr, *mmRep, *tcfg, reg)
 	if err != nil {
 		fail(err)
 	}
@@ -233,6 +235,31 @@ func main() {
 	srv.Close()
 	sched.Stop()
 	mapper.Close()
+}
+
+// mapperStub is the client surface rmd needs from its metadata plane;
+// both the single-MM stub and the shard-group mapper provide it.
+type mapperStub interface {
+	ecnp.Mapper
+	live.Beater
+	SetLogger(func(string, ...any))
+	Close() error
+}
+
+// dialMapper connects the metadata stub: a plain MM client for one
+// address, a successor-failover ShardMapper for a comma-separated shard
+// group.
+func dialMapper(spec string, rep int, tcfg transport.Config, reg *telemetry.Registry) (mapperStub, error) {
+	addrs := strings.Split(spec, ",")
+	if len(addrs) == 1 {
+		return live.DialMMConfig(addrs[0], tcfg)
+	}
+	sm, err := live.DialShardMapper(addrs, rep, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	sm.SetMetrics(live.NewShardMapperMetrics(reg))
+	return sm, nil
 }
 
 func fail(err error) {

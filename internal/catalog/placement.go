@@ -111,6 +111,16 @@ func (p *Placement) FilesOn(rm ids.RMID) []ids.FileID {
 	return out
 }
 
+// Files returns the IDs of all files with at least one replica. Order is
+// NOT guaranteed; callers needing determinism must sort.
+func (p *Placement) Files() []ids.FileID {
+	out := make([]ids.FileID, 0, len(p.replicas))
+	for id := range p.replicas {
+		out = append(out, id)
+	}
+	return out
+}
+
 // NumFiles returns the number of files with at least one replica.
 func (p *Placement) NumFiles() int { return len(p.replicas) }
 

@@ -14,6 +14,7 @@ package dfsc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"dfsqos/internal/selection"
 	"dfsqos/internal/simtime"
 	"dfsqos/internal/trace"
+	"dfsqos/internal/transport"
 )
 
 // Stats counts request outcomes and protocol traffic at one client,
@@ -108,6 +110,7 @@ type Client struct {
 	src       *rng.Source
 	broadcast bool
 	fanout    Fanout
+	meta      *MetaCache
 	met       *Metrics
 	tracer    *trace.Tracer
 
@@ -134,6 +137,12 @@ type Options struct {
 	// Fanout selects serial (simulation) or concurrent deadline-bounded
 	// (live) CFP bid collection.
 	Fanout Fanout
+	// MetaTTL, when positive, arms the metadata lease cache: lookup
+	// answers are cached for this long, and opens within the lease skip
+	// the MM round trip entirely (see MetaCache). Zero disables caching,
+	// the pre-lease behavior. A failed open invalidates the file's lease
+	// before the failover re-negotiation re-resolves it.
+	MetaTTL time.Duration
 	// Metrics routes client telemetry to a registry (nil means no-op; the
 	// discrete-event simulation pays a few uncollected atomic ops).
 	Metrics *Metrics
@@ -154,6 +163,10 @@ func New(opt Options) (*Client, error) {
 	if met == nil {
 		met = NewMetrics(nil)
 	}
+	var meta *MetaCache
+	if opt.MetaTTL > 0 {
+		meta = NewMetaCache(opt.MetaTTL)
+	}
 	return &Client{
 		id:        opt.ID,
 		mapper:    opt.Mapper,
@@ -165,6 +178,7 @@ func New(opt Options) (*Client, error) {
 		src:       opt.Rand,
 		broadcast: opt.BroadcastCNP,
 		fanout:    opt.Fanout,
+		meta:      meta,
 		met:       met,
 		tracer:    opt.Tracer,
 	}, nil
@@ -172,6 +186,10 @@ func New(opt Options) (*Client, error) {
 
 // ID returns the client's identifier.
 func (c *Client) ID() ids.DFSCID { return c.id }
+
+// MetaCache exposes the metadata lease cache (nil when MetaTTL was zero);
+// tests drive its clock through it.
+func (c *Client) MetaCache() *MetaCache { return c.meta }
 
 // Stats returns a copy of the client's counters.
 func (c *Client) Stats() Stats {
@@ -380,6 +398,30 @@ type ctxMapper interface {
 	LookupContext(ctx context.Context, file ids.FileID) []ids.RMID
 }
 
+// errMapper is optionally implemented by Mappers whose lookup can report
+// a transport failure (the live MM clients). ecnp.Mapper's Lookup
+// signature swallows errors, which made a dead MM indistinguishable from
+// a file with no replicas; through this interface the failure surfaces
+// with the transport taxonomy intact and is counted by class.
+type errMapper interface {
+	LookupErrContext(ctx context.Context, file ids.FileID) ([]ids.RMID, error)
+}
+
+// classifyLookupErr maps a lookup failure onto the
+// dfsqos_dfsc_lookup_errors_total class labels.
+func classifyLookupErr(err error) string {
+	var ce *transport.ConnError
+	switch {
+	case transport.IsRemote(err):
+		return "remote"
+	case transport.IsTimeout(err):
+		return "timeout"
+	case errors.As(err, &ce):
+		return "conn"
+	}
+	return "other"
+}
+
 // ctxOpener is optionally implemented by Providers whose Open round trip
 // can carry a context (the live RMClient), so the admission decision joins
 // the request's trace on the RM side.
@@ -440,24 +482,38 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 
 	// Phase 1 — resource exploration. Under ECNP the MM answers the list
 	// of eligible RMs (those holding a replica; issued from readdir in
-	// the paper): 1 query + 1 reply. Under plain-CNP broadcast there is
-	// no matchmaker: the CFP goes to every registered RM.
+	// the paper): 1 query + 1 reply — unless a metadata lease covers the
+	// file, in which case the open skips the MM entirely. Under plain-CNP
+	// broadcast there is no matchmaker: the CFP goes to every registered RM.
 	var holders []ids.RMID
+	fromLease := false
 	lookupSp := c.tracer.StartChild(sp.Context(), "dfsc.lookup").SetFile(file)
 	if c.broadcast {
 		for _, info := range c.mapper.RMs() {
 			holders = append(holders, info.ID)
 		}
 		c.addMessages(2) // resource-list fetch + reply
+		lookupSp.SetOutcome("ok").End()
 	} else {
-		if cm, ok := c.mapper.(ctxMapper); ok {
-			holders = cm.LookupContext(trace.NewContext(ctx, lookupSp.Context()), file)
-		} else {
-			holders = c.mapper.Lookup(file)
+		var lookupErr error
+		holders, fromLease, lookupErr = c.lookupHolders(
+			trace.NewContext(ctx, lookupSp.Context()), file, len(exclude) > 0)
+		if lookupErr != nil {
+			lookupSp.SetOutcome("error").End()
+			c.mu.Lock()
+			c.stats.Failed++
+			c.mu.Unlock()
+			c.met.Failed.Inc()
+			sp.SetOutcome("lookup-error")
+			return nil, Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false,
+				Reason: fmt.Sprintf("metadata lookup failed: %v", lookupErr)}
 		}
-		c.addMessages(2) // query + reply
+		if fromLease {
+			lookupSp.SetOutcome("lease-hit").End()
+		} else {
+			lookupSp.SetOutcome("ok").End()
+		}
 	}
-	lookupSp.SetOutcome("ok").End()
 	if len(exclude) > 0 {
 		kept := make([]ids.RMID, 0, len(holders))
 		for _, id := range holders {
@@ -505,6 +561,7 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 		c.stats.Failed++
 		c.mu.Unlock()
 		c.met.Failed.Inc()
+		c.dropLease(file, fromLease)
 		sp.SetOutcome("no-rm")
 		return nil, Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "no reachable RM"}
 	}
@@ -571,6 +628,7 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 			c.stats.Failed++
 			c.mu.Unlock()
 			c.met.Failed.Inc()
+			c.dropLease(file, fromLease)
 			sp.SetOutcome("error")
 			return nil, Outcome{Request: req, File: file, RM: rmID, OK: false, Reason: res.Reason}
 		}
@@ -590,8 +648,56 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 	c.stats.Failed++
 	c.mu.Unlock()
 	c.met.Failed.Inc()
+	c.dropLease(file, fromLease)
 	sp.SetOutcome("firm-exhausted")
 	return nil, Outcome{Request: req, File: file, RM: ids.NoneRM, OK: false, Reason: "insufficient bandwidth on all replicas"}
+}
+
+// lookupHolders runs the non-broadcast half of phase 1: the metadata
+// lease cache when armed and live (zero messages, fromLease true),
+// otherwise the MM query — through the error-reporting mapper interface
+// when offered, so transport failures surface typed and counted by class
+// instead of masquerading as "no replica". A failover re-negotiation
+// (failover true) invalidates the file's lease first: the cached replica
+// set just failed the client, so replaying it would be wrong.
+func (c *Client) lookupHolders(ctx context.Context, file ids.FileID, failover bool) (holders []ids.RMID, fromLease bool, err error) {
+	if c.meta != nil {
+		if failover {
+			if c.meta.Invalidate(file) {
+				c.met.MetaInvalidated.Inc()
+			}
+		} else if hs, ok := c.meta.Get(file); ok {
+			c.met.MetaHits.Inc()
+			return hs, true, nil
+		}
+		c.met.MetaMisses.Inc()
+	}
+	switch m := c.mapper.(type) {
+	case errMapper:
+		holders, err = m.LookupErrContext(ctx, file)
+	case ctxMapper:
+		holders = m.LookupContext(ctx, file)
+	default:
+		holders = c.mapper.Lookup(file)
+	}
+	c.addMessages(2) // query + reply
+	if err != nil {
+		c.met.LookupErrors.With(classifyLookupErr(err)).Inc()
+		return nil, false, err
+	}
+	if c.meta != nil {
+		c.meta.Put(file, holders)
+	}
+	return holders, false, nil
+}
+
+// dropLease invalidates file's lease after a failed open that consumed
+// it — the cached set routed the client at replicas that refused or
+// died, so the next attempt must re-resolve from the MM.
+func (c *Client) dropLease(file ids.FileID, fromLease bool) {
+	if fromLease && c.meta != nil && c.meta.Invalidate(file) {
+		c.met.MetaInvalidated.Inc()
+	}
 }
 
 // collectBids runs the CFP fan-out over the candidate RMs and returns the

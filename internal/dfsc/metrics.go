@@ -53,6 +53,21 @@ type Metrics struct {
 	// LaneFailovers counts stripe lanes re-admitted on another replica
 	// after their RM died mid-range (dfsqos_dfsc_lane_failovers_total).
 	LaneFailovers *telemetry.Counter
+	// LookupErrors counts metadata lookups that failed in transport, by
+	// error class (dfsqos_dfsc_lookup_errors_total{class}): "remote" means
+	// the MM answered with an error over a healthy connection, "timeout" a
+	// deadline overrun (slow MM), "conn" an unusable connection (dead MM),
+	// "other" anything unclassified — so dashboards distinguish a slow MM
+	// from a dead one.
+	LookupErrors *telemetry.CounterVec
+	// MetaHits / MetaMisses / MetaInvalidated count metadata lease-cache
+	// outcomes (dfsqos_dfsc_metacache_total{outcome}): "hit" opens that
+	// skipped the MM on a live lease, "miss" opens that paid the lookup,
+	// "invalidated" leases dropped because the cached replica set failed
+	// the client (failover re-resolution).
+	MetaHits        *telemetry.Counter
+	MetaMisses      *telemetry.Counter
+	MetaInvalidated *telemetry.Counter
 }
 
 // NewMetrics registers the DFSC metric families on reg (nil reg yields a
@@ -62,6 +77,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		"Access attempts by outcome.", "outcome")
 	hedges := reg.NewCounterVec("dfsqos_dfsc_hedges_total",
 		"Slow-lane hedges by outcome (fired/won).", "outcome")
+	metacache := reg.NewCounterVec("dfsqos_dfsc_metacache_total",
+		"Metadata lease-cache outcomes (hit/miss/invalidated).", "outcome")
 	return &Metrics{
 		NegotiationLatency: reg.NewHistogram("dfsqos_dfsc_negotiation_latency_seconds",
 			"Three-phase negotiation latency (MM query, CFP fan-out, open).",
@@ -88,5 +105,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		HedgesWon:   hedges.With("won"),
 		LaneFailovers: reg.NewCounter("dfsqos_dfsc_lane_failovers_total",
 			"Stripe lanes re-admitted on another replica after RM failure."),
+		LookupErrors: reg.NewCounterVec("dfsqos_dfsc_lookup_errors_total",
+			"Metadata lookups failed in transport, by error class.", "class"),
+		MetaHits:        metacache.With("hit"),
+		MetaMisses:      metacache.With("miss"),
+		MetaInvalidated: metacache.With("invalidated"),
 	}
 }

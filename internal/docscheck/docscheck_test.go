@@ -48,6 +48,7 @@ func TestOperationsDocCoversAllMetrics(t *testing.T) {
 	transport.NewMetrics(reg)
 	live.NewServerMetrics(reg, "mm")
 	live.NewCopierMetrics(reg)
+	live.NewShardMapperMetrics(reg)
 	mm.NewMetrics(reg)
 	rm.NewMetrics(reg)
 	dfsc.NewMetrics(reg)

@@ -46,6 +46,16 @@ const (
 	// PointRMChunk fires before each data-plane chunk write of a ReadFile
 	// stream; detail is the decimal byte offset of the chunk.
 	PointRMChunk Point = "rm.stream.chunk"
+	// PointShardMirror fires before an MM shard mirrors a replica-map
+	// mutation to a successor shard; detail is the mutation name
+	// ("AddReplica", ...). Drop (or Kill) suppresses the mirror send —
+	// the shape of a shard-to-shard partition; Error aborts it; Delay
+	// stalls it.
+	PointShardMirror Point = "mm.shard.mirror"
+	// PointShardHandoff fires before an MM shard pushes a keyspace
+	// handoff batch to a peer; detail is the direction ("takeover" or
+	// "heal"). Same action semantics as PointShardMirror.
+	PointShardHandoff Point = "mm.shard.handoff"
 )
 
 // Action is what an armed fault does at its point.

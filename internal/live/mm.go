@@ -186,6 +186,17 @@ type beater interface {
 	Heartbeat(id ids.RMID) error
 }
 
+// shardPeer is the optional shard-group surface of a mapper: the local
+// member of a replicated MM shard group (MMShard). The shard-plane
+// messages — peer beats, mirrored mutations, keyspace handoffs — are
+// refused by mappers that are not group members, so a misconfigured peer
+// address fails loudly instead of silently corrupting a single MM.
+type shardPeer interface {
+	PeerBeat(shard int) error
+	ApplyMirror(m wire.ShardMirror) error
+	ApplyHandoff(h wire.ShardHandoff) (adopted int, err error)
+}
+
 func (s *MMServer) handle(wc *wire.Conn, msg wire.Msg) error {
 	d := faults.Decide(s.injector(), faults.PointMMHandle, msg.Kind.String())
 	if handled, err := applyFault(wc, d, wire.KindAck, wire.Ack{}, func() { s.Close() }); handled || err != nil {
@@ -286,6 +297,46 @@ func (s *MMServer) dispatch(wc *wire.Conn, msg wire.Msg) error {
 			}
 		}
 		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindShardBeat:
+		b, ok := msg.Payload.(wire.ShardBeat)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad ShardBeat payload"))
+		}
+		peer, ok := s.mgr.(shardPeer)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("mm: not a shard-group member"))
+		}
+		if err := peer.PeerBeat(int(b.Shard)); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindShardMirror:
+		mir, ok := msg.Payload.(wire.ShardMirror)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad ShardMirror payload"))
+		}
+		peer, ok := s.mgr.(shardPeer)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("mm: not a shard-group member"))
+		}
+		if err := peer.ApplyMirror(mir); err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindAck, wire.Ack{})
+	case wire.KindShardHandoff:
+		ho, ok := msg.Payload.(wire.ShardHandoff)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("bad ShardHandoff payload"))
+		}
+		peer, ok := s.mgr.(shardPeer)
+		if !ok {
+			return wc.WriteError(fmt.Errorf("mm: not a shard-group member"))
+		}
+		n, err := peer.ApplyHandoff(ho)
+		if err != nil {
+			return wc.WriteError(err)
+		}
+		return wc.Write(wire.KindCount, wire.Count{N: n})
 	default:
 		return wc.WriteError(fmt.Errorf("mm: unexpected message %v", msg.Kind))
 	}
@@ -312,6 +363,14 @@ func DialMMConfig(addr string, cfg transport.Config) (*MMClient, error) {
 		return nil, fmt.Errorf("live: dial mm %s: %w", addr, err)
 	}
 	return &MMClient{t: t, logf: func(string, ...any) {}}, nil
+}
+
+// NewMMClient attaches a client stub without probing connectivity: the
+// transport dials lazily on first call. Shard-group members and the
+// shard mapper use this so a listed-but-down member never blocks
+// startup — the whole point of the group is surviving a dead member.
+func NewMMClient(addr string, cfg transport.Config) *MMClient {
+	return &MMClient{t: transport.NewClient(addr, cfg), logf: func(string, ...any) {}}
 }
 
 // SetLogger routes client-side diagnostics (lookup failures and the like)
@@ -346,15 +405,25 @@ func (c *MMClient) Lookup(file ids.FileID) []ids.RMID {
 // request frame, so the MM's readdir handling appears in the caller's
 // trace.
 func (c *MMClient) LookupContext(ctx context.Context, file ids.FileID) []ids.RMID {
-	reply, err := c.t.Call(ctx, wire.KindLookup, wire.FileRef{File: file})
+	holders, err := c.LookupErrContext(ctx, file)
 	if err != nil {
 		c.logf("live: mm lookup: %v", err)
-		return nil
+	}
+	return holders
+}
+
+// LookupErrContext is LookupContext surfacing the failure with the
+// transport taxonomy intact (dfsc's error-reporting mapper interface), so
+// the client can tell a dead MM from a file with no replicas.
+func (c *MMClient) LookupErrContext(ctx context.Context, file ids.FileID) ([]ids.RMID, error) {
+	reply, err := c.t.Call(ctx, wire.KindLookup, wire.FileRef{File: file})
+	if err != nil {
+		return nil, err
 	}
 	if l, ok := reply.Payload.(wire.RMList); ok {
-		return l.RMs
+		return l.RMs, nil
 	}
-	return nil
+	return nil, fmt.Errorf("live: mm lookup: unexpected reply %v", reply.Kind)
 }
 
 // RMsWithout implements ecnp.Mapper.

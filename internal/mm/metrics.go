@@ -29,6 +29,32 @@ type Metrics struct {
 	// ReconciledReplicas counts stale replica-map entries pruned during
 	// RM re-registration (dfsqos_mm_reconciled_replicas_total).
 	ReconciledReplicas *telemetry.Counter
+
+	// Shard-group telemetry (inert on a single-MM deployment).
+
+	// LiveShards gauges the metadata shards currently considered live
+	// (dfsqos_mm_live_shards). Equals the shard count until a shard dies.
+	LiveShards *telemetry.Gauge
+	// ShardDeaths counts shards observed crossing their beat deadline or
+	// killed outright (dfsqos_mm_shard_transitions_total{direction="dead"}).
+	ShardDeaths *telemetry.Counter
+	// ShardRevivals counts dead shards healed by a beat or revive
+	// (dfsqos_mm_shard_transitions_total{direction="live"}).
+	ShardRevivals *telemetry.Counter
+	// ShardBeats counts shard-to-shard liveness beacons accepted
+	// (dfsqos_mm_shard_beats_total).
+	ShardBeats *telemetry.Counter
+	// ShardMirrorsOK / ShardMirrorsFailed count replica-map mutations
+	// mirrored to successor shards, by outcome
+	// (dfsqos_mm_shard_mirrors_total{outcome="ok"|"error"}).
+	ShardMirrorsOK     *telemetry.Counter
+	ShardMirrorsFailed *telemetry.Counter
+	// HandoffTakeover / HandoffHeal count replica-map entries moved by the
+	// shard handoff protocol, by direction: "takeover" re-replicates a dead
+	// shard's keyspace to its successor, "heal" pushes it back after
+	// revival (dfsqos_mm_shard_handoff_entries_total{direction}).
+	HandoffTakeover *telemetry.Counter
+	HandoffHeal     *telemetry.Counter
 }
 
 // NewMetrics registers the MM metric families on reg (nil reg yields a
@@ -36,6 +62,12 @@ type Metrics struct {
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	transitions := reg.NewCounterVec("dfsqos_mm_rm_transitions_total",
 		"RM liveness transitions observed by the MM, by direction.", "direction")
+	shardTransitions := reg.NewCounterVec("dfsqos_mm_shard_transitions_total",
+		"MM shard liveness transitions observed by the shard group, by direction.", "direction")
+	mirrors := reg.NewCounterVec("dfsqos_mm_shard_mirrors_total",
+		"Replica-map mutations mirrored to successor shards, by outcome.", "outcome")
+	handoff := reg.NewCounterVec("dfsqos_mm_shard_handoff_entries_total",
+		"Replica-map entries moved by the shard handoff protocol, by direction.", "direction")
 	return &Metrics{
 		RegisteredRMs: reg.NewGauge("dfsqos_mm_registered_rms",
 			"RMs in the global resource list, live or dead."),
@@ -47,5 +79,15 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		Revivals: transitions.With("live"),
 		ReconciledReplicas: reg.NewCounter("dfsqos_mm_reconciled_replicas_total",
 			"Stale replica-map entries pruned during RM re-registration."),
+		LiveShards: reg.NewGauge("dfsqos_mm_live_shards",
+			"Metadata shards currently within their liveness window."),
+		ShardDeaths:   shardTransitions.With("dead"),
+		ShardRevivals: shardTransitions.With("live"),
+		ShardBeats: reg.NewCounter("dfsqos_mm_shard_beats_total",
+			"Shard-to-shard liveness beacons accepted."),
+		ShardMirrorsOK:     mirrors.With("ok"),
+		ShardMirrorsFailed: mirrors.With("error"),
+		HandoffTakeover:    handoff.With("takeover"),
+		HandoffHeal:        handoff.With("heal"),
 	}
 }

@@ -164,14 +164,27 @@ func (m *Manager) reviveLocked(id ids.RMID, now time.Time) {
 // refreshLiveGaugesLocked re-derives the registered/live gauges. Caller
 // holds m.mu.
 func (m *Manager) refreshLiveGaugesLocked(now time.Time) {
-	live := 0
+	m.met.RegisteredRMs.Set(float64(len(m.rms)))
+	m.met.LiveRMs.Set(float64(m.latchLiveLocked(now)))
+}
+
+// latchLiveLocked counts live RMs, latching newly-observed deaths in
+// ascending RM-ID order — map-order iteration here made the death-latch
+// sequence (and with it any fault armed on a transition count)
+// irreproducible across runs of the same seed. Caller holds m.mu.
+func (m *Manager) latchLiveLocked(now time.Time) int {
+	order := make([]ids.RMID, 0, len(m.rms))
 	for id := range m.rms {
+		order = append(order, id)
+	}
+	sortRMs(order)
+	live := 0
+	for _, id := range order {
 		if m.aliveLocked(id, now, true) {
 			live++
 		}
 	}
-	m.met.RegisteredRMs.Set(float64(len(m.rms)))
-	m.met.LiveRMs.Set(float64(live))
+	return live
 }
 
 // Heartbeat records a liveness beacon from id. An unknown RM is refused —
@@ -201,14 +214,7 @@ func (m *Manager) Epoch(id ids.RMID) uint64 {
 func (m *Manager) LiveCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	now := m.now()
-	live := 0
-	for id := range m.rms {
-		if m.aliveLocked(id, now, true) {
-			live++
-		}
-	}
-	return live
+	return m.latchLiveLocked(m.now())
 }
 
 // Alive reports whether id is registered and within its liveness window.
@@ -453,6 +459,55 @@ func (m *Manager) FilesOn(rm ids.RMID) []ids.FileID {
 	fs := m.placement.FilesOn(rm)
 	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
 	return fs
+}
+
+// Files returns every file in the replica map, sorted by file ID — the
+// keyspace enumeration the shard handoff protocol walks.
+func (m *Manager) Files() []ids.FileID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fs := m.placement.Files()
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	return fs
+}
+
+// Replicas returns file's committed holders in ascending RM order,
+// regardless of liveness — the raw mapping a handoff batch carries, as
+// opposed to Lookup's live-filtered answer.
+func (m *Manager) Replicas(file ids.FileID) []ids.RMID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	hs := m.placement.Holders(file)
+	sortRMs(hs)
+	return hs
+}
+
+// AdoptReplicas merges holders into file's replica set, skipping entries
+// already present — the idempotent application of one shard-handoff
+// entry. Unlike RegisterRM it never prunes, so replaying a batch (or
+// receiving overlapping takeover and heal pushes) converges instead of
+// erroring. Holders must be registered RMs; it returns how many entries
+// were actually new.
+func (m *Manager) AdoptReplicas(file ids.FileID, holders []ids.RMID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	added := 0
+	for _, rm := range holders {
+		if _, ok := m.rms[rm]; !ok {
+			return added, fmt.Errorf("mm: adopting %v: unregistered %v", file, rm)
+		}
+		if m.placement.Has(file, rm) {
+			continue
+		}
+		if err := m.placement.Add(file, rm); err != nil {
+			return added, fmt.Errorf("mm: adopting %v: %w", file, err)
+		}
+		added++
+	}
+	if added > 0 {
+		m.version++
+	}
+	return added, nil
 }
 
 // Validate checks replica-map invariants (delegates to the placement).

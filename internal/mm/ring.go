@@ -62,6 +62,54 @@ func (r *Ring) OwnerOfFile(file int64) int {
 	return r.Owner(mix64(uint64(file)))
 }
 
+// Successors returns the n distinct shards owning the given key in ring
+// order: the primary (the successor point, as Owner) followed by the next
+// distinct shards walking clockwise, wrapping at the top. n is clamped to
+// the shard count, so a request for more successors than shards returns
+// every shard exactly once. This is the replica set of a key under
+// R-way metadata replication: the first entry is the key's primary and
+// the rest mirror it.
+func (r *Ring) Successors(key uint64, n int) []int {
+	if n > r.shards {
+		n = r.shards
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for i := 0; len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// SuccessorsOfFile routes a file ID to its replica set (see Successors).
+func (r *Ring) SuccessorsOfFile(file int64, n int) []int {
+	return r.Successors(mix64(uint64(file)), n)
+}
+
+// Order returns every shard exactly once in ring order — the order of
+// each shard's first point walking the ring from zero. Fan-out paths
+// iterate shards in this order so fault-injection runs are reproducible
+// under a fixed seed (map-order iteration is not).
+func (r *Ring) Order() []int {
+	out := make([]int, 0, r.shards)
+	seen := make(map[int]bool, r.shards)
+	for _, p := range r.points {
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
 // hash64 is FNV-1a with a splitmix finalizer.
 func hash64(s string) uint64 {
 	var h uint64 = 14695981039346656037

@@ -1,0 +1,158 @@
+package mm
+
+import (
+	"testing"
+	"time"
+
+	"dfsqos/internal/telemetry"
+)
+
+// TestShardHealthExplicitMode covers the clockless in-process driver:
+// SetDown kills and revives, transitions latch exactly once, and revival
+// bumps the epoch.
+func TestShardHealthExplicitMode(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	h := NewShardHealth(3, LivenessConfig{})
+	h.SetMetrics(met)
+
+	if h.LiveCount() != 3 {
+		t.Fatalf("LiveCount = %d, want 3", h.LiveCount())
+	}
+	if !h.SetDown(1, true) {
+		t.Fatal("first SetDown(1, true) did not transition")
+	}
+	if h.SetDown(1, true) {
+		t.Fatal("repeated SetDown(1, true) transitioned again")
+	}
+	if h.Alive(1) || h.LiveCount() != 2 {
+		t.Fatalf("shard 1 alive=%v live=%d after kill", h.Alive(1), h.LiveCount())
+	}
+	// Beats never override an explicit down mark (a partitioned shard is
+	// down even if its process still beacons).
+	if h.Beat(1) {
+		t.Fatal("beat revived an explicitly-downed shard")
+	}
+	if h.Alive(1) {
+		t.Fatal("shard 1 alive after beat while explicitly down")
+	}
+	if got := met.ShardDeaths.Value(); got != 1 {
+		t.Fatalf("ShardDeaths = %d, want 1", got)
+	}
+	if !h.SetDown(1, false) {
+		t.Fatal("revive did not transition")
+	}
+	if !h.Alive(1) || h.Epoch(1) != 1 {
+		t.Fatalf("alive=%v epoch=%d after revival, want true/1", h.Alive(1), h.Epoch(1))
+	}
+	if got := met.ShardRevivals.Value(); got != 1 {
+		t.Fatalf("ShardRevivals = %d, want 1", got)
+	}
+	if got := met.LiveShards.Value(); got != 3 {
+		t.Fatalf("LiveShards gauge = %v, want 3", got)
+	}
+	// Explicit-only mode never sweeps anything dead.
+	if newly := h.Sweep(); newly != nil {
+		t.Fatalf("Sweep in explicit mode = %v, want nil", newly)
+	}
+	// Out-of-range indices are inert.
+	if h.Alive(-1) || h.Alive(3) || h.Beat(7) || h.SetDown(9, true) {
+		t.Fatal("out-of-range shard index was not inert")
+	}
+}
+
+// TestShardHealthBeatExpiry covers the wire driver: a shard that stops
+// beating crosses its deadline, Sweep latches the death once, and the
+// next beat revives it with an epoch bump.
+func TestShardHealthBeatExpiry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	cfg := LivenessConfig{HeartbeatInterval: time.Second, MissThreshold: 3}
+	h := NewShardHealth(2, cfg)
+	h.SetMetrics(met)
+	now := time.Unix(100, 0)
+	h.SetClock(func() time.Time { return now })
+	// Re-stamp the construction-time grace under the fake clock.
+	h.Beat(0)
+	h.Beat(1)
+
+	// Within the deadline nothing dies.
+	now = now.Add(cfg.Deadline())
+	if newly := h.Sweep(); newly != nil {
+		t.Fatalf("Sweep before deadline = %v", newly)
+	}
+	// Shard 1 keeps beating; shard 0 goes silent past the deadline.
+	h.Beat(1)
+	now = now.Add(time.Millisecond)
+	if newly := h.Sweep(); len(newly) != 1 || newly[0] != 0 {
+		t.Fatalf("Sweep = %v, want [0]", newly)
+	}
+	if newly := h.Sweep(); newly != nil {
+		t.Fatalf("death re-latched: %v", newly)
+	}
+	if h.Alive(0) || !h.Alive(1) {
+		t.Fatalf("alive = %v/%v, want false/true", h.Alive(0), h.Alive(1))
+	}
+	// The returning beat revives shard 0 exactly once.
+	if !h.Beat(0) {
+		t.Fatal("beat did not report revival")
+	}
+	if h.Beat(0) {
+		t.Fatal("second beat reported revival again")
+	}
+	if h.Epoch(0) != 1 || h.Epoch(1) != 0 {
+		t.Fatalf("epochs = %d/%d, want 1/0", h.Epoch(0), h.Epoch(1))
+	}
+	if met.ShardDeaths.Value() != 1 || met.ShardRevivals.Value() != 1 {
+		t.Fatalf("transitions = %d dead / %d revived, want 1/1",
+			met.ShardDeaths.Value(), met.ShardRevivals.Value())
+	}
+}
+
+// TestShardHealthStamp pins the self-slot contract: a Stamp refreshes
+// the beacon with no revival semantics — a member whose own deadline
+// lapsed during a stalled tick is alive again without an epoch bump or
+// a transition count, and a pre-Stamp latch heals silently too.
+func TestShardHealthStamp(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	cfg := LivenessConfig{HeartbeatInterval: time.Second, MissThreshold: 3}
+	h := NewShardHealth(2, cfg)
+	h.SetMetrics(met)
+	now := time.Unix(100, 0)
+	h.SetClock(func() time.Time { return now })
+	h.Beat(0)
+	h.Beat(1)
+
+	// Slot 0 lapses; Stamp restores it without a death/revival pair.
+	now = now.Add(cfg.Deadline() + time.Millisecond)
+	h.Stamp(0)
+	if !h.Alive(0) || h.Epoch(0) != 0 {
+		t.Fatalf("alive=%v epoch=%d after stamp, want true/0", h.Alive(0), h.Epoch(0))
+	}
+	if newly := h.Sweep(); len(newly) != 1 || newly[0] != 1 {
+		t.Fatalf("Sweep = %v, want only the unstamped shard 1", newly)
+	}
+	if met.ShardRevivals.Value() != 0 {
+		t.Fatalf("stamp counted as revival: %d", met.ShardRevivals.Value())
+	}
+	// A latched slot heals through Stamp silently: deadSeen clears (so a
+	// later real death latches again) but epoch and counters stay put.
+	h.Stamp(1)
+	if !h.Alive(1) || h.Epoch(1) != 0 || met.ShardRevivals.Value() != 0 {
+		t.Fatalf("latched slot did not heal silently: alive=%v epoch=%d revivals=%d",
+			h.Alive(1), h.Epoch(1), met.ShardRevivals.Value())
+	}
+	now = now.Add(cfg.Deadline() + time.Millisecond)
+	if newly := h.Sweep(); len(newly) != 2 {
+		t.Fatalf("re-lapse after stamp latched %v, want both shards", newly)
+	}
+	// Stamp never clears an explicit down mark.
+	h.SetDown(0, true)
+	h.Stamp(0)
+	if h.Alive(0) {
+		t.Fatal("stamp revived an explicitly-downed shard")
+	}
+	h.Stamp(-1)
+	h.Stamp(9) // out of range: inert
+}

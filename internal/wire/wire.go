@@ -72,6 +72,12 @@ const (
 	// Liveness (RM → MM) and reservation-lease keepalive (DFSC → RM).
 	KindHeartbeat
 	KindKeepalive
+	// Shard-group control plane (MM shard → MM shard). All three ride the
+	// gob codec: they are low-frequency control traffic, never the hot
+	// path.
+	KindShardBeat
+	KindShardMirror
+	KindShardHandoff
 )
 
 // kindNames is the package-level name table: Kind.String sits on the
@@ -91,6 +97,8 @@ var kindNames = [...]string{
 	KindReadFile:  "ReadFile", KindFileChunk: "FileChunk", KindFileEnd: "FileEnd",
 	KindWriteFile: "WriteFile",
 	KindHeartbeat: "Heartbeat", KindKeepalive: "Keepalive",
+	KindShardBeat: "ShardBeat", KindShardMirror: "ShardMirror",
+	KindShardHandoff: "ShardHandoff",
 }
 
 // String implements fmt.Stringer for diagnostics. Known kinds return an
@@ -294,6 +302,45 @@ type (
 	Keepalive struct {
 		Request ids.RequestID
 	}
+	// ShardBeat is one MM shard's periodic liveness beacon to a peer
+	// shard. Shard is the sender's ring index.
+	ShardBeat struct {
+		Shard int32
+	}
+	// ShardMirror replays one replica-map mutation from the shard that
+	// served it (the key's primary) to a successor shard holding a mirror
+	// of the mapping. Op selects the mutation; the remaining fields carry
+	// its arguments (unused ones stay zero). The receiver applies the
+	// mutation locally and never re-mirrors, so mirrors cannot loop.
+	ShardMirror struct {
+		// Op is the mutation name: "AddReplica", "RemoveReplica",
+		// "BeginReplication" or "EndReplication".
+		Op       string
+		File     ids.FileID
+		RM       ids.RMID
+		MaxTotal int
+		Commit   bool
+	}
+	// ShardEntry is one file → replica-set mapping inside a handoff batch.
+	ShardEntry struct {
+		File ids.FileID
+		RMs  []ids.RMID
+	}
+	// ShardHandoff re-replicates a slice of the keyspace between MM
+	// shards: a takeover pushes a dead shard's mappings to the next
+	// successor so the replication factor recovers, and a heal pushes a
+	// revived shard's keyspace back to it. Infos carries the registration
+	// records the entries reference, so a freshly restarted (empty) shard
+	// can accept the mappings. Application is idempotent — entries the
+	// receiver already holds are skipped.
+	ShardHandoff struct {
+		// From is the sending shard's ring index; Direction is "takeover"
+		// or "heal" (telemetry and diagnostics).
+		From      int32
+		Direction string
+		Infos     []ecnp.RMInfo
+		Entries   []ShardEntry
+	}
 )
 
 func init() {
@@ -316,6 +363,9 @@ func init() {
 	gob.Register(Error{})
 	gob.Register(Heartbeat{})
 	gob.Register(Keepalive{})
+	gob.Register(ShardBeat{})
+	gob.Register(ShardMirror{})
+	gob.Register(ShardHandoff{})
 	gob.Register(ecnp.CFP{})
 	gob.Register(ecnp.OpenRequest{})
 	gob.Register(ecnp.OpenResult{})
