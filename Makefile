@@ -26,7 +26,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/... ./internal/mm/... ./internal/rm/... ./internal/faults/...
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/... ./internal/mm/... ./internal/rm/... ./internal/faults/... ./internal/blkio/...
 
 # chaos replays the self-healing drills: deterministic fault scripts
 # (internal/faults) against live TCP deployments — mid-stream kill with
@@ -46,7 +46,9 @@ chaos-mm:
 # cover writes one profile per gated package plus a merged coverage.out
 # for the CI artifact, then enforces the floors via the gate script:
 # 60% on the observability packages, 80% on the replicated metadata
-# core (internal/mm carries the shard ring, health and handoff logic).
+# core (internal/mm carries the shard ring, health and handoff logic)
+# and on the QoS enforcement core (internal/blkio carries the
+# work-conserving token tree every data stream throttles through).
 cover:
 	mkdir -p coverage
 	$(GO) test -coverprofile=coverage/telemetry.out ./internal/telemetry/
@@ -54,17 +56,20 @@ cover:
 	$(GO) test -coverprofile=coverage/faults.out ./internal/faults/
 	$(GO) test -coverprofile=coverage/scenario.out ./internal/scenario/
 	$(GO) test -coverprofile=coverage/mm.out ./internal/mm/
+	$(GO) test -coverprofile=coverage/blkio.out ./internal/blkio/
 	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
 	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out coverage/scenario.out
-	./scripts/cover_gate.sh 80 coverage/mm.out
+	./scripts/cover_gate.sh 80 coverage/mm.out coverage/blkio.out
 
 # bench runs the data-plane benchmark harness: wire codec benchmarks plus
 # the live-TCP streaming and striped-read benchmarks, parsed into
 # BENCH_6.json, with the 0-allocs/op gate on the fast-path codecs and the
-# K4-vs-K1 stripe-scaling floor. BENCH_TIME tunes the per-benchmark
-# budget (CI uses a shorter one).
+# K4-vs-K1 stripe-scaling floor. The work-conserving QoS benchmark
+# (borrowing tree vs flat baseline) lands in BENCH_9.json, gated on
+# strictly-above-flat utilization with zero assured-floor violations.
+# BENCH_TIME tunes the per-benchmark budget (CI uses a shorter one).
 bench:
-	./scripts/bench.sh BENCH_6.json
+	./scripts/bench.sh BENCH_6.json BENCH_9.json
 
 # scenarios runs the million-client scenario engine with its SLO gates:
 # every builtin scenario through the DES (10⁵–10⁶ simulated clients in

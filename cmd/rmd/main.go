@@ -66,6 +66,9 @@ func main() {
 		verbose = flag.Bool("v", false, "log connection errors")
 		hbIv    = flag.Duration("heartbeat-interval", 0, "liveness beacon period to the MM; 0 disables")
 		leaseTT = flag.Duration("lease-ttl", 0, "reservation lease TTL (wall time); idle reservations past it are reclaimed; 0 disables")
+		oversub = flag.Float64("oversub", 1, "admission oversubscription ratio: bids and firm admission extend to capacity×ratio while assured floors stay enforced (1 = nominal)")
+		sqos    = flag.Bool("stream-qos", false, "route each reservation's stream through its own work-conserving blkio group (assured = bitrate)")
+		sceil   = flag.Float64("stream-ceil", 1, "per-stream burst ceiling as a fraction of capacity under -stream-qos (0 = flat: ceiling equals the assured floor)")
 		faultsS = flag.String("faults", "", "fault-injection spec (chaos testing; see internal/faults)")
 		tcfg    = transport.RegisterFlags(flag.CommandLine)
 	)
@@ -98,10 +101,18 @@ func main() {
 	}
 	rmID := ids.RMID(*id)
 
+	// One registry aggregates transport, server, RM core, blkio and
+	// replication telemetry on this daemon's /metrics page.
+	reg := telemetry.NewRegistry()
+	tcfg.Metrics = transport.NewMetrics(reg)
+	wire.RegisterCodecMetrics(reg)
+	tracer := trace.New(trace.Options{Actor: fmt.Sprintf("rm%d", *id), RingSize: *traceN, Registry: reg})
+
 	// Build the throttled virtual disk and provision this RM's replicas:
 	// the blkio group caps both read and write at the RM's capacity, as
 	// the paper's loop-device/cgroup binding does.
 	ctrl := blkio.NewController()
+	ctrl.SetMetrics(blkio.NewMetrics(reg))
 	disk, err := vdisk.New(storage, ctrl, fmt.Sprintf("vm%d", rmID), capacity, capacity)
 	if err != nil {
 		fail(err)
@@ -114,13 +125,6 @@ func main() {
 			fail(fmt.Errorf("provisioning %v: %w", f, err))
 		}
 	}
-
-	// One registry aggregates transport, server, RM core and replication
-	// telemetry on this daemon's /metrics page.
-	reg := telemetry.NewRegistry()
-	tcfg.Metrics = transport.NewMetrics(reg)
-	wire.RegisterCodecMetrics(reg)
-	tracer := trace.New(trace.Options{Actor: fmt.Sprintf("rm%d", *id), RingSize: *traceN, Registry: reg})
 
 	mapper, err := dialMapper(*mmAddr, *mmRep, *tcfg, reg)
 	if err != nil {
@@ -143,6 +147,7 @@ func main() {
 		// replication rate scaled to wall time.
 		Copier:  copier,
 		Metrics: rm.NewMetrics(reg),
+		Oversub: *oversub,
 		// The lease TTL is specified in wall time; the RM's scheduler
 		// runs virtual seconds at -scale× wall, so convert.
 		LeaseTTLSec: leaseTT.Seconds() * *scale,
@@ -153,6 +158,12 @@ func main() {
 	srv, err := live.NewRMServer(node, disk, *addr)
 	if err != nil {
 		fail(err)
+	}
+	if *sqos {
+		if err := srv.EnableStreamQoS(*sceil); err != nil {
+			fail(err)
+		}
+		log.Printf("rmd: %v stream QoS on (ceiling %.2f× capacity)", rmID, *sceil)
 	}
 	srv.SetReplyTimeout(tcfg.CallTimeout)
 	srv.SetMetrics(live.NewServerMetrics(reg, "rm"))

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"dfsqos/internal/telemetry"
 	"dfsqos/internal/units"
 )
 
@@ -167,20 +168,278 @@ func TestWaitNoDelayPath(t *testing.T) {
 func TestSetGroupReconfigures(t *testing.T) {
 	c, _ := fakeController()
 	g, _ := c.SetGroup("vm1", 100, 0)
-	c.Reserve(g, Read, 100)
-	// Reconfiguration resets the buckets at the new rate.
+	c.Reserve(g, Read, 100) // drain the burst entirely
+	// Reconfiguration carries the (empty) fill level over: no free burst.
 	g2, _ := c.SetGroup("vm1", 1000, 0)
 	if g2 != g {
 		t.Fatal("reconfiguration replaced the group object")
 	}
+	if d := c.Reserve(g, Read, 1000); d != time.Second {
+		t.Fatalf("reconfigured empty bucket delayed %v, want 1s", d)
+	}
+}
+
+func TestSetGroupCarriesFillFraction(t *testing.T) {
+	c, _ := fakeController()
+	g, _ := c.SetGroup("vm1", 1000, 0)
+	c.Reserve(g, Read, 500) // half the burst left
+	c.SetGroup("vm1", 2000, 0)
+	// Half of the new 2000-token burst = 1000 tokens available.
 	if d := c.Reserve(g, Read, 1000); d != 0 {
-		t.Fatalf("reconfigured burst delayed %v", d)
+		t.Fatalf("carried tokens delayed %v", d)
+	}
+	if d := c.Reserve(g, Read, 2000); d != time.Second {
+		t.Fatalf("post-carry reserve delayed %v, want 1s", d)
 	}
 }
 
 func TestOpString(t *testing.T) {
 	if Read.String() != "read" || Write.String() != "write" {
 		t.Fatal("Op strings wrong")
+	}
+}
+
+// TestWaitFakeClockDeadline is the regression for the deadline
+// short-circuit measuring the context deadline with the wall clock while
+// the reservation used the injectable clock: a deadline expressed in
+// fake-clock time (epoch era) is hugely in the wall's past, so Wait
+// spuriously returned DeadlineExceeded for a perfectly affordable delay.
+func TestWaitFakeClockDeadline(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	c := NewController(WithClock(fc.Now)) // real sleeping for the timer path
+	g, _ := c.SetGroup("vm1", 1000, 0)
+	c.Reserve(g, Read, 1000) // drain the burst
+	// The deadline is expressed in the fake clock's (epoch-era) time base,
+	// as a fake-clock test harness would do. Wall-clock math would see it
+	// ~56 years in the past and spuriously refuse an affordable 50ms wait.
+	base, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := fakeDeadlineCtx{Context: base, deadline: fc.Now().Add(10 * time.Second)}
+	if err := c.Wait(ctx, g, Read, 50); err != nil {
+		t.Fatalf("Wait failed under an affordable fake-clock deadline: %v", err)
+	}
+	// And a genuinely unaffordable fake-clock deadline still short-circuits.
+	c.Reserve(g, Read, 1000) // back into debt
+	ctx2 := fakeDeadlineCtx{Context: base, deadline: fc.Now().Add(time.Millisecond)}
+	start := time.Now()
+	if err := c.Wait(ctx2, g, Read, 1000); err == nil {
+		t.Fatal("Wait ignored an unaffordable deadline")
+	} else if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("unaffordable deadline did not short-circuit")
+	}
+}
+
+// fakeDeadlineCtx reports a deadline in the fake clock's time base while
+// inheriting a live (never-firing) Done channel.
+type fakeDeadlineCtx struct {
+	context.Context
+	deadline time.Time
+}
+
+func (f fakeDeadlineCtx) Deadline() (time.Time, bool) { return f.deadline, true }
+
+func TestSetGroupQoSValidation(t *testing.T) {
+	c, _ := fakeController()
+	if _, err := c.SetGroupQoS("", GroupConfig{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.SetGroupQoS("g", GroupConfig{ReadAssured: -1}); err == nil {
+		t.Fatal("negative assured accepted")
+	}
+	if _, err := c.SetGroupQoS("g", GroupConfig{ReadAssured: 100, ReadCeil: 50}); err == nil {
+		t.Fatal("ceil below assured accepted")
+	}
+	if _, err := c.SetGroupQoS("g", GroupConfig{WriteAssured: 100, WriteCeil: 50}); err == nil {
+		t.Fatal("write ceil below assured accepted")
+	}
+	if _, err := c.SetGroupQoS("g", GroupConfig{ReadCeil: 100}); err == nil {
+		t.Fatal("ceil without assured accepted")
+	}
+	if _, err := c.SetGroupQoS("g", GroupConfig{WriteCeil: 100}); err == nil {
+		t.Fatal("write ceil without assured accepted")
+	}
+	if err := c.SetRoot(-1, 0); err == nil {
+		t.Fatal("negative root accepted")
+	}
+}
+
+func TestRemoveGroup(t *testing.T) {
+	c, _ := fakeController()
+	c.SetGroup("vm1", 100, 100)
+	if !c.RemoveGroup("vm1") {
+		t.Fatal("RemoveGroup missed an existing group")
+	}
+	if _, ok := c.Group("vm1"); ok {
+		t.Fatal("group survived removal")
+	}
+	if c.RemoveGroup("vm1") {
+		t.Fatal("RemoveGroup reported a phantom group")
+	}
+}
+
+// TestBorrowRunsAtCeil drives a single active group whose idle sibling's
+// reservation leaves root spare: the active group must sustain its ceil
+// (double its assured floor), the work-conserving win.
+func TestBorrowRunsAtCeil(t *testing.T) {
+	c, fc := fakeController()
+	c.SetRoot(1000, 0)
+	a, _ := c.SetGroupQoS("a", GroupConfig{ReadAssured: 500, ReadCeil: 1000})
+	c.SetGroupQoS("b", GroupConfig{ReadAssured: 500, ReadCeil: 1000}) // idle sibling
+	const chunk = 100
+	var total int
+	var elapsed time.Duration
+	for total < 100_000 {
+		d := c.Reserve(a, Read, chunk)
+		fc.Advance(d)
+		elapsed += d
+		total += chunk
+	}
+	rate := float64(total) / elapsed.Seconds()
+	if rate < 950 || rate > 1100 {
+		t.Fatalf("borrower sustained %.0f B/s, want ~1000 (its ceil)", rate)
+	}
+	st := c.Stats()
+	if st.Borrows == 0 || st.BorrowedBytes == 0 {
+		t.Fatalf("no borrowing recorded: %+v", st)
+	}
+}
+
+// TestFlatGroupStaysAtAssured proves a group without ceil headroom cannot
+// borrow even when the root pool has spare: the (1,1,1) baseline shape.
+func TestFlatGroupStaysAtAssured(t *testing.T) {
+	c, fc := fakeController()
+	c.SetRoot(1000, 0)
+	a, _ := c.SetGroupQoS("a", GroupConfig{ReadAssured: 500, ReadCeil: 500})
+	const chunk = 100
+	var total int
+	var elapsed time.Duration
+	for total < 100_000 {
+		d := c.Reserve(a, Read, chunk)
+		fc.Advance(d)
+		elapsed += d
+		total += chunk
+	}
+	rate := float64(total) / elapsed.Seconds()
+	if rate < 475 || rate > 550 {
+		t.Fatalf("flat group sustained %.0f B/s, want ~500 (its assured rate)", rate)
+	}
+	if st := c.Stats(); st.Borrows != 0 || st.BorrowedBytes != 0 {
+		t.Fatalf("flat group borrowed: %+v", st)
+	}
+}
+
+// TestReclaimWhenSiblingWakes: a lone borrower runs at its ceil, then its
+// sibling wakes and starts consuming — the borrower's loan shrinks to
+// whatever the sibling leaves idle, while the sibling, running under its
+// assured floor, never waits a single nanosecond.
+func TestReclaimWhenSiblingWakes(t *testing.T) {
+	c, fc := fakeController()
+	c.SetRoot(1000, 0)
+	a, _ := c.SetGroupQoS("a", GroupConfig{ReadAssured: 500, ReadCeil: 1000})
+	b, _ := c.SetGroupQoS("b", GroupConfig{ReadAssured: 500, ReadCeil: 1000})
+	const chunk = 100
+	// Phase 1: A alone reaches its ceil (~1000 B/s).
+	var d1 time.Duration
+	var bytes1 int
+	for bytes1 < 50_000 {
+		d := c.Reserve(a, Read, chunk)
+		fc.Advance(d)
+		d1 += d
+		bytes1 += chunk
+	}
+	if rate := float64(bytes1) / d1.Seconds(); rate < 950 || rate > 1150 {
+		t.Fatalf("lone borrower sustained %.0f B/s, want ~1000", rate)
+	}
+	// Phase 2: B wakes and consumes 100 B per round against A's 200. B's
+	// demand (1/3 of the issue stream) stays under its floor, so B must
+	// never be delayed; A keeps only the spare B leaves idle. With charges
+	// of 300 B per round draining the 1000 B/s root, rounds settle at
+	// 0.3 s: A gets 200/0.3 ≈ 667 B/s — above its 500 floor (still
+	// borrowing) but well off its 1000 ceil (the loan was reclaimed).
+	var elapsed time.Duration
+	var aBytes int
+	for round := 0; round < 500; round++ {
+		dA := c.Reserve(a, Read, 2*chunk)
+		dB := c.Reserve(b, Read, chunk)
+		if dB != 0 {
+			t.Fatalf("round %d: sibling under its floor was delayed %v", round, dB)
+		}
+		fc.Advance(dA)
+		elapsed += dA
+		aBytes += 2 * chunk
+	}
+	aRate := float64(aBytes) / elapsed.Seconds()
+	if aRate < 580 || aRate > 760 {
+		t.Fatalf("borrower ran at %.0f B/s after sibling woke, want ~667", aRate)
+	}
+	st := c.Stats()
+	if st.Borrows == 0 || st.BorrowedBytes == 0 {
+		t.Fatalf("no borrowing recorded: %+v", st)
+	}
+	if st.AssuredBytes == 0 {
+		t.Fatalf("no assured accounting: %+v", st)
+	}
+}
+
+// TestUnlimitedGroupChargesRoot: an unlimited group's traffic still drains
+// the lending pool so borrowers see the real disk load.
+func TestUnlimitedGroupChargesRoot(t *testing.T) {
+	c, _ := fakeController()
+	c.SetRoot(1000, 0)
+	u, _ := c.SetGroup("bulk", 0, 0)
+	a, _ := c.SetGroupQoS("a", GroupConfig{ReadAssured: 500, ReadCeil: 1000})
+	c.Reserve(u, Read, 1000) // drain the root burst entirely
+	c.Reserve(a, Read, 500)  // drain A's assured burst
+	// A's next chunk finds no spare: paced at assured rate, and the failed
+	// borrow counts as a reclaim.
+	if d := c.Reserve(a, Read, 100); d != 200*time.Millisecond {
+		t.Fatalf("borrow found phantom spare: delayed %v, want 200ms", d)
+	}
+	if st := c.Stats(); st.Reclaims == 0 {
+		t.Fatalf("dry-pool borrow not counted as reclaim: %+v", st)
+	}
+}
+
+func TestMetricsWiring(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	c, fc := fakeController()
+	c.SetMetrics(m)
+	c.SetRoot(1000, 0)
+	a, _ := c.SetGroupQoS("a", GroupConfig{ReadAssured: 500, ReadCeil: 1000})
+	c.SetGroupQoS("b", GroupConfig{ReadAssured: 500, ReadCeil: 1000})
+	for total := 0; total < 20_000; total += 100 {
+		fc.Advance(c.Reserve(a, Read, 100))
+	}
+	if m.AssuredBytes.Value() == 0 || m.BorrowedBytes.Value() == 0 {
+		t.Fatalf("byte split not exported: assured=%d borrowed=%d",
+			m.AssuredBytes.Value(), m.BorrowedBytes.Value())
+	}
+	if m.Borrows.Value() == 0 {
+		t.Fatal("borrows not exported")
+	}
+	if m.Groups.Value() != 2 {
+		t.Fatalf("groups gauge = %v, want 2", m.Groups.Value())
+	}
+	c.RemoveGroup("b")
+	if m.Groups.Value() != 1 {
+		t.Fatalf("groups gauge after removal = %v, want 1", m.Groups.Value())
+	}
+	names := reg.Names()
+	want := []string{"dfsqos_blkio_bytes_total", "dfsqos_blkio_borrows_total",
+		"dfsqos_blkio_reclaims_total", "dfsqos_blkio_throttle_wait_seconds",
+		"dfsqos_blkio_groups"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("series %s not registered (have %v)", w, names)
+		}
 	}
 }
 

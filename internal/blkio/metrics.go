@@ -1,0 +1,48 @@
+package blkio
+
+import (
+	"dfsqos/internal/telemetry"
+)
+
+// Metrics is the controller's telemetry surface: the work-conserving
+// borrow/reclaim accounting as scrapable series. Build one with NewMetrics
+// and attach it via Controller.SetMetrics. Nil means no-op.
+type Metrics struct {
+	// AssuredBytes and BorrowedBytes split the admitted bytes by funding
+	// source (dfsqos_blkio_bytes_total{source}).
+	AssuredBytes  *telemetry.Counter
+	BorrowedBytes *telemetry.Counter
+	// Borrows counts reservations that obtained borrowed root tokens
+	// (dfsqos_blkio_borrows_total).
+	Borrows *telemetry.Counter
+	// Reclaims counts reservations whose borrow demand was cut short by
+	// sibling assured pressure (dfsqos_blkio_reclaims_total).
+	Reclaims *telemetry.Counter
+	// ThrottleWait observes every nonzero delay handed to a caller
+	// (dfsqos_blkio_throttle_wait_seconds).
+	ThrottleWait *telemetry.Histogram
+	// Groups gauges the configured throttle groups
+	// (dfsqos_blkio_groups).
+	Groups *telemetry.Gauge
+}
+
+// NewMetrics registers the blkio metric families on reg (nil reg yields a
+// live no-op sink). One daemon hosts one disk controller, so the families
+// are unlabeled.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	bytes := reg.NewCounterVec("dfsqos_blkio_bytes_total",
+		"Bytes admitted through the bucket tree by funding source.", "source")
+	return &Metrics{
+		AssuredBytes:  bytes.With("assured"),
+		BorrowedBytes: bytes.With("borrowed"),
+		Borrows: reg.NewCounter("dfsqos_blkio_borrows_total",
+			"Reservations that ran past their assured floor on borrowed root tokens."),
+		Reclaims: reg.NewCounter("dfsqos_blkio_reclaims_total",
+			"Reservations whose borrow was cut short by sibling assured pressure."),
+		ThrottleWait: reg.NewHistogram("dfsqos_blkio_throttle_wait_seconds",
+			"Delay handed to throttled I/O reservations.",
+			telemetry.DefBuckets),
+		Groups: reg.NewGauge("dfsqos_blkio_groups",
+			"Configured throttle groups."),
+	}
+}

@@ -88,6 +88,12 @@ type Config struct {
 	BroadcastCNP bool
 	// Scenario selects soft or firm real-time allocation.
 	Scenario qos.Scenario
+	// Oversub is every RM's admission oversubscription ratio: firm
+	// admission accepts load up to capacity × Oversub while enforcement
+	// still guarantees each reservation's assured floor (work-conserving
+	// borrowing funds the excess). 0 or 1 is nominal capacity; values
+	// below 1 are rejected.
+	Oversub float64
 	// Replication configures the dynamic replication mechanism.
 	Replication replication.Config
 	// GC configures cold-replica deletion (zero value: disabled).
@@ -158,6 +164,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.GC.Validate(); err != nil {
 		return err
+	}
+	if c.Oversub != 0 && c.Oversub < 1 {
+		return fmt.Errorf("cluster: Oversub %g would shrink capacity below nominal", c.Oversub)
 	}
 	if c.SampleEverySec < 0 {
 		return fmt.Errorf("cluster: negative SampleEverySec")
@@ -306,6 +315,7 @@ func Build(cfg Config) (*Cluster, error) {
 			History:     cfg.History,
 			Replication: cfg.Replication,
 			GC:          cfg.GC,
+			Oversub:     cfg.Oversub,
 			Rand:        master.Split(fmt.Sprintf("rm/%d", id)),
 			Files:       files,
 		})

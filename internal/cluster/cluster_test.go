@@ -77,6 +77,63 @@ func TestConfigValidation(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("negative sampling accepted")
 	}
+	bad = cfg
+	bad.Oversub = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-nominal oversubscription accepted")
+	}
+	ok := cfg
+	ok.Oversub = 1.5
+	if err := ok.Validate(); err != nil {
+		t.Errorf("oversubscription 1.5 rejected: %v", err)
+	}
+}
+
+// TestOversubAdmitsPastNominalCapacity pins the oversubscription-aware
+// admission end to end in the DES: a firm cluster at Oversub 2 admits
+// demand past nominal capacity, its ledgers report the ratio, and the
+// assured integral never credits more than real capacity — the excess
+// shows up as over-allocation, not phantom throughput.
+func TestOversubAdmitsPastNominalCapacity(t *testing.T) {
+	base := DefaultConfig()
+	base.RMCapacities = []units.BytesPerSec{units.Mbps(4)}
+	base.ReplicaDegree = 1
+	base.Scenario = qos.Firm
+	base.Catalog.NumFiles = 50
+	base.Workload = workload.Config{
+		NumUsers:       200,
+		NumDFSC:        4,
+		MeanArrivalSec: 60,
+		HorizonSec:     600,
+	}
+
+	nominal, err := RunConfig(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := base
+	over.Oversub = 2
+	relaxed, err := RunConfig(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.FailRate >= nominal.FailRate {
+		t.Fatalf("oversub fail rate %.3f did not improve on nominal %.3f",
+			relaxed.FailRate, nominal.FailRate)
+	}
+	snap := relaxed.PerRM[0].Snap
+	if snap.Oversub != 2 {
+		t.Fatalf("ledger reports oversub %g, want 2", snap.Oversub)
+	}
+	if capSecs := float64(snap.Capacity) * relaxed.HorizonSec; snap.AssuredByteSecs > capSecs+1e-6 {
+		t.Fatalf("assured integral %.0f exceeds capacity×horizon %.0f", snap.AssuredByteSecs, capSecs)
+	}
+	if snap.OverBytes <= 0 {
+		t.Fatal("oversubscribed run recorded no over-allocated byte-seconds")
+	}
+	if got := snap.AssuredByteSecs + snap.OverBytes; got != snap.AllocByteSecs {
+		t.Fatalf("assured %.0f + over %.0f != alloc %.0f", snap.AssuredByteSecs, snap.OverBytes, snap.AllocByteSecs)
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {

@@ -64,6 +64,11 @@ type Stats struct {
 	// matchmaker "avoid[s] excessive redundant messages" versus plain CNP
 	// broadcast (compare with Options.BroadcastCNP).
 	Messages int64
+	// Oversubscribed counts admitted lanes whose winning bid could no
+	// longer cover the request from its assured (nominal-capacity)
+	// headroom — the stream was admitted into the RM's advertised
+	// oversubscription ceiling instead.
+	Oversubscribed int64
 }
 
 // Outcome describes one access attempt.
@@ -574,6 +579,10 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 	order := selection.TopK(c.policy, bids, len(bids), c.src)
 	firm := c.scen.IsFirm()
 	c.mu.Unlock()
+	bidByRM := make(map[ids.RMID]selection.Bid, len(bids))
+	for _, b := range bids {
+		bidByRM[b.RM] = b
+	}
 
 	// Phase 3 — data communication: open on the ranked winners until k
 	// lanes hold reservations. In the firm scenario a refused open falls
@@ -634,6 +643,14 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 		}
 		openSp.SetOutcome("admitted").End()
 		c.met.Admitted.Inc()
+		if b, won := bidByRM[rmID]; won && b.Ceil > 0 && b.Req > b.Assured {
+			// The RM advertised a ceiling and the request outran its
+			// assured headroom: an oversubscription-funded admission.
+			c.mu.Lock()
+			c.stats.Oversubscribed++
+			c.mu.Unlock()
+			c.met.OversubAdmits.Inc()
+		}
 		grants = append(grants, grant{
 			out: Outcome{Request: laneReq, File: file, RM: rmID, OK: true},
 			p:   p,

@@ -60,6 +60,10 @@ type Metrics struct {
 	// "other" anything unclassified — so dashboards distinguish a slow MM
 	// from a dead one.
 	LookupErrors *telemetry.CounterVec
+	// OversubAdmits counts admitted lanes funded past the winning RM's
+	// assured headroom, i.e. admissions riding the RM's advertised
+	// oversubscription ratio (dfsqos_dfsc_oversub_admits_total).
+	OversubAdmits *telemetry.Counter
 	// MetaHits / MetaMisses / MetaInvalidated count metadata lease-cache
 	// outcomes (dfsqos_dfsc_metacache_total{outcome}): "hit" opens that
 	// skipped the MM on a live lease, "miss" opens that paid the lookup,
@@ -101,6 +105,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Stripe lanes admitted across striped reads."),
 		Segments: reg.NewCounter("dfsqos_dfsc_segments_total",
 			"Data-plane segments committed to readers."),
+		OversubAdmits: reg.NewCounter("dfsqos_dfsc_oversub_admits_total",
+			"Lanes admitted past the winning RM's assured headroom (oversubscription-funded)."),
 		HedgesFired: hedges.With("fired"),
 		HedgesWon:   hedges.With("won"),
 		LaneFailovers: reg.NewCounter("dfsqos_dfsc_lane_failovers_total",

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"testing"
 
+	"dfsqos/internal/blkio"
 	"dfsqos/internal/dfsc"
 	"dfsqos/internal/faults"
 	"dfsqos/internal/live"
@@ -51,6 +52,7 @@ func TestOperationsDocCoversAllMetrics(t *testing.T) {
 	live.NewShardMapperMetrics(reg)
 	mm.NewMetrics(reg)
 	rm.NewMetrics(reg)
+	blkio.NewMetrics(reg)
 	dfsc.NewMetrics(reg)
 	faults.NewMetrics(reg)
 	trace.New(trace.Options{Actor: "docscheck", Registry: reg})

@@ -23,14 +23,16 @@ import (
 // event loop, and in live mode the owning RM serializes access.
 type Ledger struct {
 	capacity units.BytesPerSec
+	oversub  float64 // admission oversubscription ratio, ≥ 1 (1 = nominal)
 
 	allocated units.BytesPerSec // sum of active reservations; may exceed capacity in soft RT
 	streams   int               // number of active reservations
 
-	lastChange simtime.Time // time of the last allocation change
-	overBytes  float64      // ∫ max(0, allocated − capacity) dt so far
-	allocSecs  float64      // ∫ allocated dt (bytes actually assigned over time)
-	busySecs   float64      // ∫ [streams > 0] dt (duty cycle)
+	lastChange  simtime.Time // time of the last allocation change
+	overBytes   float64      // ∫ max(0, allocated − capacity) dt so far
+	allocSecs   float64      // ∫ allocated dt (bytes actually assigned over time)
+	assuredSecs float64      // ∫ min(allocated, capacity) dt (assured-funded bytes)
+	busySecs    float64      // ∫ [streams > 0] dt (duty cycle)
 
 	assignedBytes float64 // S_TA: total bytes of transfers assigned to this RM
 }
@@ -41,11 +43,27 @@ func New(capacity units.BytesPerSec, start simtime.Time) *Ledger {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("ledger: non-positive capacity %v", capacity))
 	}
-	return &Ledger{capacity: capacity, lastChange: start}
+	return &Ledger{capacity: capacity, oversub: 1, lastChange: start}
 }
 
 // Capacity returns the disk's maximum sustained bandwidth.
 func (l *Ledger) Capacity() units.BytesPerSec { return l.capacity }
+
+// SetOversub sets the admission oversubscription ratio: Fits admits
+// reservations up to capacity×ratio even though the disk can only sustain
+// capacity, on the bet that streams rarely all draw their reservation at
+// once (the blkio tree still guarantees each stream's assured floor).
+// Ratios below 1 are rejected.
+func (l *Ledger) SetOversub(ratio float64) error {
+	if ratio < 1 {
+		return fmt.Errorf("ledger: oversubscription ratio %v below 1", ratio)
+	}
+	l.oversub = ratio
+	return nil
+}
+
+// Oversub returns the admission oversubscription ratio (≥ 1).
+func (l *Ledger) Oversub() float64 { return l.oversub }
 
 // Allocated returns the current total reserved bandwidth.
 func (l *Ledger) Allocated() units.BytesPerSec { return l.allocated }
@@ -69,6 +87,9 @@ func (l *Ledger) advance(now simtime.Time) {
 	}
 	if over := float64(l.allocated - l.capacity); over > 0 {
 		l.overBytes += over * dt
+		l.assuredSecs += float64(l.capacity) * dt
+	} else {
+		l.assuredSecs += float64(l.allocated) * dt
 	}
 	l.allocSecs += float64(l.allocated) * dt
 	if l.streams > 0 {
@@ -124,26 +145,36 @@ func (l *Ledger) AddAssignedBytes(n units.Size) {
 // Snapshot freezes the integrals at now and returns the accumulated
 // statistics. The ledger remains usable afterwards.
 type Snapshot struct {
-	Capacity      units.BytesPerSec
-	OverBytes     float64 // S_OA
+	Capacity units.BytesPerSec
+	// Oversub is the admission oversubscription ratio the ledger ran with.
+	Oversub       float64
+	OverBytes     float64 // S_OA: ∫ max(0, allocated − capacity) dt — the borrowed integral
 	AssignedBytes float64 // S_TA
 	AllocByteSecs float64 // ∫ allocated dt
-	BusySecs      float64 // seconds with ≥1 active stream
-	Allocated     units.BytesPerSec
-	Streams       int
+	// AssuredByteSecs is ∫ min(allocated, capacity) dt: the portion of the
+	// allocation integral the disk could genuinely sustain. It splits
+	// AllocByteSecs exactly into assured + over (AssuredByteSecs +
+	// OverBytes == AllocByteSecs), so work-conserving utilization is an
+	// exact integral, not a sample.
+	AssuredByteSecs float64
+	BusySecs        float64 // seconds with ≥1 active stream
+	Allocated       units.BytesPerSec
+	Streams         int
 }
 
 // Snapshot integrates up to now and reports totals.
 func (l *Ledger) Snapshot(now simtime.Time) Snapshot {
 	l.advance(now)
 	return Snapshot{
-		Capacity:      l.capacity,
-		OverBytes:     l.overBytes,
-		AssignedBytes: l.assignedBytes,
-		AllocByteSecs: l.allocSecs,
-		BusySecs:      l.busySecs,
-		Allocated:     l.allocated,
-		Streams:       l.streams,
+		Capacity:        l.capacity,
+		Oversub:         l.oversub,
+		OverBytes:       l.overBytes,
+		AssignedBytes:   l.assignedBytes,
+		AllocByteSecs:   l.allocSecs,
+		AssuredByteSecs: l.assuredSecs,
+		BusySecs:        l.busySecs,
+		Allocated:       l.allocated,
+		Streams:         l.streams,
 	}
 }
 
@@ -157,7 +188,9 @@ func (s Snapshot) OverAllocateRatio() float64 {
 }
 
 // MeanUtilization returns the time-averaged fraction of capacity allocated
-// over the window ending at the snapshot, given the window length.
+// over the window ending at the snapshot, given the window length. Under
+// oversubscription it can exceed 1; WorkConservingUtilization is the
+// physically-deliverable counterpart.
 func (s Snapshot) MeanUtilization(windowSecs float64) float64 {
 	if windowSecs <= 0 || s.Capacity <= 0 {
 		return 0
@@ -165,11 +198,32 @@ func (s Snapshot) MeanUtilization(windowSecs float64) float64 {
 	return s.AllocByteSecs / (float64(s.Capacity) * windowSecs)
 }
 
+// WorkConservingUtilization returns the time-averaged fraction of capacity
+// covered by assured (sustainable) allocation over the window: the exact
+// ∫ min(allocated, capacity) dt / (capacity × window). It never exceeds 1 —
+// bandwidth admitted past nominal capacity counts toward OverBytes, not
+// here — so it measures how much of the disk the admitted floors actually
+// claim, the quantity work-conserving borrowing then tops up to the ceils.
+func (s Snapshot) WorkConservingUtilization(windowSecs float64) float64 {
+	if windowSecs <= 0 || s.Capacity <= 0 {
+		return 0
+	}
+	return s.AssuredByteSecs / (float64(s.Capacity) * windowSecs)
+}
+
+// AdmitRemaining returns the admission headroom under the oversubscription
+// ratio: capacity×oversub − allocated. With the default ratio 1 it equals
+// Remaining.
+func (l *Ledger) AdmitRemaining() units.BytesPerSec {
+	return units.BytesPerSec(float64(l.capacity)*l.oversub) - l.allocated
+}
+
 // Fits reports whether an additional reservation of rate would stay within
-// capacity (the firm real-time admission test).
+// the admittable bandwidth — capacity×oversub — the firm real-time
+// admission test, oversubscription-aware.
 func (l *Ledger) Fits(rate units.BytesPerSec) bool {
-	// Tolerate float dust: a reservation equal to Remaining() must fit.
-	return float64(rate) <= float64(l.Remaining())+1e-9
+	// Tolerate float dust: a reservation equal to AdmitRemaining() must fit.
+	return float64(rate) <= float64(l.AdmitRemaining())+1e-9
 }
 
 // FracRemaining returns Remaining/Capacity clamped to [-inf, 1]; the dynamic

@@ -185,6 +185,123 @@ func TestSnapshotIsResumable(t *testing.T) {
 	}
 }
 
+func TestSetOversubValidation(t *testing.T) {
+	l := New(10, 0)
+	if err := l.SetOversub(0.5); err == nil {
+		t.Fatal("sub-1 oversubscription accepted")
+	}
+	if got := l.Oversub(); got != 1 {
+		t.Fatalf("default oversub = %v, want 1", got)
+	}
+	if err := l.SetOversub(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Oversub(); got != 1.5 {
+		t.Fatalf("oversub = %v, want 1.5", got)
+	}
+}
+
+func TestFitsOversubscribed(t *testing.T) {
+	l := New(units.Mbps(16), 0)
+	l.SetOversub(1.25)
+	l.Allocate(0, units.Mbps(16)) // nominal capacity fully admitted
+	if l.Remaining() != 0 {
+		t.Fatalf("remaining %v, want 0", l.Remaining())
+	}
+	// The oversubscribed headroom is another 4 Mbps.
+	if got := l.AdmitRemaining(); got != units.Mbps(4) {
+		t.Fatalf("admit remaining %v, want 4 Mbps", got)
+	}
+	if !l.Fits(units.Mbps(4)) {
+		t.Fatal("reservation inside the oversubscribed headroom refused")
+	}
+	if l.Fits(units.Mbps(4.001)) {
+		t.Fatal("reservation past capacity×oversub admitted")
+	}
+	l.Allocate(1, units.Mbps(4))
+	if l.Fits(units.Mbps(0.01)) {
+		t.Fatal("oversubscribed headroom exhausted but Fits still true")
+	}
+}
+
+// TestOversubscribedIntegrals walks an allocate→borrow→reclaim→release
+// event sequence on an oversubscribed ledger and checks the assured and
+// over-allocated integrals are exact at every step, including the
+// zero-duration intervals where two events land on the same instant.
+func TestOversubscribedIntegrals(t *testing.T) {
+	l := New(10, 0) // capacity 10 B/s
+	l.SetOversub(1.5)
+
+	// t=0: two assured streams fill nominal capacity.
+	l.Allocate(0, 6)
+	l.Allocate(0, 4) // zero-duration interval between the two allocates
+	// t=10: a third stream is admitted into the oversubscribed headroom —
+	// from here the excess 5 B/s is "borrowed" bandwidth.
+	if !l.Fits(5) {
+		t.Fatal("oversubscribed admission refused")
+	}
+	l.Allocate(10, 5)
+	// t=20: reclaim — one assured stream ends at the same instant as a
+	// snapshot (another zero-duration interval), pulling allocation back
+	// under capacity.
+	l.Release(20, 6)
+	mid := l.Snapshot(20)
+	// [0,10): alloc 10 (assured 10, over 0); [10,20): alloc 15 (assured 10,
+	// over 5).
+	if math.Abs(mid.AssuredByteSecs-200) > 1e-9 {
+		t.Fatalf("assured byte-secs %v at t=20, want 200", mid.AssuredByteSecs)
+	}
+	if math.Abs(mid.OverBytes-50) > 1e-9 {
+		t.Fatalf("over bytes %v at t=20, want 50", mid.OverBytes)
+	}
+	// t=30: release the rest (same-instant pair again).
+	l.Release(30, 4)
+	l.Release(30, 5)
+	snap := l.Snapshot(40)
+	// [20,30): alloc 9 → assured 90 more; nothing after t=30.
+	if math.Abs(snap.AssuredByteSecs-290) > 1e-9 {
+		t.Fatalf("assured byte-secs %v, want 290", snap.AssuredByteSecs)
+	}
+	if math.Abs(snap.OverBytes-50) > 1e-9 {
+		t.Fatalf("over bytes %v, want 50", snap.OverBytes)
+	}
+	// The split is exact: assured + over == the full allocation integral.
+	if math.Abs(snap.AssuredByteSecs+snap.OverBytes-snap.AllocByteSecs) > 1e-9 {
+		t.Fatalf("assured %v + over %v != alloc %v",
+			snap.AssuredByteSecs, snap.OverBytes, snap.AllocByteSecs)
+	}
+	if snap.Oversub != 1.5 {
+		t.Fatalf("snapshot oversub %v, want 1.5", snap.Oversub)
+	}
+	// Work-conserving utilization is capped by capacity: 290/(10×40).
+	if got := snap.WorkConservingUtilization(40); math.Abs(got-0.725) > 1e-12 {
+		t.Fatalf("WorkConservingUtilization = %v, want 0.725", got)
+	}
+	if got := snap.WorkConservingUtilization(0); got != 0 {
+		t.Fatalf("WorkConservingUtilization(0) = %v, want 0", got)
+	}
+	// The sampled-style mean counts the over-allocation too: 340/400.
+	if got := snap.MeanUtilization(40); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("MeanUtilization = %v, want 0.85", got)
+	}
+}
+
+// Work-conserving utilization never exceeds 1 no matter how hard the
+// ledger is oversubscribed.
+func TestWorkConservingUtilizationCapped(t *testing.T) {
+	l := New(10, 0)
+	l.SetOversub(3)
+	l.Allocate(0, 30)
+	l.Release(100, 30)
+	snap := l.Snapshot(100)
+	if got := snap.WorkConservingUtilization(100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("WorkConservingUtilization = %v, want exactly 1", got)
+	}
+	if got := snap.MeanUtilization(100); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("MeanUtilization = %v, want 3", got)
+	}
+}
+
 // Property: the exact integrator matches a brute-force fine-grained
 // step integration for random allocate/release schedules.
 func TestIntegratorMatchesBruteForce(t *testing.T) {

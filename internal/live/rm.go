@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dfsqos/internal/blkio"
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/faults"
 	"dfsqos/internal/ids"
@@ -18,6 +19,7 @@ import (
 	"dfsqos/internal/selection"
 	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
+	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
 	"dfsqos/internal/wire"
 )
@@ -42,6 +44,12 @@ type RMServer struct {
 	metrics *ServerMetrics
 	inj     faults.Injector
 	tracer  *trace.Tracer
+
+	// Stream QoS state (EnableStreamQoS): one blkio group per admitted
+	// reservation, keyed by request ID. Guarded by qosMu, not mu — group
+	// lookups sit on the per-chunk data path.
+	qosMu     sync.Mutex
+	qosGroups map[ids.RequestID]*blkio.Group
 }
 
 // NewRMServer starts serving node and disk on addr.
@@ -146,6 +154,78 @@ func rmSpanName(k wire.Kind) string {
 		return "rm.store"
 	}
 	return "rm." + k.String()
+}
+
+// EnableStreamQoS routes each admitted reservation's data stream through
+// its own blkio group instead of the disk's shared default group — the
+// paper's per-VM blkio.throttle binding, upgraded to the work-conserving
+// tree. The disk controller's root pool is set to the RM's nominal
+// capacity, and every admission installs a group whose assured rate is the
+// reservation's bitrate and whose ceiling is max(bitrate, ceilFrac ×
+// capacity): with ceilFrac 0 the ceiling equals the floor (flat,
+// non-work-conserving pacing); with ceilFrac 1 an idle-neighbor stream may
+// borrow the whole disk. Groups are torn down on Close and on lease
+// expiry (the sweeper fires the release hook), so a client that dies
+// mid-stream returns its floor to the pool after one lease TTL.
+//
+// Call before traffic starts; it replaces any previously installed
+// admission hooks.
+func (s *RMServer) EnableStreamQoS(ceilFrac float64) error {
+	if s.disk == nil {
+		return fmt.Errorf("live: stream QoS needs a data plane")
+	}
+	ctrl := s.disk.Controller()
+	capacity := s.node.Info().Capacity
+	if err := ctrl.SetRoot(capacity, capacity); err != nil {
+		return err
+	}
+	s.qosMu.Lock()
+	s.qosGroups = make(map[ids.RequestID]*blkio.Group)
+	s.qosMu.Unlock()
+	s.node.SetAdmissionHooks(
+		func(req ids.RequestID, rate units.BytesPerSec) {
+			if rate <= 0 {
+				return // unlimited reservations keep the default group
+			}
+			ceil := rate
+			if c := units.BytesPerSec(ceilFrac * float64(capacity)); c > ceil {
+				ceil = c
+			}
+			g, err := ctrl.SetGroupQoS(fmt.Sprintf("req%d", req), blkio.GroupConfig{
+				ReadAssured: rate, ReadCeil: ceil,
+				WriteAssured: rate, WriteCeil: ceil,
+			})
+			if err != nil {
+				s.logf("rm%d: stream qos group for %v: %v", s.node.Info().ID, req, err)
+				return
+			}
+			s.qosMu.Lock()
+			s.qosGroups[req] = g
+			s.qosMu.Unlock()
+		},
+		func(req ids.RequestID) {
+			s.qosMu.Lock()
+			_, ok := s.qosGroups[req]
+			delete(s.qosGroups, req)
+			s.qosMu.Unlock()
+			if ok {
+				ctrl.RemoveGroup(fmt.Sprintf("req%d", req))
+			}
+		},
+	)
+	return nil
+}
+
+// qosGroup resolves the reservation's stream group; nil means the default
+// group paces the stream (QoS disabled, zero request, or an unthrottled
+// reservation).
+func (s *RMServer) qosGroup(req ids.RequestID) *blkio.Group {
+	if req == 0 {
+		return nil
+	}
+	s.qosMu.Lock()
+	defer s.qosMu.Unlock()
+	return s.qosGroups[req]
 }
 
 // Addr returns the listening address.
@@ -377,6 +457,12 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) 
 	inj := s.injector()
 	tc := sp.Context() // zero when untraced: chunks degrade to tag-1 frames
 	ctx := context.Background()
+	// Stream QoS: a reservation with its own blkio group is paced by its
+	// assured/ceil pair instead of the disk's shared default group.
+	group := s.qosGroup(req.Request)
+	if group == nil {
+		group = s.disk.DefaultGroup()
+	}
 	buf := make([]byte, chunk)
 	off := req.Offset
 	for off < end {
@@ -384,7 +470,7 @@ func (s *RMServer) streamFile(wc *wire.Conn, req wire.ReadFile, sp *trace.Span) 
 		if remain := end - off; remain < int64(len(want)) {
 			want = want[:remain]
 		}
-		n, rerr := s.disk.ReadAt(ctx, name, want, off)
+		n, rerr := s.disk.ReadAtGroup(ctx, group, name, want, off)
 		if n > 0 {
 			// The fault decision (and its detail string) is only built when
 			// an injector is armed: the production hot loop stays

@@ -52,6 +52,9 @@ type Metrics struct {
 	// Files gauges the committed replicas held
 	// (dfsqos_rm_files).
 	Files *telemetry.Gauge
+	// OversubRatio gauges the advertised admission oversubscription ratio
+	// (dfsqos_rm_oversub_ratio).
+	OversubRatio *telemetry.Gauge
 }
 
 // NewMetrics registers the RM metric families on reg (nil reg yields a
@@ -90,5 +93,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Committed plus in-flight replica bytes on the virtual disk."),
 		Files: reg.NewGauge("dfsqos_rm_files",
 			"Committed replicas held."),
+		OversubRatio: reg.NewGauge("dfsqos_rm_oversub_ratio",
+			"Admission oversubscription ratio (1 = nominal capacity)."),
 	}
 }

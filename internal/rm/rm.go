@@ -99,6 +99,10 @@ type RM struct {
 	leaseTTL float64 // seconds; <=0 disables lease expiry
 	leaseSeq uint64  // admission epoch counter
 
+	// Admission hooks (see SetAdmissionHooks). Invoked outside r.mu.
+	onAdmit   func(ids.RequestID, units.BytesPerSec)
+	onRelease func(ids.RequestID)
+
 	// met mirrors stats onto the telemetry registry and keeps the
 	// runtime gauges (remaining bandwidth, active streams, storage)
 	// current; never nil (no-op by default).
@@ -141,6 +145,11 @@ type Options struct {
 	// bandwidth. Zero (the default) disables leases entirely, so the DES
 	// and existing deployments are untouched.
 	LeaseTTLSec float64
+	// Oversub is the admission oversubscription ratio (≥ 1): firm
+	// admission accepts reservations up to capacity×Oversub while the
+	// blkio enforcement tree keeps guaranteeing previously-admitted
+	// assured floors. Zero means 1.0 (nominal, no oversubscription).
+	Oversub float64
 }
 
 // New constructs an RM. The Directory is injected later via SetDirectory
@@ -185,6 +194,11 @@ func New(opt Options) (*RM, error) {
 		incomingFiles: make(map[ids.FileID]int),
 		outgoingFiles: make(map[ids.FileID]int),
 	}
+	if opt.Oversub != 0 {
+		if err := r.led.SetOversub(opt.Oversub); err != nil {
+			return nil, fmt.Errorf("rm: %v: %w", opt.Info.ID, err)
+		}
+	}
 	for f, meta := range opt.Files {
 		r.files[f] = meta
 		r.sumDur += meta.DurationSec
@@ -197,7 +211,22 @@ func New(opt Options) (*RM, error) {
 	r.met.RemainingBandwidth.Set(float64(opt.Info.Capacity))
 	r.met.StorageUsed.Set(float64(r.storageUsed))
 	r.met.Files.Set(float64(len(r.files)))
+	r.met.OversubRatio.Set(r.led.Oversub())
 	return r, nil
+}
+
+// SetAdmissionHooks installs callbacks fired after a reservation is
+// admitted (onAdmit, with the admitted bitrate) and after it is released —
+// by the client's Close or by the lease sweeper (onRelease). Live mode
+// uses them to create and tear down per-reservation blkio throttle
+// groups, so an expired lease hands its borrowed-bandwidth claim back to
+// the disk's lending pool. Both hooks run outside the RM's lock; either
+// may be nil. Install them before traffic flows.
+func (r *RM) SetAdmissionHooks(onAdmit func(ids.RequestID, units.BytesPerSec), onRelease func(ids.RequestID)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onAdmit = onAdmit
+	r.onRelease = onRelease
 }
 
 // refreshGaugesLocked re-derives the runtime gauges from the current
@@ -318,6 +347,10 @@ func (r *RM) HandleCFP(cfp ecnp.CFP) selection.Bid {
 	if n := len(r.files); n > 0 {
 		tOcpAvg = r.sumDur / float64(n)
 	}
+	assured := r.led.Remaining()
+	if assured < 0 {
+		assured = 0
+	}
 	bid := selection.Bid{
 		RM:         r.info.ID,
 		Rem:        r.led.Remaining(),
@@ -325,6 +358,8 @@ func (r *RM) HandleCFP(cfp ecnp.CFP) selection.Bid {
 		OccBias:    selection.OccupationBias(tOcp, tOcpAvg),
 		Req:        cfp.Bitrate,
 		HasReplica: known,
+		Assured:    assured,
+		Ceil:       r.led.AdmitRemaining(),
 	}
 	r.mu.Unlock()
 
@@ -337,13 +372,14 @@ func (r *RM) HandleCFP(cfp ecnp.CFP) selection.Bid {
 // Open implements ecnp.Provider.
 func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.active[req.Request]; dup {
+		r.mu.Unlock()
 		return ecnp.OpenResult{OK: false, Reason: "duplicate request id"}
 	}
 	if req.Firm && !r.led.Fits(req.Bitrate) {
 		r.stats.OpenRefusals++
 		r.met.Rejections.Inc()
+		r.mu.Unlock()
 		return ecnp.OpenResult{OK: false, Reason: "insufficient bandwidth"}
 	}
 	now := r.sched.Now()
@@ -359,6 +395,13 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	r.stats.Opens++
 	r.met.Admissions.Inc()
 	r.refreshGaugesLocked()
+	onAdmit := r.onAdmit
+	r.mu.Unlock()
+	// The hook runs before the admission is reported, so by the time the
+	// client can stream, its throttle group exists.
+	if onAdmit != nil {
+		onAdmit(req.Request, req.Bitrate)
+	}
 	return ecnp.OpenResult{OK: true}
 }
 
@@ -367,14 +410,19 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 // sweeper already reclaimed the reservation — cannot corrupt the ledger.
 func (r *RM) Close(request ids.RequestID) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	res, ok := r.active[request]
 	if !ok {
+		r.mu.Unlock()
 		return
 	}
 	delete(r.active, request)
 	r.led.Release(r.sched.Now(), res.rate)
 	r.refreshGaugesLocked()
+	onRelease := r.onRelease
+	r.mu.Unlock()
+	if onRelease != nil {
+		onRelease(request)
+	}
 }
 
 // Touch renews a reservation's lease implicitly: the live data plane
@@ -428,8 +476,8 @@ func (r *RM) ActiveReservations() int {
 // with the client's Close: whichever side arrives second finds nothing.
 func (r *RM) SweepLeases(now simtime.Time) int {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.leaseTTL <= 0 {
+		r.mu.Unlock()
 		return 0
 	}
 	type victim struct {
@@ -442,7 +490,7 @@ func (r *RM) SweepLeases(now simtime.Time) int {
 			victims = append(victims, victim{req: req, epoch: res.epoch})
 		}
 	}
-	expired := 0
+	var expiredReqs []ids.RequestID
 	for _, v := range victims {
 		res, ok := r.active[v.req]
 		if !ok || res.epoch != v.epoch {
@@ -452,12 +500,21 @@ func (r *RM) SweepLeases(now simtime.Time) int {
 		r.led.Release(now, res.rate)
 		r.stats.LeaseExpiries++
 		r.met.LeasesExpired.Inc()
-		expired++
+		expiredReqs = append(expiredReqs, v.req)
 	}
-	if expired > 0 {
+	if len(expiredReqs) > 0 {
 		r.refreshGaugesLocked()
 	}
-	return expired
+	onRelease := r.onRelease
+	r.mu.Unlock()
+	// Release hooks fire outside the lock: tearing down a dead stream's
+	// throttle group is how its borrowed bandwidth returns to the pool.
+	if onRelease != nil {
+		for _, req := range expiredReqs {
+			onRelease(req)
+		}
+	}
+	return len(expiredReqs)
 }
 
 // StoreFile implements ecnp.Provider: it admits a brand-new file onto this

@@ -51,10 +51,11 @@ func TestRecorderStats(t *testing.T) {
 
 func TestSLOCheck(t *testing.T) {
 	res := &Result{
-		Name:         "t",
-		FailRate:     0.5,
-		OverAllocate: 0.4,
-		Utilization:  0.3,
+		Name:            "t",
+		FailRate:        0.5,
+		OverAllocate:    0.4,
+		Utilization:     0.3,
+		WorkUtilization: 0.25,
 		Classes: []ClassStats{
 			{Class: "video", P50Ms: 100, P99Ms: 400, P999Ms: 900},
 		},
@@ -78,6 +79,7 @@ func TestSLOCheck(t *testing.T) {
 		{SLO{MaxFailRate: 0.1}, "fail_rate"},
 		{SLO{MaxOverAllocate: 0.1}, "over_allocate"},
 		{SLO{MinUtilization: 0.9}, "utilization"},
+		{SLO{MinWorkUtilization: 0.9}, "work_utilization"},
 		{SLO{MaxLiveP99Sec: 1}, "p99"},
 		{SLO{MaxLiveP999Sec: 2}, "p999"},
 		{SLO{MaxLiveFailRate: 0.1}, "fail_rate"},

@@ -24,6 +24,11 @@ type SLO struct {
 	// allocated bandwidth over aggregate capacity; can exceed 1 under
 	// soft over-allocation).
 	MinUtilization float64 `json:"min_utilization,omitempty"`
+	// MinWorkUtilization floors the exact assured-bandwidth utilization
+	// (Σ assured byte·seconds over capacity × horizon) — the
+	// work-conserving gate: an oversubscribing scenario must actually
+	// keep this much real capacity committed, not merely admit more.
+	MinWorkUtilization float64 `json:"min_work_utilization,omitempty"`
 	// MaxLiveP99Sec / MaxLiveP999Sec cap the live-TCP slice's class
 	// percentiles; MaxLiveFailRate caps its aggregate fail rate. Only
 	// checked when the scenario ran its live slice.
@@ -77,6 +82,9 @@ func (s SLO) Check(r *Result) []Violation {
 	vs = ceil(vs, r.Name, "", "over_allocate", r.OverAllocate, s.MaxOverAllocate)
 	if s.MinUtilization > 0 && r.Utilization < s.MinUtilization {
 		vs = append(vs, Violation{Scenario: r.Name, Metric: "utilization", Value: r.Utilization, Limit: s.MinUtilization})
+	}
+	if s.MinWorkUtilization > 0 && r.WorkUtilization < s.MinWorkUtilization {
+		vs = append(vs, Violation{Scenario: r.Name, Metric: "work_utilization", Value: r.WorkUtilization, Limit: s.MinWorkUtilization})
 	}
 	if r.Live != nil {
 		for _, c := range r.Live.Classes {

@@ -95,6 +95,17 @@ type Bid struct {
 	// (no matchmaker) the requester must filter on it, mirroring the
 	// refusal a CNP provider would send.
 	HasReplica bool
+	// Assured is the bandwidth floor the bidder can still guarantee from
+	// nominal capacity: max(0, Rem). A winning stream admitted within
+	// Assured gets a sustainable reservation; beyond it the stream rides
+	// the oversubscribed headroom.
+	Assured units.BytesPerSec
+	// Ceil is the bidder's remaining admission headroom under its
+	// oversubscription ratio (capacity×oversub − allocated). An
+	// oversubscription-aware requester can admit up to Ceil while the
+	// enforcement tree still guarantees previously-admitted floors. Zero
+	// means the bidder did not advertise a ratio (legacy bid).
+	Ceil units.BytesPerSec
 }
 
 // OccupationBias computes exp(−tOcpAvg/tOcp), the paper's occupation bias

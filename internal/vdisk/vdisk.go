@@ -67,6 +67,16 @@ func New(capacity units.Size, ctrl *blkio.Controller, group string, readBps, wri
 // Capacity returns the disk size.
 func (d *Disk) Capacity() units.Size { return d.capacity }
 
+// Controller exposes the blkio controller the disk throttles through, so a
+// server can attach per-reservation groups (and a root pool) to the same
+// tree the disk's default group lives in.
+func (d *Disk) Controller() *blkio.Controller { return d.ctrl }
+
+// DefaultGroup returns the group every un-routed I/O charges — the one New
+// created. Reads routed to a per-reservation group via ReadAtGroup bypass
+// it entirely.
+func (d *Disk) DefaultGroup() *blkio.Group { return d.group }
+
 // Used returns the bytes consumed by stored files.
 func (d *Disk) Used() units.Size {
 	d.mu.RLock()
@@ -156,6 +166,15 @@ func (d *Disk) List() []string {
 // throttle. It returns io.EOF at or past the end of the file, matching the
 // io.ReaderAt contract.
 func (d *Disk) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	return d.ReadAtGroup(ctx, d.group, name, p, off)
+}
+
+// ReadAtGroup is ReadAt charging the given blkio group instead of the
+// disk's default: the per-reservation routing a work-conserving server
+// uses so each admitted stream is paced by its own assured/ceil pair
+// while idle siblings' headroom is borrowable. g must belong to the
+// disk's controller.
+func (d *Disk) ReadAtGroup(ctx context.Context, g *blkio.Group, name string, p []byte, off int64) (int, error) {
 	d.mu.RLock()
 	f, ok := d.files[name]
 	d.mu.RUnlock()
@@ -172,7 +191,7 @@ func (d *Disk) ReadAt(ctx context.Context, name string, p []byte, off int64) (in
 	if rem := int64(f.size) - off; int64(n) > rem {
 		n = int(rem)
 	}
-	if err := d.ctrl.Wait(ctx, d.group, blkio.Read, n); err != nil {
+	if err := d.ctrl.Wait(ctx, g, blkio.Read, n); err != nil {
 		return 0, err
 	}
 	if f.data != nil {

@@ -11,6 +11,7 @@ import (
 
 	"dfsqos/internal/ecnp"
 	"dfsqos/internal/ids"
+	"dfsqos/internal/selection"
 	"dfsqos/internal/units"
 )
 
@@ -83,6 +84,44 @@ func TestRoundTripAllPayloads(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBidRoundTripCarriesQoSFields pins the bid frame's full field set —
+// in particular the oversubscription-aware Assured/Ceil pair — through the
+// gob codec, so an RM's advertised ceiling survives the trip to the
+// requester's admission logic.
+func TestBidRoundTripCarriesQoSFields(t *testing.T) {
+	bid := selection.Bid{
+		RM:         7,
+		Rem:        -units.Mbps(2), // negative: soft over-allocation
+		Trend:      1234.5,
+		OccBias:    0.75,
+		Req:        units.Mbps(2),
+		HasReplica: true,
+		Assured:    units.Mbps(3),
+		Ceil:       units.Mbps(9),
+	}
+	client, server := pipeConn()
+	go func() {
+		msg, err := server.Read()
+		if err != nil {
+			return
+		}
+		server.Write(msg.Kind, msg.Payload)
+		msg.Release()
+	}()
+	reply, err := client.Call(KindBid, bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reply.Payload.(selection.Bid)
+	if !ok {
+		t.Fatalf("payload type %T, want selection.Bid", reply.Payload)
+	}
+	if got != bid {
+		t.Fatalf("bid mangled:\n got %+v\nwant %+v", got, bid)
+	}
+	reply.Release()
 }
 
 func TestCallSurfacesRemoteError(t *testing.T) {

@@ -16,20 +16,32 @@
 # proving the K-wide scheduler actually aggregates per-replica bandwidth
 # instead of serializing behind one throttle.
 #
+# Finally it runs the work-conserving QoS benchmark (one stream against an
+# idle sibling's headroom, flat tree vs borrowing tree) into a second
+# report and enforces two gates: the conserving mode must beat the flat
+# mode's throughput by WORKCONSERVE_FLOOR (the whole point of token
+# borrowing is utilization strictly above the flat baseline), and the
+# benchmark's contention phase must report zero floor violations in both
+# modes (borrowed headroom must never dent a busy neighbor's guarantee).
+#
 # Usage:
-#   ./scripts/bench.sh [out.json]
+#   ./scripts/bench.sh [out.json] [workconserve-out.json]
 # Env:
-#   BENCH_TIME     go test -benchtime value (default 2s; CI may lower it)
-#   ALLOC_CEILING  max allocs/op for the gated fast-path benchmarks (default 0)
-#   STRIPE_FLOOR   min K4/K1 throughput ratio for the striped read (default 2.5)
+#   BENCH_TIME        go test -benchtime value (default 2s; CI may lower it)
+#   ALLOC_CEILING     max allocs/op for the gated fast-path benchmarks (default 0)
+#   STRIPE_FLOOR      min K4/K1 throughput ratio for the striped read (default 2.5)
+#   WORKCONSERVE_FLOOR min conserving/flat throughput ratio (default 1.5)
 set -eu
 
 OUT="${1:-BENCH_6.json}"
+OUT9="${2:-BENCH_9.json}"
 BENCH_TIME="${BENCH_TIME:-2s}"
 ALLOC_CEILING="${ALLOC_CEILING:-0}"
 STRIPE_FLOOR="${STRIPE_FLOOR:-2.5}"
+WORKCONSERVE_FLOOR="${WORKCONSERVE_FLOOR:-1.5}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW9="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW9"' EXIT
 
 echo "== wire codec benchmarks (benchtime=$BENCH_TIME)"
 go test ./internal/wire/ -run '^$' \
@@ -107,4 +119,74 @@ elif ! awk -v k1="$k1" -v k4="$k4" -v floor="$STRIPE_FLOOR" \
 else
 	echo "GATE: striped K4 at $k4 MB/s vs K1 $k1 MB/s (floor ${STRIPE_FLOOR}x) ok"
 fi
+
+echo "== work-conserving QoS benchmark (benchtime=$BENCH_TIME)"
+go test ./internal/live/ -run '^$' \
+	-bench 'BenchmarkLiveWorkConservingThroughput' \
+	-benchmem -benchtime "$BENCH_TIME" | tee "$RAW9"
+
+# Same parse as above, plus the violations column: the benchmark reports
+# violations=1 when the contending stream's throughput fell under its
+# assured floor during the borrow phase.
+awk -v out="$OUT9" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	ns = ""; mbs = ""; bop = ""; aop = ""; vio = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")      ns  = $i
+		if ($(i+1) == "MB/s")       mbs = $i
+		if ($(i+1) == "B/op")       bop = $i
+		if ($(i+1) == "allocs/op")  aop = $i
+		if ($(i+1) == "violations") vio = $i
+	}
+	line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (mbs != "") line = line sprintf(", \"mb_per_s\": %s", mbs)
+	if (vio != "") line = line sprintf(", \"floor_violations\": %s", vio)
+	if (bop != "") line = line sprintf(", \"b_per_op\": %s", bop)
+	if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+	line = line "}"
+	lines[n++] = line
+}
+END {
+	print "[" > out
+	for (i = 0; i < n; i++) print lines[i] (i < n-1 ? "," : "") >> out
+	print "]" >> out
+}
+' "$RAW9"
+
+echo "== wrote $OUT9"
+cat "$OUT9"
+
+# Work-conserving gates: the borrowing tree must deliver utilization
+# strictly above the flat baseline, and neither mode may dent the
+# contending stream's assured floor.
+wc_col() {
+	awk -v b="BenchmarkLiveWorkConservingThroughput/$1" -v unit="$2" \
+		'$1 ~ "^"b"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i }' "$RAW9"
+}
+flat="$(wc_col flat MB/s)"
+cons="$(wc_col conserving MB/s)"
+if [ -z "$flat" ] || [ -z "$cons" ]; then
+	echo "GATE: work-conserving benchmarks did not run (flat='$flat' conserving='$cons')" >&2
+	fail=1
+elif ! awk -v f="$flat" -v c="$cons" -v floor="$WORKCONSERVE_FLOOR" \
+	'BEGIN { exit !(c >= floor * f) }'; then
+	echo "GATE: conserving at $cons MB/s is under ${WORKCONSERVE_FLOOR}x the flat $flat MB/s" >&2
+	fail=1
+else
+	echo "GATE: conserving at $cons MB/s vs flat $flat MB/s (floor ${WORKCONSERVE_FLOOR}x) ok"
+fi
+for mode in flat conserving; do
+	vio="$(wc_col "$mode" violations)"
+	if [ -z "$vio" ]; then
+		echo "GATE: $mode mode reported no violations metric" >&2
+		fail=1
+	elif awk -v v="$vio" 'BEGIN { exit !(v > 0) }'; then
+		echo "GATE: $mode mode dented the assured floor ($vio violations)" >&2
+		fail=1
+	else
+		echo "GATE: $mode mode held every assured floor (0 violations)"
+	fi
+done
 exit $fail
