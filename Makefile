@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test vet race cover chaos chaos-mm bench scenarios fuzz-smoke gobonly fmt-check docs all
+.PHONY: tier1 build test vet race cover chaos chaos-mm bench scenarios scenarios-tenant fuzz-smoke gobonly fmt-check docs all
 
 all: tier1 vet
 
@@ -26,7 +26,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/... ./internal/mm/... ./internal/rm/... ./internal/faults/... ./internal/blkio/...
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/transport/... ./internal/live/... ./internal/dfsc/... ./internal/telemetry/... ./internal/monitor/... ./internal/mm/... ./internal/rm/... ./internal/faults/... ./internal/blkio/... ./internal/tenant/...
 
 # chaos replays the self-healing drills: deterministic fault scripts
 # (internal/faults) against live TCP deployments — mid-stream kill with
@@ -46,9 +46,11 @@ chaos-mm:
 # cover writes one profile per gated package plus a merged coverage.out
 # for the CI artifact, then enforces the floors via the gate script:
 # 60% on the observability packages, 80% on the replicated metadata
-# core (internal/mm carries the shard ring, health and handoff logic)
-# and on the QoS enforcement core (internal/blkio carries the
-# work-conserving token tree every data stream throttles through).
+# core (internal/mm carries the shard ring, health and handoff logic),
+# on the QoS enforcement core (internal/blkio carries the
+# work-conserving token tree every data stream throttles through), and
+# on the tenant quota ledger (internal/tenant is the multi-tenant
+# admission arithmetic every RM trusts).
 cover:
 	mkdir -p coverage
 	$(GO) test -coverprofile=coverage/telemetry.out ./internal/telemetry/
@@ -57,9 +59,10 @@ cover:
 	$(GO) test -coverprofile=coverage/scenario.out ./internal/scenario/
 	$(GO) test -coverprofile=coverage/mm.out ./internal/mm/
 	$(GO) test -coverprofile=coverage/blkio.out ./internal/blkio/
+	$(GO) test -coverprofile=coverage/tenant.out ./internal/tenant/
 	$(GO) test -coverprofile=coverage/all.out -coverpkg=./... ./...
 	./scripts/cover_gate.sh 60 coverage/telemetry.out coverage/monitor.out coverage/faults.out coverage/scenario.out
-	./scripts/cover_gate.sh 80 coverage/mm.out coverage/blkio.out
+	./scripts/cover_gate.sh 80 coverage/mm.out coverage/blkio.out coverage/tenant.out
 
 # bench runs the data-plane benchmark harness: wire codec benchmarks plus
 # the live-TCP streaming and striped-read benchmarks, parsed into
@@ -78,6 +81,15 @@ bench:
 # shape; SCEN_SEED pins the master seed.
 scenarios:
 	./scripts/scenarios.sh BENCH_7.json
+
+# scenarios-tenant runs the multi-tenant noisy-neighbor scenario alone:
+# an abusive tenant storming past its per-RM bandwidth quota while the
+# victim tenant's SLO gates — fail-rate ceiling, p99 ceiling, and the
+# no-abuser-baseline fail-rate delta — prove quota isolation held. The
+# abuser's own gate is a refusal floor: if the quota never bit, the run
+# fails too. Reported into BENCH_10.json.
+scenarios-tenant:
+	SCEN_FLAGS="-scenario noisy-neighbor $(SCEN_FLAGS)" ./scripts/scenarios.sh BENCH_10.json
 
 # fuzz-smoke gives each wire codec fuzz target a short randomized run on
 # top of its seeded corpus — enough to catch decoder panics and checksum

@@ -37,8 +37,9 @@ func main() {
 		mmAddr   = flag.String("mm", "127.0.0.1:7000", "metadata manager address; comma-separated ring-index-aligned list for a shard group")
 		mmRep    = flag.Int("mm-replication", 1, "owner shards per file in the MM shard group (must match mmd -replication)")
 		metaTTL  = flag.Duration("meta-ttl", 0, "metadata lease TTL: cached lookup results skip the MM until they expire (0 disables the lease cache)")
-		policy   = flag.String("policy", "(1,0,0)", "resource selection policy (α,β,γ)")
+		policy   = flag.String("policy", "(1,0,0)", "resource selection policy (α,β,γ) or (α,β,γ,δ) with the weighted-fairness term")
 		scenario = flag.String("scenario", "firm", "allocation scenario: soft or firm")
+		tenantID = flag.Int("tenant", 0, "tenant identity stamped on every request (0 = untenanted); quota'd RMs charge admissions to it")
 		n        = flag.Int("n", 10, "number of file accesses to issue")
 		read     = flag.Bool("read", false, "stream each admitted file's bytes from the serving RM")
 		seed     = flag.Uint64("seed", 1, "deployment master seed (must match rmd)")
@@ -63,6 +64,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *tenantID < 0 {
+		fail(fmt.Errorf("negative -tenant %d", *tenantID))
+	}
+	// The tenant travels twice: in the ECNP control payloads (CFP, open,
+	// store) and stamped on every dialed connection's wire frames, so
+	// data-plane chunks are attributable too.
+	tcfg.Tenant = ids.TenantID(*tenantID)
 	scen, err := qos.Parse(*scenario)
 	if err != nil {
 		fail(err)
@@ -120,6 +128,7 @@ func main() {
 		Catalog:   cat,
 		Policy:    pol,
 		Scenario:  scen,
+		Tenant:    ids.TenantID(*tenantID),
 		Rand:      rng.New(*seed).Split("dfsc-cli"),
 		// The live control path fans CFPs out concurrently, bounded by
 		// the negotiation deadline: one stalled RM costs at most -negotiation-timeout,

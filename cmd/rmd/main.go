@@ -35,6 +35,7 @@ import (
 	"dfsqos/internal/rm"
 	"dfsqos/internal/rng"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/tenant"
 	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/units"
@@ -68,6 +69,7 @@ func main() {
 		leaseTT = flag.Duration("lease-ttl", 0, "reservation lease TTL (wall time); idle reservations past it are reclaimed; 0 disables")
 		oversub = flag.Float64("oversub", 1, "admission oversubscription ratio: bids and firm admission extend to capacity×ratio while assured floors stay enforced (1 = nominal)")
 		sqos    = flag.Bool("stream-qos", false, "route each reservation's stream through its own work-conserving blkio group (assured = bitrate)")
+		quotasS = flag.String("tenant-quotas", "", `per-tenant quota table "1=4Mbps:1GB:2,2=2Mbps,..." (<tenant>=<bw>:<bytes>:<weight>); empty disables tenancy enforcement`)
 		sceil   = flag.Float64("stream-ceil", 1, "per-stream burst ceiling as a fraction of capacity under -stream-qos (0 = flat: ceiling equals the assured floor)")
 		faultsS = flag.String("faults", "", "fault-injection spec (chaos testing; see internal/faults)")
 		tcfg    = transport.RegisterFlags(flag.CommandLine)
@@ -92,6 +94,10 @@ func main() {
 	}
 	repCfg := replication.DefaultConfig(strat)
 	repCfg.Dest = dest
+	quotas, err := tenant.ParseQuotas(*quotasS)
+	if err != nil {
+		fail(err)
+	}
 
 	catCfg := catalog.DefaultConfig()
 	catCfg.NumFiles = *files
@@ -135,6 +141,15 @@ func main() {
 	copier := live.NewCopier(disk, peers, *scale)
 	copier.SetMetrics(live.NewCopierMetrics(reg))
 	copier.SetTracer(tracer)
+	var ledger *tenant.Ledger
+	if len(quotas) > 0 {
+		ledger = tenant.NewLedger()
+		ledger.SetMetrics(tenant.NewMetrics(reg))
+		for t, q := range quotas {
+			ledger.Set(t, q)
+		}
+		log.Printf("rmd: %v enforcing quotas for %d tenant(s)", rmID, len(quotas))
+	}
 	node, err := rm.New(rm.Options{
 		Info:        ecnp.RMInfo{ID: rmID, Capacity: capacity, StorageBytes: storage},
 		Scheduler:   sched,
@@ -148,6 +163,7 @@ func main() {
 		Copier:  copier,
 		Metrics: rm.NewMetrics(reg),
 		Oversub: *oversub,
+		Tenants: ledger,
 		// The lease TTL is specified in wall time; the RM's scheduler
 		// runs virtual seconds at -scale× wall, so convert.
 		LeaseTTLSec: leaseTT.Seconds() * *scale,

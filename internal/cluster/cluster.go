@@ -27,6 +27,7 @@ import (
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
 	"dfsqos/internal/simtime"
+	"dfsqos/internal/tenant"
 	"dfsqos/internal/units"
 	"dfsqos/internal/workload"
 )
@@ -104,6 +105,19 @@ type Config struct {
 	// ring of this many shards (the paper's DHT note); 0 or 1 runs the
 	// single MM of the paper's experiments.
 	MMShards int
+	// TenantQuotas is the per-tenant quota table; when non-empty every
+	// RM is built with its own tenant.Ledger seeded from it, so the
+	// quotas are enforced per RM (a tenant with a 20 Mbps cap may hold
+	// 20 Mbps on each RM, matching the per-device blkio enforcement of
+	// the live deployment). Tenants absent from the table are
+	// unlimited. Empty or nil disables tenancy entirely: no ledger is
+	// installed and RMs behave exactly as before tenancy existed.
+	TenantQuotas map[ids.TenantID]tenant.Quota
+	// ClientTenants assigns a tenant identity to each DFSC: client i
+	// acts for ClientTenants[i % len(ClientTenants)], so a two-entry
+	// slice splits the client population in half. Empty leaves every
+	// client untenanted (ids.NoneTenant).
+	ClientTenants []ids.TenantID
 	// Seed is the master seed; every stream in the run derives from it.
 	Seed uint64
 	// SampleEverySec enables utilization sampling at this period when
@@ -177,7 +191,26 @@ func (c Config) Validate() error {
 	if c.MMShards < 0 {
 		return fmt.Errorf("cluster: negative MMShards")
 	}
+	for t := range c.TenantQuotas {
+		if !t.Valid() {
+			return fmt.Errorf("cluster: quota for invalid tenant %v (real tenants are numbered from 1)", t)
+		}
+	}
+	for i, t := range c.ClientTenants {
+		if t < 0 {
+			return fmt.Errorf("cluster: ClientTenants[%d] is negative", i)
+		}
+	}
 	return nil
+}
+
+// TenantOf returns the tenant identity assigned to the given client by
+// ClientTenants, or ids.NoneTenant when tenancy is off.
+func (c Config) TenantOf(d ids.DFSCID) ids.TenantID {
+	if len(c.ClientTenants) == 0 {
+		return ids.NoneTenant
+	}
+	return c.ClientTenants[int(d)%len(c.ClientTenants)]
 }
 
 // Mapper is the metadata-manager surface a cluster exposes: the ECNP
@@ -229,6 +262,11 @@ type Results struct {
 	// Messages is the total control-plane message count across clients
 	// (queries, CFPs, bids, opens and their replies).
 	Messages int64
+	// TenantUsage aggregates each tenant's end-of-run ledger state
+	// summed across all RMs (nil when tenancy is off). Bandwidth and
+	// Streams should be zero after a clean drain; non-zero Bytes means
+	// the tenant's stored files survived the run, which is normal.
+	TenantUsage map[ids.TenantID]tenant.Usage
 }
 
 // SeededCorpus derives the catalog and static placement every component of
@@ -304,6 +342,13 @@ func Build(cfg Config) (*Cluster, error) {
 				DurationSec: meta.DurationSec,
 			}
 		}
+		var ledger *tenant.Ledger
+		if len(cfg.TenantQuotas) > 0 {
+			ledger = tenant.NewLedger()
+			for t, q := range cfg.TenantQuotas {
+				ledger.Set(t, q)
+			}
+		}
 		node, err := rm.New(rm.Options{
 			Info: ecnp.RMInfo{
 				ID:           id,
@@ -316,6 +361,7 @@ func Build(cfg Config) (*Cluster, error) {
 			Replication: cfg.Replication,
 			GC:          cfg.GC,
 			Oversub:     cfg.Oversub,
+			Tenants:     ledger,
 			Rand:        master.Split(fmt.Sprintf("rm/%d", id)),
 			Files:       files,
 		})
@@ -342,6 +388,7 @@ func Build(cfg Config) (*Cluster, error) {
 			Catalog:      cat,
 			Policy:       cfg.Policy,
 			Scenario:     cfg.Scenario,
+			Tenant:       cfg.TenantOf(ids.DFSCID(i)),
 			Rand:         master.Split(fmt.Sprintf("dfsc/%d", i)),
 			BroadcastCNP: cfg.BroadcastCNP,
 		})
@@ -507,6 +554,17 @@ func (c *Cluster) RunWithObserver(obs Observer) (*Results, error) {
 		res.Replications += st.RepTransfers
 		res.Migrations += st.RepMigrations
 		res.GCEvictions += st.GCEvictions
+		for _, u := range node.TenantUsage() {
+			if res.TenantUsage == nil {
+				res.TenantUsage = make(map[ids.TenantID]tenant.Usage)
+			}
+			agg := res.TenantUsage[u.Tenant]
+			agg.Tenant, agg.Quota = u.Tenant, u.Quota
+			agg.Bandwidth += u.Bandwidth
+			agg.Bytes += u.Bytes
+			agg.Streams += u.Streams
+			res.TenantUsage[u.Tenant] = agg
+		}
 	}
 	for _, cl := range c.clients {
 		st := cl.Stats()

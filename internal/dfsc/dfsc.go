@@ -118,6 +118,7 @@ type Client struct {
 	meta      *MetaCache
 	met       *Metrics
 	tracer    *trace.Tracer
+	tenant    ids.TenantID
 
 	reqSeq int64
 	stats  Stats
@@ -157,6 +158,11 @@ type Options struct {
 	// span contexts ride the wire to the MM and RM servers. Nil disables
 	// tracing at zero cost (all span operations no-op).
 	Tracer *trace.Tracer
+	// Tenant is the identity every request from this client runs under:
+	// stamped on CFPs and opens (where tenanted RMs enforce quotas and
+	// weigh fairness), on StoreFile byte charges, and on the access root
+	// span. Zero (NoneTenant) preserves untenanted behaviour everywhere.
+	Tenant ids.TenantID
 }
 
 // New constructs a client.
@@ -186,11 +192,16 @@ func New(opt Options) (*Client, error) {
 		meta:      meta,
 		met:       met,
 		tracer:    opt.Tracer,
+		tenant:    opt.Tenant,
 	}, nil
 }
 
 // ID returns the client's identifier.
 func (c *Client) ID() ids.DFSCID { return c.id }
+
+// Tenant returns the identity this client's requests run under
+// (NoneTenant when untenanted).
+func (c *Client) Tenant() ids.TenantID { return c.tenant }
 
 // MetaCache exposes the metadata lease cache (nil when MetaTTL was zero);
 // tests drive its clock through it.
@@ -333,7 +344,7 @@ func (c *Client) Store(file ids.FileID) Outcome {
 	c.mu.Unlock()
 
 	f := c.cat.File(file)
-	cfp := ecnp.CFP{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec}
+	cfp := ecnp.CFP{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec, Tenant: c.tenant}
 
 	var candidates []ids.RMID
 	for _, info := range c.mapper.RMs() {
@@ -361,8 +372,8 @@ func (c *Client) Store(file ids.FileID) Outcome {
 	firm := c.scen.IsFirm()
 	c.mu.Unlock()
 
-	store := ecnp.StoreRequest{File: file, Bitrate: f.Bitrate, SizeBytes: f.Size, DurationSec: f.DurationSec}
-	open := ecnp.OpenRequest{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec, Firm: firm}
+	store := ecnp.StoreRequest{File: file, Bitrate: f.Bitrate, SizeBytes: f.Size, DurationSec: f.DurationSec, Tenant: c.tenant}
+	open := ecnp.OpenRequest{Request: req, File: file, Bitrate: f.Bitrate, DurationSec: f.DurationSec, Firm: firm, Tenant: c.tenant}
 	for _, rmID := range order {
 		p := providers[rmID]
 		// An RM already holding the file cannot store it again.
@@ -480,7 +491,7 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 	} else {
 		sp = c.tracer.StartRoot(req, "dfsc.access")
 	}
-	sp.SetFile(file).SetRequest(req)
+	sp.SetFile(file).SetRequest(req).SetTenant(c.tenant)
 	defer sp.End()
 
 	f := c.cat.File(file)
@@ -546,6 +557,7 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 		File:        file,
 		Bitrate:     f.Bitrate,
 		DurationSec: f.DurationSec,
+		Tenant:      c.tenant,
 	}
 	bidSp := c.tracer.StartChild(sp.Context(), "dfsc.bid").SetFile(file).SetRequest(req)
 	collected, providers := c.collectBids(trace.NewContext(ctx, bidSp.Context()), holders, cfp, true)
@@ -609,6 +621,7 @@ func (c *Client) negotiateLanes(ctx context.Context, file ids.FileID, exclude ma
 			Bitrate:     f.Bitrate,
 			DurationSec: f.DurationSec,
 			Firm:        firm,
+			Tenant:      c.tenant,
 		}
 		p := providers[rmID]
 		openSp := c.tracer.StartChild(sp.Context(), "dfsc.open").

@@ -1,8 +1,10 @@
-// Package docscheck cross-checks docs/OPERATIONS.md against the code: every
+// Package docscheck cross-checks the operator docs against the code: every
 // flag registered by the three daemons and every dfsqos_* telemetry series
-// registered anywhere in the tree must appear in the runbook. The test fails
-// with the exact missing name, so adding a flag or a metric without
-// documenting it breaks CI.
+// registered anywhere in the tree must appear in docs/OPERATIONS.md, and the
+// multi-tenant surface (quota flags, per-tenant metrics, the noisy-neighbor
+// gate) must appear in docs/TENANCY.md. The tests fail with the exact
+// missing name, so adding a flag or a metric without documenting it breaks
+// CI.
 package docscheck
 
 import (
@@ -23,6 +25,7 @@ import (
 	"dfsqos/internal/mm"
 	"dfsqos/internal/rm"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/tenant"
 	"dfsqos/internal/trace"
 	"dfsqos/internal/transport"
 	"dfsqos/internal/wire"
@@ -53,6 +56,7 @@ func TestOperationsDocCoversAllMetrics(t *testing.T) {
 	mm.NewMetrics(reg)
 	rm.NewMetrics(reg)
 	blkio.NewMetrics(reg)
+	tenant.NewMetrics(reg)
 	dfsc.NewMetrics(reg)
 	faults.NewMetrics(reg)
 	trace.New(trace.Options{Actor: "docscheck", Registry: reg})

@@ -17,7 +17,7 @@ import (
 // docs` runs this check; CI runs `make docs`.
 var godocPackages = []string{
 	"trace", "qos", "blkio", "history", "selection", "ledger", "catalog", "workload",
-	"scenario",
+	"scenario", "tenant",
 }
 
 // TestGodocPresence is the revive/golint-style comment-presence check,

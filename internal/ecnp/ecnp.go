@@ -62,6 +62,9 @@ type CFP struct {
 	Bitrate units.BytesPerSec
 	// DurationSec is T_ocp: how long the access occupies the provider.
 	DurationSec float64
+	// Tenant identifies the requesting tenant for quota accounting and
+	// weighted-fair bid scoring; NoneTenant requests bypass both.
+	Tenant ids.TenantID
 }
 
 // OpenRequest asks the selected provider to admit a data access and
@@ -75,6 +78,11 @@ type OpenRequest struct {
 	// the reservation does not fit in the remaining bandwidth; a soft
 	// request is always admitted (possibly over-allocating the disk).
 	Firm bool
+	// Tenant identifies the requesting tenant. A provider with a tenant
+	// ledger charges the reservation against the tenant's bandwidth quota
+	// and refuses the open when the quota is exhausted — even in the soft
+	// scenario, where untenanted admission is unconditional.
+	Tenant ids.TenantID
 }
 
 // OpenResult reports the provider's admission decision.
@@ -109,6 +117,10 @@ type StoreRequest struct {
 	Bitrate     units.BytesPerSec
 	SizeBytes   units.Size
 	DurationSec float64
+	// Tenant owns the stored bytes: a provider with a tenant ledger
+	// charges SizeBytes against the tenant's byte quota and refuses the
+	// store when it is exhausted.
+	Tenant ids.TenantID
 }
 
 // Requester is the DFSC-side identity passed to providers (diagnostics).

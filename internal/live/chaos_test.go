@@ -21,6 +21,7 @@ import (
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
 	"dfsqos/internal/telemetry"
+	"dfsqos/internal/tenant"
 	"dfsqos/internal/trace"
 	"dfsqos/internal/units"
 	"dfsqos/internal/vdisk"
@@ -42,24 +43,29 @@ type chaosOpts struct {
 	timeScale float64
 	// faultSeed seeds every RM's fault script (default 1).
 	faultSeed uint64
+	// tenancy installs a tenant ledger (with telemetry) on every RM.
+	// Quotas start unlimited; tests tighten them per tenant via
+	// chaosCluster.ledgers once catalog bitrates are known.
+	tenancy bool
 }
 
 // chaosCluster is a live deployment with handles deep enough for crash
 // surgery: the in-process MM manager, the RM nodes and their disks (so a
 // killed RM can be restarted on a fresh socket).
 type chaosCluster struct {
-	mgr    *mm.Manager
-	mmSrv  *MMServer
-	mmCli  *MMClient
-	dir    *Directory
-	sched  *WallScheduler
-	cat    *catalog.Catalog
-	reg    *telemetry.Registry
-	tracer *trace.Tracer
-	rmSrvs map[ids.RMID]*RMServer
-	nodes  map[ids.RMID]*rm.RM
-	disks  map[ids.RMID]*vdisk.Disk
-	stops  []func()
+	mgr     *mm.Manager
+	mmSrv   *MMServer
+	mmCli   *MMClient
+	dir     *Directory
+	sched   *WallScheduler
+	cat     *catalog.Catalog
+	reg     *telemetry.Registry
+	tracer  *trace.Tracer
+	rmSrvs  map[ids.RMID]*RMServer
+	nodes   map[ids.RMID]*rm.RM
+	disks   map[ids.RMID]*vdisk.Disk
+	ledgers map[ids.RMID]*tenant.Ledger
+	stops   []func()
 }
 
 func (lc *chaosCluster) shutdown() {
@@ -112,15 +118,16 @@ func startChaosCluster(t *testing.T, opts chaosOpts) *chaosCluster {
 	master := rng.New(31)
 
 	lc := &chaosCluster{
-		mgr:    mgr,
-		mmSrv:  mmSrv,
-		sched:  sched,
-		cat:    cat,
-		reg:    reg,
-		tracer: tracer,
-		rmSrvs: make(map[ids.RMID]*RMServer),
-		nodes:  make(map[ids.RMID]*rm.RM),
-		disks:  make(map[ids.RMID]*vdisk.Disk),
+		mgr:     mgr,
+		mmSrv:   mmSrv,
+		sched:   sched,
+		cat:     cat,
+		reg:     reg,
+		tracer:  tracer,
+		rmSrvs:  make(map[ids.RMID]*RMServer),
+		nodes:   make(map[ids.RMID]*rm.RM),
+		disks:   make(map[ids.RMID]*vdisk.Disk),
+		ledgers: make(map[ids.RMID]*tenant.Ledger),
 	}
 	for i, capBW := range opts.caps {
 		id := ids.RMID(i + 1)
@@ -144,12 +151,19 @@ func startChaosCluster(t *testing.T, opts chaosOpts) *chaosCluster {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var ledger *tenant.Ledger
+		if opts.tenancy {
+			ledger = tenant.NewLedger()
+			ledger.SetMetrics(tenant.NewMetrics(reg))
+			lc.ledgers[id] = ledger
+		}
 		node, err := rm.New(rm.Options{
 			Info:        ecnp.RMInfo{ID: id, Capacity: capBW, StorageBytes: units.GB},
 			Scheduler:   sched,
 			Mapper:      mapperCli,
 			History:     history.DefaultConfig(),
 			Replication: replication.DefaultConfig(replication.Static()),
+			Tenants:     ledger,
 			Rand:        master.Split(id.String()),
 			Files:       files,
 			LeaseTTLSec: opts.leaseTTLSec,

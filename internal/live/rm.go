@@ -46,10 +46,20 @@ type RMServer struct {
 	tracer  *trace.Tracer
 
 	// Stream QoS state (EnableStreamQoS): one blkio group per admitted
-	// reservation, keyed by request ID. Guarded by qosMu, not mu — group
-	// lookups sit on the per-chunk data path.
-	qosMu     sync.Mutex
-	qosGroups map[ids.RequestID]*blkio.Group
+	// untenanted reservation (keyed by request ID) or one shared group per
+	// tenant (all of a tenant's streams contend inside it). Guarded by
+	// qosMu, not mu — group lookups sit on the per-chunk data path.
+	qosMu      sync.Mutex
+	qosGroups  map[ids.RequestID]*blkio.Group
+	qosTenants map[ids.TenantID]*tenantQoS
+}
+
+// tenantQoS aggregates one tenant's live reservations into a single
+// throttle group: rate is the Σ of member reservation bitrates (the
+// group's assured floor), streams the member count.
+type tenantQoS struct {
+	rate    units.BytesPerSec
+	streams int
 }
 
 // NewRMServer starts serving node and disk on addr.
@@ -157,16 +167,23 @@ func rmSpanName(k wire.Kind) string {
 }
 
 // EnableStreamQoS routes each admitted reservation's data stream through
-// its own blkio group instead of the disk's shared default group — the
-// paper's per-VM blkio.throttle binding, upgraded to the work-conserving
-// tree. The disk controller's root pool is set to the RM's nominal
-// capacity, and every admission installs a group whose assured rate is the
+// a blkio group instead of the disk's shared default group — the paper's
+// per-VM blkio.throttle binding, upgraded to the work-conserving tree.
+// The disk controller's root pool is set to the RM's nominal capacity,
+// and every admission installs a group whose assured rate is the
 // reservation's bitrate and whose ceiling is max(bitrate, ceilFrac ×
 // capacity): with ceilFrac 0 the ceiling equals the floor (flat,
 // non-work-conserving pacing); with ceilFrac 1 an idle-neighbor stream may
 // borrow the whole disk. Groups are torn down on Close and on lease
 // expiry (the sweeper fires the release hook), so a client that dies
 // mid-stream returns its floor to the pool after one lease TTL.
+//
+// Tenanted reservations share one group per tenant ("tenant<N>") whose
+// assured floor is the Σ of the tenant's admitted bitrates: the tenant's
+// streams contend with each other inside that bucket, so a tenant
+// fanning out a storm of streams throttles itself — not its neighbours —
+// once the shared ceiling is hit. Untenanted reservations keep their
+// per-request groups ("req<N>"), the pre-tenancy behaviour.
 //
 // Call before traffic starts; it replaces any previously installed
 // admission hooks.
@@ -181,19 +198,37 @@ func (s *RMServer) EnableStreamQoS(ceilFrac float64) error {
 	}
 	s.qosMu.Lock()
 	s.qosGroups = make(map[ids.RequestID]*blkio.Group)
+	s.qosTenants = make(map[ids.TenantID]*tenantQoS)
 	s.qosMu.Unlock()
+	ceilFor := func(assured units.BytesPerSec) units.BytesPerSec {
+		if c := units.BytesPerSec(ceilFrac * float64(capacity)); c > assured {
+			return c
+		}
+		return assured
+	}
 	s.node.SetAdmissionHooks(
-		func(req ids.RequestID, rate units.BytesPerSec) {
+		func(req ids.RequestID, tn ids.TenantID, rate units.BytesPerSec) {
 			if rate <= 0 {
 				return // unlimited reservations keep the default group
 			}
-			ceil := rate
-			if c := units.BytesPerSec(ceilFrac * float64(capacity)); c > ceil {
-				ceil = c
+			name := fmt.Sprintf("req%d", req)
+			assured := rate
+			if tn.Valid() {
+				name = tn.String()
+				s.qosMu.Lock()
+				tq := s.qosTenants[tn]
+				if tq == nil {
+					tq = &tenantQoS{}
+					s.qosTenants[tn] = tq
+				}
+				tq.rate += rate
+				tq.streams++
+				assured = tq.rate
+				s.qosMu.Unlock()
 			}
-			g, err := ctrl.SetGroupQoS(fmt.Sprintf("req%d", req), blkio.GroupConfig{
-				ReadAssured: rate, ReadCeil: ceil,
-				WriteAssured: rate, WriteCeil: ceil,
+			g, err := ctrl.SetGroupQoS(name, blkio.GroupConfig{
+				ReadAssured: assured, ReadCeil: ceilFor(assured),
+				WriteAssured: assured, WriteCeil: ceilFor(assured),
 			})
 			if err != nil {
 				s.logf("rm%d: stream qos group for %v: %v", s.node.Info().ID, req, err)
@@ -203,13 +238,45 @@ func (s *RMServer) EnableStreamQoS(ceilFrac float64) error {
 			s.qosGroups[req] = g
 			s.qosMu.Unlock()
 		},
-		func(req ids.RequestID) {
+		func(req ids.RequestID, tn ids.TenantID, rate units.BytesPerSec) {
 			s.qosMu.Lock()
 			_, ok := s.qosGroups[req]
 			delete(s.qosGroups, req)
-			s.qosMu.Unlock()
-			if ok {
+			if !ok {
+				s.qosMu.Unlock()
+				return
+			}
+			if !tn.Valid() {
+				s.qosMu.Unlock()
 				ctrl.RemoveGroup(fmt.Sprintf("req%d", req))
+				return
+			}
+			tq := s.qosTenants[tn]
+			var remaining units.BytesPerSec
+			last := true
+			if tq != nil {
+				tq.rate -= rate
+				if tq.rate < 0 {
+					tq.rate = 0
+				}
+				tq.streams--
+				last = tq.streams <= 0
+				remaining = tq.rate
+				if last {
+					delete(s.qosTenants, tn)
+				}
+			}
+			s.qosMu.Unlock()
+			if last {
+				ctrl.RemoveGroup(tn.String())
+				return
+			}
+			// Shrink the shared floor to the surviving members' Σ rate.
+			if _, err := ctrl.SetGroupQoS(tn.String(), blkio.GroupConfig{
+				ReadAssured: remaining, ReadCeil: ceilFor(remaining),
+				WriteAssured: remaining, WriteCeil: ceilFor(remaining),
+			}); err != nil {
+				s.logf("rm%d: shrink tenant qos group %v: %v", s.node.Info().ID, tn, err)
 			}
 		},
 	)

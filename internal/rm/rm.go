@@ -22,6 +22,7 @@ import (
 	"dfsqos/internal/rng"
 	"dfsqos/internal/selection"
 	"dfsqos/internal/simtime"
+	"dfsqos/internal/tenant"
 	"dfsqos/internal/units"
 )
 
@@ -30,6 +31,12 @@ type FileMeta struct {
 	Bitrate     units.BytesPerSec
 	Size        units.Size
 	DurationSec float64
+	// Tenant is the byte-quota owner for files admitted through StoreFile
+	// on a tenanted RM: deleting the file (GC, migration) returns its
+	// bytes to that tenant's budget. Zero for untenanted stores and for
+	// replication-created copies, which are system-initiated and never
+	// charged.
+	Tenant ids.TenantID
 }
 
 // Stats counts notable RM events for metrics and experiments.
@@ -63,6 +70,9 @@ type reservation struct {
 	rate         units.BytesPerSec
 	lastActivity simtime.Time
 	epoch        uint64
+	// tenant owns the reservation's quota charge; released on Close and by
+	// the lease sweeper alike, so a crashed tenant's quota always returns.
+	tenant ids.TenantID
 }
 
 // DataCopier moves real replica bytes during dynamic replication. The DES
@@ -79,15 +89,16 @@ type DataCopier interface {
 type RM struct {
 	mu sync.Mutex
 
-	info   ecnp.RMInfo
-	sched  ecnp.Scheduler
-	mapper ecnp.Mapper
-	dir    ecnp.Directory
-	led    *ledger.Ledger
-	hist   *history.TwoQueue
-	src    *rng.Source
-	repCfg replication.Config
-	copier DataCopier
+	info    ecnp.RMInfo
+	sched   ecnp.Scheduler
+	mapper  ecnp.Mapper
+	dir     ecnp.Directory
+	led     *ledger.Ledger
+	tenants *tenant.Ledger // nil: tenancy disabled
+	hist    *history.TwoQueue
+	src     *rng.Source
+	repCfg  replication.Config
+	copier  DataCopier
 
 	files       map[ids.FileID]FileMeta
 	sumDur      float64    // Σ DurationSec over files (occupation-time aggregate)
@@ -100,8 +111,8 @@ type RM struct {
 	leaseSeq uint64  // admission epoch counter
 
 	// Admission hooks (see SetAdmissionHooks). Invoked outside r.mu.
-	onAdmit   func(ids.RequestID, units.BytesPerSec)
-	onRelease func(ids.RequestID)
+	onAdmit   func(ids.RequestID, ids.TenantID, units.BytesPerSec)
+	onRelease func(ids.RequestID, ids.TenantID, units.BytesPerSec)
 
 	// met mirrors stats onto the telemetry registry and keeps the
 	// runtime gauges (remaining bandwidth, active streams, storage)
@@ -150,6 +161,14 @@ type Options struct {
 	// blkio enforcement tree keeps guaranteeing previously-admitted
 	// assured floors. Zero means 1.0 (nominal, no oversubscription).
 	Oversub float64
+	// Tenants is the RM's tenant quota ledger. Nil (the default) disables
+	// tenancy entirely: every request is admitted exactly as before
+	// tenants existed. With a ledger installed, Open charges reservations
+	// against the requesting tenant's bandwidth quota, StoreFile charges
+	// stored bytes, and HandleCFP clamps bids to the tenant's remaining
+	// allowance and reports the tenant's weighted share for the selection
+	// policy's δ term.
+	Tenants *tenant.Ledger
 }
 
 // New constructs an RM. The Directory is injected later via SetDirectory
@@ -181,6 +200,7 @@ func New(opt Options) (*RM, error) {
 		met:           met,
 		mapper:        opt.Mapper,
 		led:           ledger.New(opt.Info.Capacity, opt.Scheduler.Now()),
+		tenants:       opt.Tenants,
 		hist:          hist,
 		src:           opt.Rand,
 		repCfg:        opt.Replication,
@@ -216,13 +236,16 @@ func New(opt Options) (*RM, error) {
 }
 
 // SetAdmissionHooks installs callbacks fired after a reservation is
-// admitted (onAdmit, with the admitted bitrate) and after it is released —
-// by the client's Close or by the lease sweeper (onRelease). Live mode
-// uses them to create and tear down per-reservation blkio throttle
-// groups, so an expired lease hands its borrowed-bandwidth claim back to
-// the disk's lending pool. Both hooks run outside the RM's lock; either
-// may be nil. Install them before traffic flows.
-func (r *RM) SetAdmissionHooks(onAdmit func(ids.RequestID, units.BytesPerSec), onRelease func(ids.RequestID)) {
+// admitted (onAdmit, with the owning tenant and the admitted bitrate)
+// and after it is released — by the client's Close or by the lease
+// sweeper (onRelease, with the same tenant and rate so per-tenant
+// enforcement state can be unwound exactly). Live mode uses them to
+// create and tear down blkio throttle groups — per-reservation for
+// untenanted streams, shared per-tenant for tenanted ones — so an
+// expired lease hands its borrowed-bandwidth claim back to the disk's
+// lending pool. Both hooks run outside the RM's lock; either may be
+// nil. Install them before traffic flows.
+func (r *RM) SetAdmissionHooks(onAdmit func(ids.RequestID, ids.TenantID, units.BytesPerSec), onRelease func(ids.RequestID, ids.TenantID, units.BytesPerSec)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.onAdmit = onAdmit
@@ -306,6 +329,12 @@ func (r *RM) Allocated() units.BytesPerSec {
 	return r.led.Allocated()
 }
 
+// TenantUsage snapshots the RM's tenant ledger (nil when tenancy is
+// disabled) — the monitor page and scenario gates consume this.
+func (r *RM) TenantUsage() []tenant.Usage {
+	return r.tenants.Snapshot()
+}
+
 // HasFile reports whether the RM holds a committed replica of file.
 func (r *RM) HasFile(f ids.FileID) bool {
 	r.mu.Lock()
@@ -352,14 +381,30 @@ func (r *RM) HandleCFP(cfp ecnp.CFP) selection.Bid {
 		assured = 0
 	}
 	bid := selection.Bid{
-		RM:         r.info.ID,
-		Rem:        r.led.Remaining(),
-		Trend:      r.hist.Trend(now, r.led.Allocated()),
-		OccBias:    selection.OccupationBias(tOcp, tOcpAvg),
-		Req:        cfp.Bitrate,
-		HasReplica: known,
-		Assured:    assured,
-		Ceil:       r.led.AdmitRemaining(),
+		RM:          r.info.ID,
+		Rem:         r.led.Remaining(),
+		Trend:       r.hist.Trend(now, r.led.Allocated()),
+		OccBias:     selection.OccupationBias(tOcp, tOcpAvg),
+		Req:         cfp.Bitrate,
+		HasReplica:  known,
+		Assured:     assured,
+		Ceil:        r.led.AdmitRemaining(),
+		TenantShare: r.tenants.Share(cfp.Tenant, r.info.Capacity),
+	}
+	// A quota-capped tenant cannot be promised more than its remaining
+	// allowance: clamp the floors the bid advertises so the requester's
+	// admission math never plans on bandwidth Open would refuse.
+	if rem, capped := r.tenants.RemainingBandwidth(cfp.Tenant); capped {
+		clamped := false
+		if bid.Assured > rem {
+			bid.Assured, clamped = rem, true
+		}
+		if bid.Ceil > rem {
+			bid.Ceil, clamped = rem, true
+		}
+		if clamped {
+			r.tenants.Clamped(cfp.Tenant)
+		}
 	}
 	r.mu.Unlock()
 
@@ -382,6 +427,15 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 		r.mu.Unlock()
 		return ecnp.OpenResult{OK: false, Reason: "insufficient bandwidth"}
 	}
+	// Tenant quota is checked after capacity: a firm-refused request never
+	// touches the tenant ledger, and an over-quota refusal holds even in
+	// the soft scenario, where untenanted admission is unconditional.
+	if err := r.tenants.ReserveBandwidth(req.Tenant, req.Bitrate); err != nil {
+		r.stats.OpenRefusals++
+		r.met.Rejections.Inc()
+		r.mu.Unlock()
+		return ecnp.OpenResult{OK: false, Reason: err.Error()}
+	}
 	now := r.sched.Now()
 	size := units.Size(float64(req.Bitrate) * req.DurationSec)
 	// The two-queue history accumulates "the cumulative amount of
@@ -391,7 +445,7 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	r.led.Allocate(now, req.Bitrate)
 	r.led.AddAssignedBytes(size)
 	r.leaseSeq++
-	r.active[req.Request] = &reservation{rate: req.Bitrate, lastActivity: now, epoch: r.leaseSeq}
+	r.active[req.Request] = &reservation{rate: req.Bitrate, lastActivity: now, epoch: r.leaseSeq, tenant: req.Tenant}
 	r.stats.Opens++
 	r.met.Admissions.Inc()
 	r.refreshGaugesLocked()
@@ -400,7 +454,7 @@ func (r *RM) Open(req ecnp.OpenRequest) ecnp.OpenResult {
 	// The hook runs before the admission is reported, so by the time the
 	// client can stream, its throttle group exists.
 	if onAdmit != nil {
-		onAdmit(req.Request, req.Bitrate)
+		onAdmit(req.Request, req.Tenant, req.Bitrate)
 	}
 	return ecnp.OpenResult{OK: true}
 }
@@ -417,11 +471,12 @@ func (r *RM) Close(request ids.RequestID) {
 	}
 	delete(r.active, request)
 	r.led.Release(r.sched.Now(), res.rate)
+	r.tenants.ReleaseBandwidth(res.tenant, res.rate)
 	r.refreshGaugesLocked()
 	onRelease := r.onRelease
 	r.mu.Unlock()
 	if onRelease != nil {
-		onRelease(request)
+		onRelease(request, res.tenant, res.rate)
 	}
 }
 
@@ -490,7 +545,12 @@ func (r *RM) SweepLeases(now simtime.Time) int {
 			victims = append(victims, victim{req: req, epoch: res.epoch})
 		}
 	}
-	var expiredReqs []ids.RequestID
+	type expired struct {
+		req    ids.RequestID
+		tenant ids.TenantID
+		rate   units.BytesPerSec
+	}
+	var expiredReqs []expired
 	for _, v := range victims {
 		res, ok := r.active[v.req]
 		if !ok || res.epoch != v.epoch {
@@ -498,9 +558,10 @@ func (r *RM) SweepLeases(now simtime.Time) int {
 		}
 		delete(r.active, v.req)
 		r.led.Release(now, res.rate)
+		r.tenants.ReleaseBandwidth(res.tenant, res.rate)
 		r.stats.LeaseExpiries++
 		r.met.LeasesExpired.Inc()
-		expiredReqs = append(expiredReqs, v.req)
+		expiredReqs = append(expiredReqs, expired{req: v.req, tenant: res.tenant, rate: res.rate})
 	}
 	if len(expiredReqs) > 0 {
 		r.refreshGaugesLocked()
@@ -510,8 +571,8 @@ func (r *RM) SweepLeases(now simtime.Time) int {
 	// Release hooks fire outside the lock: tearing down a dead stream's
 	// throttle group is how its borrowed bandwidth returns to the pool.
 	if onRelease != nil {
-		for _, req := range expiredReqs {
-			onRelease(req)
+		for _, e := range expiredReqs {
+			onRelease(e.req, e.tenant, e.rate)
 		}
 	}
 	return len(expiredReqs)
@@ -531,7 +592,12 @@ func (r *RM) StoreFile(req ecnp.StoreRequest) error {
 	if r.info.StorageBytes > 0 && r.storageUsed+req.SizeBytes > r.info.StorageBytes {
 		return fmt.Errorf("rm: %v disk full (%v of %v used)", r.info.ID, r.storageUsed, r.info.StorageBytes)
 	}
-	meta := FileMeta{Bitrate: req.Bitrate, Size: req.SizeBytes, DurationSec: req.DurationSec}
+	// Byte quota is checked last so a refused store leaves nothing to
+	// roll back; the charge is released if the file is later deleted.
+	if err := r.tenants.ChargeBytes(req.Tenant, int64(req.SizeBytes)); err != nil {
+		return fmt.Errorf("rm: %v refuses store of %v: %w", r.info.ID, req.File, err)
+	}
+	meta := FileMeta{Bitrate: req.Bitrate, Size: req.SizeBytes, DurationSec: req.DurationSec, Tenant: req.Tenant}
 	r.files[req.File] = meta
 	r.sumDur += meta.DurationSec
 	r.storageUsed += meta.Size
@@ -654,6 +720,7 @@ func (r *RM) collectGarbage() {
 			delete(r.files, f)
 			r.sumDur -= meta.DurationSec
 			r.storageUsed -= meta.Size
+			r.tenants.ReleaseBytes(meta.Tenant, int64(meta.Size))
 			r.stats.GCEvictions++
 			r.met.GCEvictions.Inc()
 			r.refreshGaugesLocked()
@@ -889,6 +956,7 @@ func (r *RM) migrateOut(f ids.FileID) {
 		delete(r.files, f)
 		r.sumDur -= meta.DurationSec
 		r.storageUsed -= meta.Size
+		r.tenants.ReleaseBytes(meta.Tenant, int64(meta.Size))
 		r.stats.RepMigrations++
 		r.met.RepMigrations.Inc()
 		r.refreshGaugesLocked()

@@ -20,6 +20,8 @@ import (
 	"dfsqos/internal/qos"
 	"dfsqos/internal/replication"
 	"dfsqos/internal/rng"
+	"dfsqos/internal/selection"
+	"dfsqos/internal/tenant"
 	"dfsqos/internal/units"
 	"dfsqos/internal/workload"
 )
@@ -79,6 +81,31 @@ type LiveSpec struct {
 	StreamReads bool `json:"stream_reads"`
 }
 
+// TenantSpec declares one tenant of a multi-tenant scenario: which
+// slice of the client population acts for it and the per-RM quota
+// every RM's ledger enforces against it.
+type TenantSpec struct {
+	// ID is the tenant identity (real tenants are numbered from 1).
+	ID ids.TenantID `json:"id"`
+	// Clients is how many of the scenario's DFSCs act for this tenant.
+	// Tenants claim client slots in declaration order; DFSCs left over
+	// after the last tenant stay untenanted.
+	Clients int `json:"clients"`
+	// BandwidthMbps caps the tenant's concurrently reserved bandwidth
+	// on each RM, in Mbps (0: unlimited).
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+	// BytesGB caps the tenant's stored bytes on each RM (0: unlimited).
+	BytesGB float64 `json:"bytes_gb,omitempty"`
+	// Weight is the fair-share weight consumed by the selection
+	// policy's δ term (0: tenant.DefaultWeight).
+	Weight float64 `json:"weight,omitempty"`
+	// Abuser marks the tenant whose removal defines the scenario's
+	// no-abuser baseline pass: the run repeats with this tenant's
+	// requests stripped and the victims' experience in both passes is
+	// compared by the victim SLO gates.
+	Abuser bool `json:"abuser,omitempty"`
+}
+
 // Spec is one named scenario: the DES-scale shape, its transforms, the
 // optional live slice, and the SLO that gates the run.
 type Spec struct {
@@ -134,6 +161,12 @@ type Spec struct {
 	Bursts []BurstSpec `json:"bursts,omitempty"`
 	// Mix partitions requests into operation classes when non-nil.
 	Mix *workload.Mix `json:"mix,omitempty"`
+	// Policy overrides the resource-selection policy in the "(α,β,γ)"
+	// or "(α,β,γ,δ)" flag syntax; empty keeps selection.RemOnly. The
+	// four-component form enables the weighted-fairness δ term.
+	Policy string `json:"policy,omitempty"`
+	// Tenants declares the tenant population; empty runs untenanted.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
 	// SLO gates the run.
 	SLO SLO `json:"slo"`
 	// Live sizes the live-TCP slice; nil skips it.
@@ -188,11 +221,39 @@ type Result struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 	// Classes breaks latency and failures out per workload class.
 	Classes []ClassStats `json:"classes"`
+	// Tenants breaks latency and failures out per tenant; the Class
+	// field carries the tenant label ("tenant1"), with untenanted
+	// clients under "tenant0". Present only for multi-tenant specs.
+	Tenants []ClassStats `json:"tenants,omitempty"`
+	// Victims compares the non-abuser tenants' experience against the
+	// no-abuser baseline pass (present when a tenant is marked Abuser).
+	Victims *VictimStats `json:"victims,omitempty"`
 	// Live is the live-TCP slice's report, when it ran.
 	Live *LiveResult `json:"live,omitempty"`
 	// Violations lists every SLO breach; Pass is len(Violations)==0.
 	Violations []Violation `json:"violations,omitempty"`
 	Pass       bool        `json:"pass"`
+}
+
+// VictimStats compares the victims' (every non-abuser tenant's)
+// service between the real run and the no-abuser baseline pass, which
+// replays the identical pattern minus the abuser's requests on an
+// otherwise identical cluster. Quota isolation working means the two
+// columns are (near) identical; the victim SLO gates key on that.
+type VictimStats struct {
+	// FailRate and P99Ms are the victims' experience with the abuser
+	// present.
+	FailRate float64 `json:"fail_rate"`
+	P99Ms    float64 `json:"p99_ms"`
+	// BaselineFailRate and BaselineP99Ms are the same victims replayed
+	// without the abuser's traffic.
+	BaselineFailRate float64 `json:"baseline_fail_rate"`
+	BaselineP99Ms    float64 `json:"baseline_p99_ms"`
+	// Requests and BaselineRequests count the victims' requests in the
+	// two passes (equal by construction — only abuser traffic is
+	// stripped).
+	Requests         int64 `json:"requests"`
+	BaselineRequests int64 `json:"baseline_requests"`
 }
 
 // classOf labels a request for the recorder: its explicit class, or the
@@ -312,6 +373,40 @@ func Run(spec Spec, opts Options) (*Result, error) {
 	if spec.RepNRep > 0 {
 		cfg.Replication = replication.DefaultConfig(replication.Rep(spec.RepNRep, spec.RepNMaxR))
 	}
+	if spec.Policy != "" {
+		pol, err := selection.ParsePolicy(spec.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		cfg.Policy = pol
+	}
+	abusers := make(map[ids.TenantID]bool)
+	if len(spec.Tenants) > 0 {
+		cfg.TenantQuotas = make(map[ids.TenantID]tenant.Quota, len(spec.Tenants))
+		assign := make([]ids.TenantID, spec.DFSCs)
+		next := 0
+		for _, ts := range spec.Tenants {
+			q := tenant.Unlimited
+			if ts.BandwidthMbps > 0 {
+				q.Bandwidth = units.Mbps(ts.BandwidthMbps)
+			}
+			if ts.BytesGB > 0 {
+				q.Bytes = int64(ts.BytesGB * float64(units.GB))
+			}
+			if ts.Weight > 0 {
+				q.Weight = ts.Weight
+			}
+			cfg.TenantQuotas[ts.ID] = q
+			if ts.Abuser {
+				abusers[ts.ID] = true
+			}
+			for i := 0; i < ts.Clients && next < len(assign); i++ {
+				assign[next] = ts.ID
+				next++
+			}
+		}
+		cfg.ClientTenants = assign
+	}
 	cfg.Seed = opts.Seed
 	// Sample allocated bandwidth at 64 points across the horizon for the
 	// aggregate-utilization figure.
@@ -334,9 +429,21 @@ func Run(spec Spec, opts Options) (*Result, error) {
 		spec.Name, users, p.Len(), horizon, len(cfg.RMCapacities))
 
 	rec := NewRecorder()
+	var tenantRec, victimRec *Recorder
+	if len(spec.Tenants) > 0 {
+		tenantRec = NewRecorder()
+		victimRec = NewRecorder()
+	}
 	start := time.Now()
 	res, err := cl.RunWithObserver(func(req workload.Request, out dfsc.Outcome, wall time.Duration) {
 		rec.Observe(classOf(req), wall, out.OK)
+		if tenantRec != nil {
+			tn := cfg.TenantOf(req.DFSC)
+			tenantRec.Observe(tn.String(), wall, out.OK)
+			if tn.Valid() && !abusers[tn] {
+				victimRec.Observe("victims", wall, out.OK)
+			}
+		}
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
@@ -384,6 +491,23 @@ func Run(spec Spec, opts Options) (*Result, error) {
 			r.WorkUtilization = assuredByteSecs / (capacity * horizon)
 		}
 	}
+	if tenantRec != nil {
+		r.Tenants = tenantRec.Stats()
+	}
+
+	if len(abusers) > 0 {
+		vict := victimStatsOf(victimRec)
+		base, err := runVictimBaseline(spec, cfg, opts, horizon, users, abusers)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: baseline pass: %w", spec.Name, err)
+		}
+		vict.BaselineFailRate = base.FailRate
+		vict.BaselineP99Ms = base.P99Ms
+		vict.BaselineRequests = base.Requests
+		r.Victims = &vict
+		opts.logf("scenario %s: victims fail rate %.4f (baseline %.4f), p99 %.3fms (baseline %.3fms)",
+			spec.Name, vict.FailRate, vict.BaselineFailRate, vict.P99Ms, vict.BaselineP99Ms)
+	}
 
 	if spec.Live != nil && !opts.SkipLive {
 		lr, err := runLive(spec, opts)
@@ -398,7 +522,58 @@ func Run(spec Spec, opts Options) (*Result, error) {
 	return r, nil
 }
 
-// Builtin returns the named scenario catalog: the four canonical load
+// victimStatsOf extracts the victims' fail rate and p99 from the
+// single-class "victims" recorder.
+func victimStatsOf(rec *Recorder) VictimStats {
+	var v VictimStats
+	for _, c := range rec.Stats() {
+		if c.Class == "victims" {
+			v.FailRate = c.FailRate()
+			v.P99Ms = c.P99Ms
+			v.Requests = c.Count
+		}
+	}
+	return v
+}
+
+// runVictimBaseline replays the scenario on an identically built and
+// seeded cluster with every abuser-tenant request stripped from the
+// pattern, and returns the victims' experience in that quiet world.
+// Build and applyShape re-derive the same streams from the master seed,
+// so the baseline's victims see byte-identical traffic — the only
+// difference is the abuser's absence.
+func runVictimBaseline(spec Spec, cfg cluster.Config, opts Options, horizon float64, users int, abusers map[ids.TenantID]bool) (VictimStats, error) {
+	cl, err := cluster.Build(cfg)
+	if err != nil {
+		return VictimStats{}, err
+	}
+	src := rng.New(opts.Seed).Split("scenario/" + spec.Name)
+	p := cl.Pattern()
+	if err := applyShape(spec, p, cl.Catalog(), src, horizon, users); err != nil {
+		return VictimStats{}, err
+	}
+	kept := make([]workload.Request, 0, len(p.Requests))
+	for _, req := range p.Requests {
+		if !abusers[cfg.TenantOf(req.DFSC)] {
+			kept = append(kept, req)
+		}
+	}
+	if err := cl.UsePattern(&workload.Pattern{Config: p.Config, Requests: kept}); err != nil {
+		return VictimStats{}, err
+	}
+	rec := NewRecorder()
+	if _, err := cl.RunWithObserver(func(req workload.Request, out dfsc.Outcome, wall time.Duration) {
+		tn := cfg.TenantOf(req.DFSC)
+		if tn.Valid() && !abusers[tn] {
+			rec.Observe("victims", wall, out.OK)
+		}
+	}); err != nil {
+		return VictimStats{}, err
+	}
+	return victimStatsOf(rec), nil
+}
+
+// Builtin returns the named scenario catalog: the five canonical load
 // shapes the acceptance gates run. Find(name) retrieves one.
 func Builtin() []Spec {
 	return []Spec{
@@ -520,6 +695,47 @@ func Builtin() []Spec {
 				MinWorkUtilization: 0.04,
 				MaxLiveFailRate:    0.60,
 				MaxLiveP99Sec:      30,
+			},
+			Live: &LiveSpec{
+				Users: 48, ShortUsers: 24,
+				RMs: 4, Files: 24,
+				HorizonSec:     240,
+				MeanArrivalSec: 40,
+				TimeScale:      50,
+				MaxInflight:    16,
+			},
+		},
+		{
+			Name:        "noisy-neighbor",
+			Description: "Two tenants split the client population in half; the abuser is bandwidth-capped at 2 Mbps per RM under the weighted-fairness policy (1,0,0,2) while the victim tenant runs unlimited, and a no-abuser baseline pass proves quota isolation: the victims' fail rate may not rise and the abuser's must show the quota biting.",
+			Users:       100_000, ShortUsers: 2_000,
+			DFSCs:          64,
+			MeanArrivalSec: 600,
+			HorizonSec:     600, ShortHorizonSec: 300,
+			Files:           2_000,
+			MeanDurationSec: 60, MinDurationSec: 15, MaxDurationSec: 180,
+			TopologyScale: 32, ShortTopologyScale: 1,
+			Policy: "(1,0,0,2)",
+			Tenants: []TenantSpec{
+				{ID: 1, Clients: 32, BandwidthMbps: 2, Weight: 1, Abuser: true},
+				{ID: 2, Clients: 32, Weight: 4},
+			},
+			SLO: SLO{
+				MaxP50Sec:      0.050,
+				MaxP99Sec:      0.250,
+				MaxP999Sec:     1.0,
+				MaxFailRate:    0.80,
+				MinUtilization: 0.02,
+				PerTenant: []TenantSLO{
+					// The quota must actually bite the abuser...
+					{Tenant: 1, MinFailRate: 0.05},
+					// ...while the victim tenant sails through.
+					{Tenant: 2, MaxFailRate: 0.01, MaxP99Sec: 0.250},
+				},
+				MaxVictimFailRateDelta: 0.005,
+				MaxVictimP99Sec:        0.250,
+				MaxLiveFailRate:        0.60,
+				MaxLiveP99Sec:          30,
 			},
 			Live: &LiveSpec{
 				Users: 48, ShortUsers: 24,

@@ -102,6 +102,55 @@ func TestSLOCheck(t *testing.T) {
 	}
 }
 
+func TestSLOCheckPerTenant(t *testing.T) {
+	res := &Result{
+		Name: "t",
+		Tenants: []ClassStats{
+			{Class: "tenant1", Count: 100, Failed: 60, P99Ms: 5},
+			{Class: "tenant2", Count: 100, Failed: 0, P99Ms: 400},
+		},
+		Victims: &VictimStats{
+			FailRate: 0.05, BaselineFailRate: 0.01,
+			P99Ms: 400, BaselineP99Ms: 10,
+		},
+	}
+	cases := []struct {
+		slo    SLO
+		metric string
+	}{
+		// The victim tenant's p99 trips its ceiling.
+		{SLO{PerTenant: []TenantSLO{{Tenant: 2, MaxP99Sec: 0.250}}}, "p99"},
+		// The abuser's fail rate trips its ceiling.
+		{SLO{PerTenant: []TenantSLO{{Tenant: 1, MaxFailRate: 0.5}}}, "fail_rate"},
+		// An abuser below its fail-rate floor means quotas never bit.
+		{SLO{PerTenant: []TenantSLO{{Tenant: 2, MinFailRate: 0.05}}}, "fail_rate_floor"},
+		// Victims degraded vs the no-abuser baseline.
+		{SLO{MaxVictimFailRateDelta: 0.02}, "fail_rate_delta"},
+		{SLO{MaxVictimP99Sec: 0.250}, "p99"},
+	}
+	for _, c := range cases {
+		vs := c.slo.Check(res)
+		if len(vs) != 1 {
+			t.Fatalf("%+v produced %d violations, want 1: %v", c.slo, len(vs), vs)
+		}
+		if vs[0].Metric != c.metric {
+			t.Fatalf("%+v tripped %q, want %q", c.slo, vs[0].Metric, c.metric)
+		}
+	}
+	// A satisfied tenant SLO produces nothing.
+	ok := SLO{
+		PerTenant: []TenantSLO{
+			{Tenant: 1, MinFailRate: 0.5},
+			{Tenant: 2, MaxFailRate: 0.01, MaxP99Sec: 0.5},
+		},
+		MaxVictimFailRateDelta: 0.1,
+		MaxVictimP99Sec:        0.5,
+	}
+	if vs := ok.Check(res); len(vs) != 0 {
+		t.Fatalf("satisfied tenant SLO produced violations: %v", vs)
+	}
+}
+
 // testSpec is a scaled-down scenario exercising every transform: Zipf
 // redraw, tide, burst and mix, over the paper topology.
 func testSpec() Spec {
@@ -124,6 +173,90 @@ func testSpec() Spec {
 			{Class: "metadata", Op: workload.OpMeta, Fraction: 0.2},
 		}},
 		SLO: SLO{MaxFailRate: 0.9},
+	}
+}
+
+// tenantSpec is a scaled-down two-tenant scenario: the abuser holds
+// half the clients under a per-RM bandwidth cap tight enough to refuse
+// most of its accesses, the victim tenant runs unlimited, and the
+// victim gates compare against the no-abuser baseline pass.
+func tenantSpec() Spec {
+	return Spec{
+		Name:            "tenant-mini",
+		Users:           300,
+		DFSCs:           8,
+		MeanArrivalSec:  60,
+		HorizonSec:      240,
+		Files:           200,
+		MeanDurationSec: 30, MinDurationSec: 10, MaxDurationSec: 60,
+		TopologyScale: 1,
+		Policy:        "(1,0,0,2)",
+		Tenants: []TenantSpec{
+			{ID: 1, Clients: 4, BandwidthMbps: 0.5, Abuser: true},
+			{ID: 2, Clients: 4, Weight: 4},
+		},
+		SLO: SLO{
+			MaxFailRate: 0.95,
+			PerTenant: []TenantSLO{
+				{Tenant: 1, MinFailRate: 0.05},
+				{Tenant: 2, MaxFailRate: 0.01},
+			},
+			MaxVictimFailRateDelta: 0.005,
+			MaxVictimP99Sec:        1.0,
+		},
+	}
+}
+
+func TestRunMultiTenantIsolation(t *testing.T) {
+	res, err := Run(tenantSpec(), Options{Seed: 3, SkipLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("got %d tenant rows, want 2: %+v", len(res.Tenants), res.Tenants)
+	}
+	byLabel := map[string]ClassStats{}
+	for _, c := range res.Tenants {
+		byLabel[c.Class] = c
+	}
+	abuser, victim := byLabel["tenant1"], byLabel["tenant2"]
+	if abuser.Count == 0 || victim.Count == 0 {
+		t.Fatalf("a tenant dispatched nothing: %+v", res.Tenants)
+	}
+	if abuser.FailRate() < 0.05 {
+		t.Fatalf("abuser fail rate %.4f: the quota never bit", abuser.FailRate())
+	}
+	if victim.FailRate() > 0.01 {
+		t.Fatalf("victim fail rate %.4f: isolation leaked", victim.FailRate())
+	}
+	if res.Victims == nil {
+		t.Fatal("no victim baseline comparison on an abuser scenario")
+	}
+	v := res.Victims
+	if v.Requests == 0 || v.Requests != v.BaselineRequests {
+		t.Fatalf("victim request counts diverged: %d vs baseline %d", v.Requests, v.BaselineRequests)
+	}
+	// The DES is deterministic, so with working isolation the victims'
+	// fail rate must match the quiet world exactly.
+	if v.FailRate != v.BaselineFailRate {
+		t.Fatalf("victims fail rate %.4f vs baseline %.4f", v.FailRate, v.BaselineFailRate)
+	}
+	if !res.Pass {
+		t.Fatalf("tenant scenario violated its SLO: %v", res.Violations)
+	}
+	// The same run with quotas lifted must stop tripping the abuser's
+	// refusal floor — proving the fail rate above came from the ledger.
+	open := tenantSpec()
+	open.Tenants[0].BandwidthMbps = 0
+	open.SLO.PerTenant = nil
+	openRes, err := Run(open, Options{Seed: 3, SkipLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range openRes.Tenants {
+		if c.Class == "tenant1" && c.FailRate() > abuser.FailRate()/2 {
+			t.Fatalf("uncapped abuser still fails at %.4f (capped: %.4f)", c.FailRate(), abuser.FailRate())
+		}
 	}
 }
 
@@ -226,7 +359,7 @@ func TestBuiltinSpecsAreRunnable(t *testing.T) {
 			t.Fatalf("%s has no live-TCP slice", s.Name)
 		}
 	}
-	for _, want := range []string{"zipfian-hotset", "flash-crowd", "diurnal-tide", "mixed-storm"} {
+	for _, want := range []string{"zipfian-hotset", "flash-crowd", "diurnal-tide", "mixed-storm", "noisy-neighbor"} {
 		if _, err := Find(want); err != nil {
 			t.Fatal(err)
 		}

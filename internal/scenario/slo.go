@@ -1,6 +1,10 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+
+	"dfsqos/internal/ids"
+)
 
 // SLO is one scenario's declarative service-level objective: ceilings on
 // tail latency and failure, floors on utilization. A zero field disables
@@ -35,6 +39,33 @@ type SLO struct {
 	MaxLiveP99Sec   float64 `json:"max_live_p99_sec,omitempty"`
 	MaxLiveP999Sec  float64 `json:"max_live_p999_sec,omitempty"`
 	MaxLiveFailRate float64 `json:"max_live_fail_rate,omitempty"`
+	// PerTenant gates individual tenants of a multi-tenant scenario
+	// (checked against Result.Tenants).
+	PerTenant []TenantSLO `json:"per_tenant,omitempty"`
+	// MaxVictimFailRateDelta caps how much the victims' (non-abuser
+	// tenants') fail rate may rise over the no-abuser baseline pass.
+	// The DES is deterministic per seed, so this is an exact gate:
+	// quota isolation working means the delta is (near) zero. Checked
+	// only when a tenant is marked Abuser.
+	MaxVictimFailRateDelta float64 `json:"max_victim_fail_rate_delta,omitempty"`
+	// MaxVictimP99Sec absolutely caps the victims' p99 latency with
+	// the abuser present.
+	MaxVictimP99Sec float64 `json:"max_victim_p99_sec,omitempty"`
+}
+
+// TenantSLO is one tenant's gate inside a multi-tenant scenario: the
+// usual ceilings plus — for the abuser — a fail-rate floor proving
+// enforcement actually engaged.
+type TenantSLO struct {
+	// Tenant selects which tenant the gate applies to.
+	Tenant ids.TenantID `json:"tenant"`
+	// MaxP99Sec and MaxFailRate cap this tenant's latency and failure.
+	MaxP99Sec   float64 `json:"max_p99_sec,omitempty"`
+	MaxFailRate float64 `json:"max_fail_rate,omitempty"`
+	// MinFailRate asserts throttling bit: an abusive tenant whose fail
+	// rate stays below this floor means the quota never refused
+	// anything, i.e. the scenario did not actually test enforcement.
+	MinFailRate float64 `json:"min_fail_rate,omitempty"`
 }
 
 // Violation is one SLO breach: which scenario, which class (empty for
@@ -92,6 +123,26 @@ func (s SLO) Check(r *Result) []Violation {
 			vs = ceil(vs, r.Name, "live/"+c.Class, "p999", c.P999Ms/1e3, s.MaxLiveP999Sec)
 		}
 		vs = ceil(vs, r.Name, "live", "fail_rate", r.Live.FailRate, s.MaxLiveFailRate)
+	}
+	for _, ts := range s.PerTenant {
+		label := ts.Tenant.String()
+		for _, c := range r.Tenants {
+			if c.Class != label {
+				continue
+			}
+			vs = ceil(vs, r.Name, label, "p99", c.P99Ms/1e3, ts.MaxP99Sec)
+			vs = ceil(vs, r.Name, label, "fail_rate", c.FailRate(), ts.MaxFailRate)
+			if ts.MinFailRate > 0 && c.FailRate() < ts.MinFailRate {
+				vs = append(vs, Violation{Scenario: r.Name, Class: label,
+					Metric: "fail_rate_floor", Value: c.FailRate(), Limit: ts.MinFailRate})
+			}
+		}
+	}
+	if r.Victims != nil {
+		v := r.Victims
+		vs = ceil(vs, r.Name, "victims", "fail_rate_delta",
+			v.FailRate-v.BaselineFailRate, s.MaxVictimFailRateDelta)
+		vs = ceil(vs, r.Name, "victims", "p99", v.P99Ms/1e3, s.MaxVictimP99Sec)
 	}
 	return vs
 }

@@ -2,7 +2,7 @@
 // (§IV): every eligible RM answers a Call-For-Proposal with a bid, and the
 // DFSC scores each bid as
 //
-//	Bid = α·B_rem + β·Trend − γ·(OccBias · B_req)
+//	Bid = α·B_rem + β·Trend − γ·(OccBias · B_req) − δ·(TenantShare · B_req)
 //
 // where B_rem is the RM's remaining bandwidth, Trend is the two-queue
 // historical prediction term (see package history), OccBias =
@@ -11,6 +11,15 @@
 // the bandwidth the request needs. Higher scores win. The weights are the
 // policy triple (α,β,γ) with α ≥ β ≥ γ in the paper's experiments; (0,0,0)
 // denotes uniform-random selection with no policy involved.
+//
+// The fourth, multi-tenant term extends the paper: TenantShare ∈ [0, ∞) is
+// the requesting tenant's weight-normalised share of the bidder's capacity
+// ((reserved/capacity)/weight, see tenant.Ledger.Share). With δ > 0 a
+// tenant already holding much of an RM scores that RM down for its own next
+// stream, steering the noisy tenant's streams onto each other's RMs while
+// leaving quiet tenants' scores untouched — weighted fairness emerging from
+// bid scoring rather than from a central queue. δ = 0 (the default and
+// every canonical paper policy) reproduces the three-term formula exactly.
 package selection
 
 import (
@@ -24,18 +33,23 @@ import (
 	"dfsqos/internal/units"
 )
 
-// Policy is the (α, β, γ) weight triple.
+// Policy is the (α, β, γ) weight triple, optionally extended with the
+// multi-tenant fairness weight δ (zero in every canonical paper policy).
 type Policy struct {
 	Alpha, Beta, Gamma float64
+	// Delta weighs the tenant-share penalty: how strongly a tenant's
+	// existing footprint on a bidder counts against that bidder for the
+	// tenant's next stream. Zero disables the term.
+	Delta float64
 }
 
 // Canonical policies evaluated in the paper.
 var (
-	Random   = Policy{0, 0, 0}
-	RemOnly  = Policy{1, 0, 0}
-	RemOcc   = Policy{1, 0, 1}
-	RemTrend = Policy{1, 1, 0}
-	Full     = Policy{1, 1, 1}
+	Random   = Policy{Alpha: 0, Beta: 0, Gamma: 0}
+	RemOnly  = Policy{Alpha: 1, Beta: 0, Gamma: 0}
+	RemOcc   = Policy{Alpha: 1, Beta: 0, Gamma: 1}
+	RemTrend = Policy{Alpha: 1, Beta: 1, Gamma: 0}
+	Full     = Policy{Alpha: 1, Beta: 1, Gamma: 1}
 )
 
 // PaperPolicies returns the five policies of Tables I-IV in paper order.
@@ -44,25 +58,34 @@ func PaperPolicies() []Policy {
 }
 
 // IsRandom reports whether the policy is (0,0,0), i.e. "choosing the RM
-// randomly without any selection policy being involved".
-func (p Policy) IsRandom() bool { return p.Alpha == 0 && p.Beta == 0 && p.Gamma == 0 }
-
-// String renders the policy as the paper writes it, e.g. "(1,0,0)".
-func (p Policy) String() string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	return "(" + f(p.Alpha) + "," + f(p.Beta) + "," + f(p.Gamma) + ")"
+// randomly without any selection policy being involved". A pure-fairness
+// policy (0,0,0,δ) still scores, so it is not random.
+func (p Policy) IsRandom() bool {
+	return p.Alpha == 0 && p.Beta == 0 && p.Gamma == 0 && p.Delta == 0
 }
 
-// ParsePolicy parses "(1,0,0)" or "1,0,0" into a Policy.
+// String renders the policy as the paper writes it, e.g. "(1,0,0)". A
+// non-zero δ appends the fourth component: "(1,1,1,0.5)".
+func (p Policy) String() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	s := "(" + f(p.Alpha) + "," + f(p.Beta) + "," + f(p.Gamma)
+	if p.Delta != 0 {
+		s += "," + f(p.Delta)
+	}
+	return s + ")"
+}
+
+// ParsePolicy parses "(1,0,0)" or "1,0,0" into a Policy. A fourth
+// component, when present, is the tenant-fairness weight δ.
 func ParsePolicy(s string) (Policy, error) {
 	t := strings.TrimSpace(s)
 	t = strings.TrimPrefix(t, "(")
 	t = strings.TrimSuffix(t, ")")
 	parts := strings.Split(t, ",")
-	if len(parts) != 3 {
-		return Policy{}, fmt.Errorf("selection: policy %q must have three components", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		return Policy{}, fmt.Errorf("selection: policy %q must have three or four components", s)
 	}
-	var vals [3]float64
+	var vals [4]float64
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
@@ -73,7 +96,7 @@ func ParsePolicy(s string) (Policy, error) {
 		}
 		vals[i] = v
 	}
-	return Policy{vals[0], vals[1], vals[2]}, nil
+	return Policy{Alpha: vals[0], Beta: vals[1], Gamma: vals[2], Delta: vals[3]}, nil
 }
 
 // Bid carries the factors an RM reports in response to a CFP, plus the
@@ -106,6 +129,11 @@ type Bid struct {
 	// enforcement tree still guarantees previously-admitted floors. Zero
 	// means the bidder did not advertise a ratio (legacy bid).
 	Ceil units.BytesPerSec
+	// TenantShare is the requesting tenant's weight-normalised share of
+	// the bidder's capacity, (reserved/capacity)/weight, reported by the
+	// bidder's tenant ledger. Zero for untenanted requests or bidders
+	// without a ledger, so three-term policies score identically.
+	TenantShare float64
 }
 
 // OccupationBias computes exp(−tOcpAvg/tOcp), the paper's occupation bias
@@ -126,7 +154,9 @@ func OccupationBias(tOcp, tOcpAvg float64) float64 {
 
 // Score evaluates the bid under the policy. Higher is better.
 func (p Policy) Score(b Bid) float64 {
-	return p.Alpha*float64(b.Rem) + p.Beta*b.Trend - p.Gamma*(b.OccBias*float64(b.Req))
+	return p.Alpha*float64(b.Rem) + p.Beta*b.Trend -
+		p.Gamma*(b.OccBias*float64(b.Req)) -
+		p.Delta*(b.TenantShare*float64(b.Req))
 }
 
 // Select picks the winning RM among the bids under the policy. For the

@@ -18,7 +18,8 @@ func TestPolicyString(t *testing.T) {
 		{Random, "(0,0,0)"},
 		{RemOnly, "(1,0,0)"},
 		{Full, "(1,1,1)"},
-		{Policy{0.5, 0.25, 0}, "(0.5,0.25,0)"},
+		{Policy{Alpha: 0.5, Beta: 0.25}, "(0.5,0.25,0)"},
+		{Policy{Alpha: 1, Beta: 1, Gamma: 1, Delta: 0.5}, "(1,1,1,0.5)"},
 	}
 	for _, c := range cases {
 		if got := c.p.String(); got != c.want {
@@ -35,7 +36,10 @@ func TestParsePolicy(t *testing.T) {
 		{"(1,0,0)", RemOnly},
 		{"1,1,1", Full},
 		{" ( 0 , 0 , 0 ) ", Random},
-		{"(0.5,0.2,0.1)", Policy{0.5, 0.2, 0.1}},
+		{"(0.5,0.2,0.1)", Policy{Alpha: 0.5, Beta: 0.2, Gamma: 0.1}},
+		{"(1,0,0,0)", RemOnly},
+		{"(1,1,1,2)", Policy{Alpha: 1, Beta: 1, Gamma: 1, Delta: 2}},
+		{"1,1,1,0.5", Policy{Alpha: 1, Beta: 1, Gamma: 1, Delta: 0.5}},
 	}
 	for _, c := range cases {
 		got, err := ParsePolicy(c.in)
@@ -47,7 +51,7 @@ func TestParsePolicy(t *testing.T) {
 			t.Errorf("ParsePolicy(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
-	for _, in := range []string{"", "(1,0)", "(1,0,0,0)", "(a,0,0)", "(-1,0,0)"} {
+	for _, in := range []string{"", "(1,0)", "(1,0,0,0,0)", "(a,0,0)", "(-1,0,0)", "(1,0,0,-1)", "(1,0,0,x)"} {
 		if _, err := ParsePolicy(in); err == nil {
 			t.Errorf("ParsePolicy(%q): expected error", in)
 		}
@@ -69,6 +73,10 @@ func TestIsRandom(t *testing.T) {
 	}
 	if RemOnly.IsRandom() {
 		t.Error("(1,0,0) detected as random")
+	}
+	// A pure-fairness policy still scores bids, so it is not random.
+	if (Policy{Delta: 1}).IsRandom() {
+		t.Error("(0,0,0,1) detected as random")
 	}
 }
 
@@ -115,6 +123,32 @@ func TestScoreComposition(t *testing.T) {
 	}
 	if got := Random.Score(b); got != 0 {
 		t.Fatalf("(0,0,0) score = %v, want 0", got)
+	}
+}
+
+// TestScoreTenantShare pins the δ term: a tenant's existing share of the
+// bidder scales a penalty proportional to the requested bandwidth, and
+// δ = 0 policies ignore the share entirely.
+func TestScoreTenantShare(t *testing.T) {
+	fair := Policy{Alpha: 1, Delta: 2}
+	b := Bid{RM: 1, Rem: 100, Req: 10, TenantShare: 0.5}
+	if got := fair.Score(b); got != 100-2*0.5*10 {
+		t.Fatalf("(1,0,0,2) score = %v, want 90", got)
+	}
+	if got := RemOnly.Score(b); got != 100 {
+		t.Fatalf("δ=0 policy must ignore TenantShare, score = %v", got)
+	}
+	// With equal Rem, the tenant's next stream must prefer the RM where
+	// the tenant holds less.
+	heavy := Bid{RM: 1, Rem: 100, Req: 10, TenantShare: 0.8}
+	light := Bid{RM: 2, Rem: 100, Req: 10, TenantShare: 0.1}
+	if fair.Score(light) <= fair.Score(heavy) {
+		t.Fatalf("fairness term did not prefer the lighter RM: %v <= %v",
+			fair.Score(light), fair.Score(heavy))
+	}
+	rm, ok := Select(fair, []Bid{heavy, light}, rng.New(3))
+	if !ok || rm != 2 {
+		t.Fatalf("Select under δ policy = (%v, %v), want RM2", rm, ok)
 	}
 }
 

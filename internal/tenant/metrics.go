@@ -1,0 +1,109 @@
+package tenant
+
+import (
+	"dfsqos/internal/ids"
+	"dfsqos/internal/telemetry"
+	"dfsqos/internal/units"
+)
+
+// Metrics is the per-tenant telemetry surface, labelled by tenant so one
+// scrape shows who is consuming what — the PR 2 label plumbing the
+// ROADMAP promised would make per-tenant observability "nearly free".
+// Build one with NewMetrics and attach it via Ledger.SetMetrics (the RM
+// daemons do); a nil *Metrics is a no-op sink.
+type Metrics struct {
+	// ReservedBandwidth gauges each tenant's reserved bandwidth in
+	// flight (dfsqos_tenant_reserved_bandwidth_bytes_per_second{tenant}).
+	ReservedBandwidth *telemetry.GaugeVec
+	// Streams gauges each tenant's open reservations
+	// (dfsqos_tenant_streams{tenant}).
+	Streams *telemetry.GaugeVec
+	// StoredBytes gauges each tenant's charged replica bytes
+	// (dfsqos_tenant_stored_bytes{tenant}).
+	StoredBytes *telemetry.GaugeVec
+	// Admissions counts quota-checked reservations granted
+	// (dfsqos_tenant_admissions_total{tenant}).
+	Admissions *telemetry.CounterVec
+	// Rejections counts typed over-quota refusals, both dimensions
+	// (dfsqos_tenant_rejections_total{tenant}).
+	Rejections *telemetry.CounterVec
+	// BidClamps counts CFP bids clamped down to the tenant's remaining
+	// bandwidth quota (dfsqos_tenant_bid_clamps_total{tenant}).
+	BidClamps *telemetry.CounterVec
+	// ChargedBytes counts bytes charged against byte quotas
+	// (dfsqos_tenant_charged_bytes_total{tenant}).
+	ChargedBytes *telemetry.CounterVec
+}
+
+// NewMetrics registers the tenant metric families on reg (nil reg yields
+// live no-op instruments, the PR 2 contract).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		ReservedBandwidth: reg.NewGaugeVec("dfsqos_tenant_reserved_bandwidth_bytes_per_second",
+			"Reserved bandwidth in flight per tenant.", "tenant"),
+		Streams: reg.NewGaugeVec("dfsqos_tenant_streams",
+			"Open QoS reservations per tenant.", "tenant"),
+		StoredBytes: reg.NewGaugeVec("dfsqos_tenant_stored_bytes",
+			"Stored replica bytes charged per tenant.", "tenant"),
+		Admissions: reg.NewCounterVec("dfsqos_tenant_admissions_total",
+			"Quota-checked reservations granted per tenant.", "tenant"),
+		Rejections: reg.NewCounterVec("dfsqos_tenant_rejections_total",
+			"Over-quota refusals per tenant (bandwidth or bytes).", "tenant"),
+		BidClamps: reg.NewCounterVec("dfsqos_tenant_bid_clamps_total",
+			"Bids clamped to the tenant's remaining bandwidth quota.", "tenant"),
+		ChargedBytes: reg.NewCounterVec("dfsqos_tenant_charged_bytes_total",
+			"Bytes charged against tenant byte quotas.", "tenant"),
+	}
+}
+
+// Clamped counts one bid clamped to the tenant's remaining quota.
+func (m *Metrics) Clamped(t ids.TenantID) {
+	if m == nil {
+		return
+	}
+	m.BidClamps.With(t.String()).Inc()
+}
+
+func (m *Metrics) admitted(t ids.TenantID, bw units.BytesPerSec, streams int) {
+	if m == nil {
+		return
+	}
+	label := t.String()
+	m.Admissions.With(label).Inc()
+	m.ReservedBandwidth.With(label).Set(float64(bw))
+	m.Streams.With(label).Set(float64(streams))
+}
+
+func (m *Metrics) released(t ids.TenantID, bw units.BytesPerSec, streams int) {
+	if m == nil {
+		return
+	}
+	label := t.String()
+	m.ReservedBandwidth.With(label).Set(float64(bw))
+	m.Streams.With(label).Set(float64(streams))
+}
+
+func (m *Metrics) rejected(t ids.TenantID) {
+	if m == nil {
+		return
+	}
+	m.Rejections.With(t.String()).Inc()
+}
+
+func (m *Metrics) bytesCharged(t ids.TenantID, n, total int64) {
+	if m == nil {
+		return
+	}
+	label := t.String()
+	if n > 0 {
+		m.ChargedBytes.With(label).Add(uint64(n))
+	}
+	m.StoredBytes.With(label).Set(float64(total))
+}
+
+func (m *Metrics) bytesReleased(t ids.TenantID, total int64) {
+	if m == nil {
+		return
+	}
+	m.StoredBytes.With(t.String()).Set(float64(total))
+}

@@ -83,6 +83,9 @@ type Record struct {
 	Request ids.RequestID `json:"request,omitempty"`
 	Offset  int64         `json:"offset,omitempty"`
 	Bytes   int64         `json:"bytes,omitempty"`
+	// Tenant tags the requesting tenant (0 = untenanted), so /traces can
+	// be filtered per tenant during an abusive-tenant incident.
+	Tenant ids.TenantID `json:"tenant,omitempty"`
 
 	Start time.Time     `json:"start"`
 	Dur   time.Duration `json:"dur_ns"`
@@ -150,6 +153,14 @@ func (s *Span) SetOffset(off int64) *Span {
 func (s *Span) SetBytes(n int64) *Span {
 	if s != nil {
 		s.rec.Bytes = n
+	}
+	return s
+}
+
+// SetTenant records the requesting tenant on the span.
+func (s *Span) SetTenant(t ids.TenantID) *Span {
+	if s != nil {
+		s.rec.Tenant = t
 	}
 	return s
 }

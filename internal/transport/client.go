@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"dfsqos/internal/ids"
 	"dfsqos/internal/wire"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// call latency, error classes). Nil uses a process-wide no-op sink,
 	// so instrumentation costs a few uncollected atomic ops.
 	Metrics *Metrics
+	// Tenant stamps every connection this client dials with a tenant
+	// identity: frames written on them carry the tenant slot (wire codec
+	// tag 3), so servers can attribute control calls and data streams to
+	// the tenant without any per-message field. Zero (the default) leaves
+	// connections untenanted.
+	Tenant ids.TenantID
 }
 
 // DefaultConfig returns the stock tuning: 2s dials, 5s calls, 4 pooled
@@ -281,7 +288,9 @@ func (c *Client) dial(ctx context.Context) (*Conn, error) {
 		return nil, &ConnError{Op: "dial", Peer: c.addr, Err: ErrClosed}
 	}
 	c.cfg.Metrics.CheckoutsDial.Inc()
-	return &Conn{nc: nc, W: wire.NewConn(nc)}, nil
+	w := wire.NewConn(nc)
+	w.SetTenant(c.cfg.Tenant)
+	return &Conn{nc: nc, W: w}, nil
 }
 
 // backoffLocked computes the next redial delay: BackoffBase doubled per

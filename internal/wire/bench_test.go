@@ -157,6 +157,67 @@ func BenchmarkDecodeChunkTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeChunkTenant is BenchmarkEncodeChunk on a
+// tenant-stamped connection: every frame carries the 4-byte tenant slot
+// plus the 16-byte trace slot (codec tag 3). The fast sub-benchmark is
+// gated at 0 allocs/op like its untagged siblings: tenancy must not put
+// allocations back on the data plane.
+func BenchmarkEncodeChunkTenant(b *testing.B) {
+	data := chunkData()
+	tc := trace.SpanContext{Trace: 42, Span: 7}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := NewConn(discardRW{})
+			c.SetFastPath(mode.fast)
+			c.SetTenant(3)
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.WriteChunkTraced(tc, int64(i)*benchChunk, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeChunkTenant decodes tenant-tagged chunk frames; the
+// fast path must stay 0 allocs/op (bench gate).
+func BenchmarkDecodeChunkTenant(b *testing.B) {
+	data := chunkData()
+	tc := trace.SpanContext{Trace: 42, Span: 7}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"gob", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			w := NewConn(&buf)
+			w.SetFastPath(mode.fast)
+			w.SetTenant(3)
+			if err := w.WriteChunkTraced(tc, 0, data); err != nil {
+				b.Fatal(err)
+			}
+			r := NewConn(&loopRW{frame: buf.Bytes()})
+			r.SetAcceptBinary(true)
+			b.SetBytes(benchChunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg, err := r.Read()
+				if err != nil {
+					b.Fatal(err)
+				}
+				msg.Release()
+			}
+		})
+	}
+}
+
 // BenchmarkRoundTrip measures encode + decode through an in-memory stream,
 // the full per-frame codec cost without network effects.
 func BenchmarkRoundTrip(b *testing.B) {

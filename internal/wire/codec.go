@@ -31,13 +31,27 @@
 //	[8:16]  uint64 span ID
 //	[16:]   a binary-v1 body (kind + payload as above)
 //
-// All other kinds stay on gob (which carries the trace slot as an
-// optional Msg field instead). To promote a kind to the fast path it must
-// be (a) high-frequency enough to matter, (b) fixed-layout (or
+// Tenant binary (tag 3) body layout — the tenant slot ahead of the trace
+// slot, claimed per the same versioning rule when tenancy landed:
+//
+//	[0:4]   int32 tenant ID (ids.TenantID)
+//	[4:12]  int64 trace ID (ids.RequestID; zero = untraced)
+//	[12:20] uint64 span ID (zero = untraced)
+//	[20:]   a binary-v1 body (kind + payload as above)
+//
+// A tag-3 frame always carries both slots: a connection stamped with a
+// tenant (Conn.SetTenant) sends every eligible frame as tag 3 whether or
+// not it is traced, with a zero trace slot meaning "untraced", so the
+// data plane never branches per frame on trace presence.
+//
+// All other kinds stay on gob (which carries the trace slot and tenant
+// as optional Msg fields instead). To promote a kind to the fast path it
+// must be (a) high-frequency enough to matter, (b) fixed-layout (or
 // one-variable-tail like FileChunk/Error), and (c) versioned here: any
 // layout change bumps the codec tag (as the trace slot did, claiming tag
-// 2) rather than mutating an existing layout in place, so mixed-version
-// peers fail with a typed CodecError instead of silently misparsing.
+// 2, and the tenant slot did, claiming tag 3) rather than mutating an
+// existing layout in place, so mixed-version peers fail with a typed
+// CodecError instead of silently misparsing.
 //
 // Buffer ownership: encode and decode both borrow scratch buffers from a
 // sync.Pool. On the read side, a fast-path FileChunk's Data slice points
@@ -62,13 +76,15 @@ type Codec uint8
 
 // The wire codecs. CodecGob is the universal fallback; CodecBinary is
 // fast-path binary v1; CodecBinaryTraced is binary v1 carrying a
-// 16-byte trace slot ahead of the kind field (see below). Per the
-// versioning rule, the trace slot got its own tag instead of mutating
-// v1's layout in place.
+// 16-byte trace slot ahead of the kind field; CodecBinaryTenant is
+// binary v1 carrying a 4-byte tenant slot and the 16-byte trace slot
+// (see below). Per the versioning rule, each slot got its own tag
+// instead of mutating v1's layout in place.
 const (
 	CodecGob          Codec = 0
 	CodecBinary       Codec = 1
 	CodecBinaryTraced Codec = 2
+	CodecBinaryTenant Codec = 3
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -80,6 +96,8 @@ func (c Codec) String() string {
 		return "binary"
 	case CodecBinaryTraced:
 		return "binary-traced"
+	case CodecBinaryTenant:
+		return "binary-tenant"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
@@ -149,12 +167,19 @@ const (
 	// big-endian. The slot precedes the kind field, so the rest of the
 	// body is exactly a binary-v1 body.
 	traceSize = 16
+	// tenantSize is the fixed tenant slot a CodecBinaryTenant body
+	// starts with: the tenant ID (int32), big-endian, ahead of the trace
+	// slot.
+	tenantSize = 4
 	// chunkPrefixLen is everything in a binary FileChunk frame before
 	// the data bytes: header + kind + offset.
 	chunkPrefixLen = headerSize + kindSize + 8
 	// tracedChunkPrefixLen is the same prefix with the trace slot
 	// between the header and the kind field (tag 2 frames).
 	tracedChunkPrefixLen = headerSize + traceSize + kindSize + 8
+	// tenantChunkPrefixLen is the tag-3 prefix: tenant slot, then trace
+	// slot, then kind + offset.
+	tenantChunkPrefixLen = headerSize + tenantSize + traceSize + kindSize + 8
 )
 
 // bufPool recycles frame-sized scratch buffers across Write and Read.
@@ -198,14 +223,14 @@ var chunkPool = sync.Pool{New: func() any { return new(FileChunk) }}
 var readReqPool = sync.Pool{New: func() any { return new(ReadFile) }}
 
 // chunkFrame is the reusable scratch for a single-writev chunk write: the
-// frame prefix (15 bytes untraced, 31 with the trace slot) plus a
-// two-element net.Buffers that lets the data slice go to the kernel
-// without being copied into a contiguous frame. bufs is rebuilt from arr
-// on every use because Buffers.WriteTo consumes the slice it writes
-// (advancing it to zero length AND zero capacity) — an append into the
-// consumed slice would reallocate per call.
+// frame prefix (15 bytes untraced, 31 with the trace slot, 35 with the
+// tenant + trace slots) plus a two-element net.Buffers that lets the data
+// slice go to the kernel without being copied into a contiguous frame.
+// bufs is rebuilt from arr on every use because Buffers.WriteTo consumes
+// the slice it writes (advancing it to zero length AND zero capacity) —
+// an append into the consumed slice would reallocate per call.
 type chunkFrame struct {
-	prefix [tracedChunkPrefixLen]byte
+	prefix [tenantChunkPrefixLen]byte
 	arr    [2][]byte
 	bufs   net.Buffers
 }
@@ -221,6 +246,9 @@ var chunkFramePool = sync.Pool{New: func() any { return new(chunkFrame) }}
 func (c *Conn) WriteChunk(offset int64, data []byte) error {
 	if !c.fastWrite.Load() {
 		return c.writeGob(KindFileChunk, FileChunk{Offset: offset, Data: data})
+	}
+	if t := c.tenantID(); t.Valid() {
+		return c.writeChunkTenant(t, trace.SpanContext{}, offset, data)
 	}
 	body := kindSize + 8 + len(data)
 	if body > MaxFrame {
@@ -249,6 +277,9 @@ func (c *Conn) WriteChunkTraced(tc trace.SpanContext, offset int64, data []byte)
 	}
 	if !c.fastWrite.Load() {
 		return c.writeGobMsg(Msg{Kind: KindFileChunk, Payload: FileChunk{Offset: offset, Data: data}, Trace: tc})
+	}
+	if t := c.tenantID(); t.Valid() {
+		return c.writeChunkTenant(t, tc, offset, data)
 	}
 	body := traceSize + kindSize + 8 + len(data)
 	if body > MaxFrame {
@@ -293,6 +324,31 @@ func (c *Conn) WriteReadReq(tc trace.SpanContext, req ReadFile) error {
 	*rq = ReadFile{}
 	readReqPool.Put(rq)
 	return err
+}
+
+// writeChunkTenant sends one FileChunk frame under codec tag 3: the
+// tenant slot, the trace slot (zero when untraced), then the binary-v1
+// chunk body. Same pooled single-writev discipline as the untagged
+// paths, so a tenant-stamped connection's data plane stays at zero
+// allocations per chunk.
+func (c *Conn) writeChunkTenant(t ids.TenantID, tc trace.SpanContext, offset int64, data []byte) error {
+	body := tenantSize + traceSize + kindSize + 8 + len(data)
+	if body > MaxFrame {
+		return &FrameTooLargeError{Kind: KindFileChunk, Size: int64(body), Cap: MaxFrame, Outgoing: true}
+	}
+	f := chunkFramePool.Get().(*chunkFrame)
+	binary.BigEndian.PutUint32(f.prefix[0:4], uint32(body))
+	f.prefix[4] = byte(CodecBinaryTenant)
+	binary.BigEndian.PutUint32(f.prefix[5:9], uint32(int32(t)))
+	binary.BigEndian.PutUint64(f.prefix[9:17], uint64(int64(tc.Trace)))
+	binary.BigEndian.PutUint64(f.prefix[17:25], tc.Span)
+	binary.BigEndian.PutUint16(f.prefix[25:27], uint16(KindFileChunk))
+	binary.BigEndian.PutUint64(f.prefix[27:35], uint64(offset))
+	if err := c.writevChunk(f, f.prefix[:tenantChunkPrefixLen], data); err != nil {
+		return err
+	}
+	codecMet.Load().txTenant.Inc()
+	return nil
 }
 
 // writevChunk pushes prefix+data as a single writev under the write lock

@@ -39,20 +39,31 @@ func FuzzRead(f *testing.F) {
 	f.Add(frameBytes(CodecBinary, binaryBody(KindFileEnd, make([]byte, 16))))
 	f.Add(frameBytes(CodecBinary, binaryBody(KindAck, nil)))
 	f.Add(frameBytes(CodecBinary, binaryBody(KindError, []byte("boom"))))
+	// Traced (tag 2) and tenant (tag 3) frames: the slot(s) precede a
+	// plain binary-v1 body.
+	f.Add(frameBytes(CodecBinaryTraced, append(make([]byte, traceSize),
+		binaryBody(KindFileChunk, append(binary.BigEndian.AppendUint64(nil, 16), "data bytes"...))...)))
+	f.Add(frameBytes(CodecBinaryTraced, append(make([]byte, traceSize), binaryBody(KindAck, nil)...)))
+	f.Add(frameBytes(CodecBinaryTenant, append(make([]byte, tenantSize+traceSize),
+		binaryBody(KindFileChunk, append(binary.BigEndian.AppendUint64(nil, 16), "data bytes"...))...)))
+	f.Add(frameBytes(CodecBinaryTenant, append(make([]byte, tenantSize+traceSize), binaryBody(KindKeepalive, make([]byte, 8))...)))
 	// Two valid frames back to back (multi-frame streams).
 	f.Add(append(gobFrame(KindAck, Ack{}),
 		frameBytes(CodecBinary, binaryBody(KindKeepalive, make([]byte, 8)))...))
 	// Hostile shapes.
 	f.Add([]byte{})
-	f.Add([]byte{0, 0})                                                       // short header
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})                                  // oversized declared length
-	f.Add([]byte{0, 0, 1, 0, 0, 1, 2})                                        // truncated body
-	f.Add(frameBytes(Codec(200), []byte{1, 2, 3}))                            // unknown codec tag
-	f.Add(frameBytes(CodecGob, []byte{1, 2, 3, 4}))                           // garbage gob
-	f.Add(frameBytes(CodecBinary, nil))                                       // binary body shorter than kind
-	f.Add(frameBytes(CodecBinary, binaryBody(KindFileChunk, []byte{1})))      // short chunk
-	f.Add(frameBytes(CodecBinary, binaryBody(KindReadFile, make([]byte, 5)))) // wrong fixed len
-	f.Add(frameBytes(CodecBinary, binaryBody(Kind(60000), []byte("??"))))     // uncovered kind
+	f.Add([]byte{0, 0})                                                        // short header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})                                   // oversized declared length
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 2})                                         // truncated body
+	f.Add(frameBytes(Codec(200), []byte{1, 2, 3}))                             // unknown codec tag
+	f.Add(frameBytes(CodecGob, []byte{1, 2, 3, 4}))                            // garbage gob
+	f.Add(frameBytes(CodecBinary, nil))                                        // binary body shorter than kind
+	f.Add(frameBytes(CodecBinary, binaryBody(KindFileChunk, []byte{1})))       // short chunk
+	f.Add(frameBytes(CodecBinary, binaryBody(KindReadFile, make([]byte, 5))))  // wrong fixed len
+	f.Add(frameBytes(CodecBinary, binaryBody(Kind(60000), []byte("??"))))      // uncovered kind
+	f.Add(frameBytes(CodecBinaryTraced, make([]byte, traceSize-1)))            // short trace slot
+	f.Add(frameBytes(CodecBinaryTenant, make([]byte, tenantSize+traceSize-1))) // short tenant+trace slots
+	f.Add(frameBytes(CodecBinaryTenant, make([]byte, tenantSize+traceSize)))   // slots but no kind
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		c := NewConn(bytes.NewBuffer(stream))

@@ -10,8 +10,8 @@ import (
 // children are resolved once so the per-frame cost is one atomic pointer
 // load plus one atomic increment.
 type codecCounters struct {
-	txBinary, txGob, txTraced *telemetry.Counter
-	rxBinary, rxGob, rxTraced *telemetry.Counter
+	txBinary, txGob, txTraced, txTenant *telemetry.Counter
+	rxBinary, rxGob, rxTraced, rxTenant *telemetry.Counter
 }
 
 // codecMet is the process-wide sink. It starts as an unregistered (live
@@ -25,15 +25,17 @@ func init() { codecMet.Store(newCodecCounters(nil)) }
 // live, unregistered counters).
 func newCodecCounters(reg *telemetry.Registry) *codecCounters {
 	v := reg.NewCounterVec("dfsqos_wire_frames_total",
-		"Frames moved on wire connections, by direction (tx/rx) and codec (binary/gob/binary-traced).",
+		"Frames moved on wire connections, by direction (tx/rx) and codec (binary/gob/binary-traced/binary-tenant).",
 		"dir", "codec")
 	return &codecCounters{
 		txBinary: v.With("tx", "binary"),
 		txGob:    v.With("tx", "gob"),
 		txTraced: v.With("tx", "binary-traced"),
+		txTenant: v.With("tx", "binary-tenant"),
 		rxBinary: v.With("rx", "binary"),
 		rxGob:    v.With("rx", "gob"),
 		rxTraced: v.With("rx", "binary-traced"),
+		rxTenant: v.With("rx", "binary-tenant"),
 	}
 }
 
@@ -59,4 +61,11 @@ func CodecStats() (txBinary, txGob, rxBinary, rxGob uint64) {
 func CodecTracedStats() (txTraced, rxTraced uint64) {
 	m := codecMet.Load()
 	return m.txTraced.Value(), m.rxTraced.Value()
+}
+
+// CodecTenantStats snapshots the tenant-binary (codec tag 3) frame
+// counters.
+func CodecTenantStats() (txTenant, rxTenant uint64) {
+	m := codecMet.Load()
+	return m.txTenant.Value(), m.rxTenant.Value()
 }

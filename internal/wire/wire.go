@@ -2,8 +2,10 @@
 // frame is a 4-byte big-endian body length, a 1-byte codec tag, and the
 // body. The tag selects how the body is encoded — gob (tag 0, every
 // kind), the hand-rolled binary fast path (tag 1, the data-plane and
-// other high-frequency kinds), or traced binary (tag 2, binary v1 with a
-// 16-byte request-trace slot; see codec.go). Frames are independent
+// other high-frequency kinds), traced binary (tag 2, binary v1 with a
+// 16-byte request-trace slot), or tenant binary (tag 3, binary v1 with a
+// 4-byte tenant slot ahead of the trace slot; see codec.go). Frames are
+// independent
 // (stateless codec per frame), so a connection can be taken over after
 // any message boundary, a corrupted frame cannot poison decoder state,
 // and the codecs interleave freely on one connection. A frame-size cap
@@ -118,9 +120,16 @@ type Msg struct {
 	// Trace is the span context this frame carries, if any: the zero
 	// value means "untraced". Gob frames encode it as an ordinary
 	// (omitted-when-zero) envelope field; fast-path frames carry it in
-	// the tag-2 trace slot. Servers join it with
-	// trace.Tracer.StartChild.
+	// the tag-2 trace slot (or tag 3's, when a tenant rides too).
+	// Servers join it with trace.Tracer.StartChild.
 	Trace trace.SpanContext
+
+	// Tenant is the tenant identity this frame was sent under: the zero
+	// value (ids.NoneTenant) means untenanted. Gob frames encode it as
+	// an (omitted-when-zero) envelope field; fast-path frames carry it
+	// in the tag-3 tenant slot. Connections stamp it with
+	// Conn.SetTenant; servers read it for per-tenant accounting.
+	Tenant ids.TenantID
 
 	// pooled is the frame buffer this message's payload borrows from
 	// (fast-path FileChunk only: Data points into it); chunk is the
@@ -496,6 +505,12 @@ type Conn struct {
 	// array would escape through the io.ReadFull interface call and cost
 	// one heap allocation per frame.
 	rhdr [headerSize]byte
+	// tenant, when non-zero, is the ids.TenantID stamped on every
+	// outgoing frame: fast-path frames switch to codec tag 3, gob frames
+	// carry it in the envelope. Per-connection (not per-call) because a
+	// client acts for exactly one tenant — stamping at dial time keeps
+	// every write path's signature and allocation profile unchanged.
+	tenant atomic.Int32
 }
 
 // NewConn wraps a byte stream (normally a *net.TCPConn).
@@ -517,6 +532,18 @@ func (c *Conn) SetFastPath(on bool) { c.fastWrite.Store(on) }
 // (the behavior of a gobonly-build endpoint). It applies to frames read
 // after the call.
 func (c *Conn) SetAcceptBinary(on bool) { c.acceptBinary.Store(on) }
+
+// SetTenant stamps the tenant identity on every frame written from now
+// on: eligible fast-path frames switch to the tag-3 tenant codec and gob
+// frames carry Msg.Tenant. ids.NoneTenant (the default) restores
+// untenanted framing. Safe to call concurrently with traffic.
+func (c *Conn) SetTenant(t ids.TenantID) { c.tenant.Store(int32(t)) }
+
+// Tenant returns the identity stamped by SetTenant.
+func (c *Conn) Tenant() ids.TenantID { return c.tenantID() }
+
+// tenantID loads the stamped tenant (the write paths' per-frame check).
+func (c *Conn) tenantID() ids.TenantID { return ids.TenantID(c.tenant.Load()) }
 
 // SetDeadline forwards an absolute deadline to the underlying stream when
 // it supports one (net.Conn does; an in-memory buffer does not). It
@@ -563,6 +590,8 @@ func (c *Conn) Write(kind Kind, payload any) error {
 			case *FileChunk:
 				return c.WriteChunk(p.Offset, p.Data)
 			}
+		} else if t := c.tenantID(); t.Valid() {
+			return c.writeTenantFrame(t, trace.SpanContext{}, kind, payload)
 		} else {
 			bp := getBuf(64)
 			b := append((*bp)[:0], 0, 0, 0, 0, byte(CodecBinary))
@@ -605,6 +634,8 @@ func (c *Conn) WriteTraced(tc trace.SpanContext, kind Kind, payload any) error {
 			case *FileChunk:
 				return c.WriteChunkTraced(tc, p.Offset, p.Data)
 			}
+		} else if t := c.tenantID(); t.Valid() {
+			return c.writeTenantFrame(t, tc, kind, payload)
 		} else {
 			bp := getBuf(96)
 			b := append((*bp)[:0], 0, 0, 0, 0, byte(CodecBinaryTraced))
@@ -631,6 +662,36 @@ func (c *Conn) WriteTraced(tc trace.SpanContext, kind Kind, payload any) error {
 	return c.writeGobMsg(Msg{Kind: kind, Payload: payload, Trace: tc})
 }
 
+// writeTenantFrame sends one tag-3 frame: the tenant slot, the trace
+// slot (zero when untraced), then the binary-v1 body. Kinds the binary
+// codec does not cover fall back to the gob envelope (writeGobMsg stamps
+// the tenant there). Chunks never reach here — WriteChunk and
+// WriteChunkTraced route them to writeChunkTenant.
+func (c *Conn) writeTenantFrame(t ids.TenantID, tc trace.SpanContext, kind Kind, payload any) error {
+	bp := getBuf(96)
+	b := append((*bp)[:0], 0, 0, 0, 0, byte(CodecBinaryTenant))
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(t)))
+	b = binary.BigEndian.AppendUint64(b, uint64(int64(tc.Trace)))
+	b = binary.BigEndian.AppendUint64(b, tc.Span)
+	if b2, ok := appendBinary(b, kind, payload); ok {
+		*bp = b2
+		n := len(b2) - headerSize
+		if n > MaxFrame {
+			putBuf(bp)
+			return &FrameTooLargeError{Kind: kind, Size: int64(n), Cap: MaxFrame, Outgoing: true}
+		}
+		binary.BigEndian.PutUint32(b2[:4], uint32(n))
+		err := c.writeFrame(b2, kind)
+		putBuf(bp)
+		if err == nil {
+			codecMet.Load().txTenant.Inc()
+		}
+		return err
+	}
+	putBuf(bp)
+	return c.writeGobMsg(Msg{Kind: kind, Payload: payload, Trace: tc})
+}
+
 // writeGob sends one gob-framed message: the 5-byte header placeholder
 // and the gob body are built in a single pooled buffer (so the gob
 // encoder's output lands directly behind the header), then the whole
@@ -640,8 +701,13 @@ func (c *Conn) writeGob(kind Kind, payload any) error {
 }
 
 // writeGobMsg frames msg (including any Trace field — gob omits it when
-// zero) as a gob frame.
+// zero) as a gob frame. The connection's stamped tenant rides the
+// envelope's Tenant field, so a tenant-stamped peer is identified on
+// every codec, not just the fast path.
 func (c *Conn) writeGobMsg(msg Msg) error {
+	if !msg.Tenant.Valid() {
+		msg.Tenant = c.tenantID()
+	}
 	kind := msg.Kind
 	bp := getBuf(512)
 	buf := bytes.NewBuffer((*bp)[:0])
@@ -782,6 +848,31 @@ func (c *Conn) Read() (Msg, error) {
 		}
 		msg.Trace = tc
 		codecMet.Load().rxTraced.Inc()
+		return msg, nil
+	case CodecBinaryTenant:
+		if !c.acceptBinary.Load() {
+			putBuf(bp)
+			return Msg{}, &CodecError{Codec: codec, Reason: "binary fast path not accepted by this endpoint"}
+		}
+		if len(body) < tenantSize+traceSize {
+			putBuf(bp)
+			return Msg{}, &CodecError{Codec: codec, Reason: "body shorter than tenant and trace slots"}
+		}
+		ten := ids.TenantID(int32(binary.BigEndian.Uint32(body[:tenantSize])))
+		tc := trace.SpanContext{
+			Trace: ids.RequestID(int64(binary.BigEndian.Uint64(body[tenantSize : tenantSize+8]))),
+			Span:  binary.BigEndian.Uint64(body[tenantSize+8 : tenantSize+16]),
+		}
+		msg, retained, err := decodeBinary(body[tenantSize+traceSize:], bp)
+		if !retained {
+			putBuf(bp)
+		}
+		if err != nil {
+			return Msg{}, err
+		}
+		msg.Tenant = ten
+		msg.Trace = tc
+		codecMet.Load().rxTenant.Inc()
 		return msg, nil
 	default:
 		putBuf(bp)

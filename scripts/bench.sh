@@ -83,11 +83,12 @@ END {
 echo "== wrote $OUT"
 cat "$OUT"
 
-# Alloc regression gate on the fast-path chunk and ranged-read codecs,
-# untraced and traced.
+# Alloc regression gate on the fast-path chunk and ranged-read codecs:
+# untraced, traced, and tenant-tagged.
 fail=0
 for gated in "BenchmarkEncodeChunk/fast" "BenchmarkDecodeChunk/fast" \
 	"BenchmarkEncodeChunkTraced/fast" "BenchmarkDecodeChunkTraced/fast" \
+	"BenchmarkEncodeChunkTenant/fast" "BenchmarkDecodeChunkTenant/fast" \
 	"BenchmarkEncodeRangedRead/fast" "BenchmarkDecodeRangedRead/fast"; do
 	# The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so it is optional.
 	aop="$(awk -v b="$gated" '$1 ~ "^"b"(-[0-9]+)?$" && $(NF) == "allocs/op" { print $(NF-1) }' "$RAW")"
